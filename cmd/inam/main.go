@@ -1,0 +1,105 @@
+// Command inam is an OSU-INAM-style monitor for the simulated cluster
+// (the paper's conclusion proposes driving compression decisions from such
+// a tool): it runs a representative workload and reports per-node fabric
+// traffic, adapter busy time, and per-rank compression-engine activity.
+//
+//	inam -workload halo -nodes 4 -ppn 4 -algo mpc
+//	inam -workload alltoall -nodes 4 -ppn 2 -algo zfp -rate 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpicomp/internal/awpodc"
+	"mpicomp/internal/cli"
+	"mpicomp/internal/core"
+	"mpicomp/internal/datasets"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
+)
+
+func main() {
+	cluster := flag.String("cluster", "lassen", "cluster model")
+	nodes := flag.Int("nodes", 4, "nodes")
+	ppn := flag.Int("ppn", 4, "GPUs per node")
+	workload := flag.String("workload", "halo", "workload: halo | alltoall | pingpong")
+	mb := flag.Int("mb", 8, "message size in MB (alltoall/pingpong)")
+	eng := cli.AddEngineFlags(flag.CommandLine)
+	flag.Parse()
+
+	cfg, err := eng.Config()
+	cli.Fatal(err)
+	c, err := cli.ClusterByName(*cluster)
+	cli.Fatal(err)
+	w, err := mpi.NewWorld(mpi.Options{Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg})
+	cli.Fatal(err)
+
+	var makespan simtime.Duration
+	switch *workload {
+	case "halo":
+		res, err := awpodc.Run(w, awpodc.Config{Steps: 2})
+		cli.Fatal(err)
+		makespan = res.TimePerStep * simtime.Duration(res.Steps)
+	case "alltoall":
+		vals := datasets.Smooth(*mb<<18*w.Size(), 3, 1e-4)
+		times, err := w.Run(func(r *mpi.Rank) error {
+			send := &gpusim.Buffer{Data: make([]byte, *mb<<20*w.Size()), Loc: gpusim.Device, Dev: r.Dev}
+			copy(send.Data, floatBytes(vals))
+			recv := &gpusim.Buffer{Data: make([]byte, *mb<<20*w.Size()), Loc: gpusim.Device, Dev: r.Dev}
+			return r.Alltoall(send, recv)
+		})
+		cli.Fatal(err)
+		makespan = simtime.Duration(mpi.MaxTime(times))
+	case "pingpong":
+		vals := datasets.Smooth(*mb<<18, 3, 1e-4)
+		times, err := w.Run(func(r *mpi.Rank) error {
+			buf := &gpusim.Buffer{Data: floatBytes(vals), Loc: gpusim.Device, Dev: r.Dev}
+			if r.ID() == 0 {
+				return r.Send(1, 0, buf)
+			}
+			if r.ID() == 1 {
+				return r.Recv(0, 0, buf)
+			}
+			return nil
+		})
+		cli.Fatal(err)
+		makespan = simtime.Duration(mpi.MaxTime(times))
+	default:
+		cli.Fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	fmt.Printf("# INAM report: %s on %s (%d nodes x %d ppn), makespan %v\n\n",
+		*workload, c.Name, *nodes, *ppn, makespan)
+
+	fmt.Println("Fabric traffic per node:")
+	ft := cli.NewTable("Node", "Egress", "Ingress", "Intra", "Egress msgs", "Egress util")
+	for i, st := range w.Fabric().Stats() {
+		util := 0.0
+		if makespan > 0 {
+			util = float64(st.Egress.BusyUntil) / float64(makespan)
+		}
+		ft.Row(i, cli.FormatBytes(int(st.Egress.Bytes)), cli.FormatBytes(int(st.Ingress.Bytes)),
+			cli.FormatBytes(int(st.Intra.Bytes)), st.Egress.Messages, fmt.Sprintf("%.0f%%", 100*util))
+	}
+	ft.Write(os.Stdout)
+
+	fmt.Println("\nCompression engines per rank:")
+	et := cli.NewTable("Rank", "Compr", "Decompr", "Bypass", "Ratio", "BytesIn", "BytesOut")
+	for i := 0; i < w.Size(); i++ {
+		e := w.Rank(i).Engine
+		et.Row(i, e.Compressions, e.Decompressions, e.Bypasses,
+			fmt.Sprintf("%.2f", e.RatioAchieved()),
+			cli.FormatBytes(int(e.BytesIn)), cli.FormatBytes(int(e.BytesOut)))
+	}
+	et.Write(os.Stdout)
+
+	fmt.Printf("\nTotal inter-node wire traffic: %s\n",
+		cli.FormatBytes(int(w.Fabric().TotalInterNodeBytes())))
+}
+
+func floatBytes(vals []float32) []byte {
+	return core.FloatsToBytes(nil, vals)
+}

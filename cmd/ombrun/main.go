@@ -1,0 +1,100 @@
+// Command ombrun is the OSU Micro-Benchmark driver for the simulated
+// cluster — the equivalent of osu_latency / osu_bw / osu_bcast /
+// osu_allgather built against the compression-enabled MPI runtime.
+//
+//	ombrun -bench latency -cluster longhorn -algo mpc -mode opt
+//	ombrun -bench bw -cluster frontera
+//	ombrun -bench bcast -nodes 8 -ppn 2 -dataset msg_sppm -algo zfp -rate 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpicomp/internal/cli"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/omb"
+	"mpicomp/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "latency", "benchmark: latency | bw | bcast | allgather")
+	cluster := flag.String("cluster", "longhorn", "cluster model: longhorn | frontera | lassen | ri2")
+	nodes := flag.Int("nodes", 2, "number of nodes")
+	ppn := flag.Int("ppn", 1, "processes (GPUs) per node")
+	sizesFlag := flag.String("sizes", "256K,512K,1M,2M,4M,8M,16M,32M", "message sizes")
+	iters := flag.Int("iters", 3, "measured iterations")
+	warmup := flag.Int("warmup", 1, "warmup iterations")
+	window := flag.Int("window", 16, "osu_bw window size")
+	dataset := flag.String("dataset", "", "Table III dataset to transmit (default: dummy data)")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the last measurement to this file")
+	eng := cli.AddEngineFlags(flag.CommandLine)
+	flag.Parse()
+
+	cfg, err := eng.Config()
+	cli.Fatal(err)
+	c, err := cli.ClusterByName(*cluster)
+	cli.Fatal(err)
+	sizes, err := cli.ParseSizes(*sizesFlag)
+	cli.Fatal(err)
+
+	var gen omb.DataGen
+	if *dataset != "" {
+		gen, err = omb.DatasetData(*dataset)
+		cli.Fatal(err)
+	}
+
+	var tracer *trace.Collector
+	if *traceOut != "" {
+		tracer = trace.New()
+	}
+	w, err := mpi.NewWorld(mpi.Options{Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg, Tracer: tracer})
+	cli.Fatal(err)
+
+	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s\n",
+		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo)
+
+	switch *bench {
+	case "latency":
+		res, err := omb.Latency(w, sizes, *warmup, *iters, gen)
+		cli.Fatal(err)
+		t := cli.NewTable("Size", "Latency (us)", "Ratio")
+		for _, r := range res {
+			t.Row(cli.FormatBytes(r.Bytes), fmt.Sprintf("%.2f", r.Latency.Microseconds()), fmt.Sprintf("%.2f", r.Ratio))
+		}
+		t.Write(os.Stdout)
+	case "bw":
+		res, err := omb.Bandwidth(w, sizes, *warmup, *iters, *window, 0)
+		cli.Fatal(err)
+		t := cli.NewTable("Size", "Bandwidth (GB/s)")
+		for _, r := range res {
+			t.Row(cli.FormatBytes(r.Bytes), fmt.Sprintf("%.3f", r.BandwidthGBps))
+		}
+		t.Write(os.Stdout)
+	case "bcast", "allgather":
+		t := cli.NewTable("Size", "Latency (us)", "Ratio")
+		for _, size := range sizes {
+			var res omb.CollResult
+			var err error
+			if *bench == "bcast" {
+				res, err = omb.BcastLatency(w, size, *warmup, *iters, gen)
+			} else {
+				res, err = omb.AllgatherLatency(w, size, *warmup, *iters, gen)
+			}
+			cli.Fatal(err)
+			t.Row(cli.FormatBytes(size), fmt.Sprintf("%.2f", res.Latency.Microseconds()), fmt.Sprintf("%.2f", res.Ratio))
+		}
+		t.Write(os.Stdout)
+	default:
+		cli.Fatal(fmt.Errorf("unknown -bench %q", *bench))
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		cli.Fatal(err)
+		cli.Fatal(tracer.WriteChromeTrace(f))
+		cli.Fatal(f.Close())
+		fmt.Printf("# wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+}

@@ -1,0 +1,108 @@
+// Command tables regenerates the paper's tabular results:
+//
+//	tables -table 1          # Table I  — compressor feature matrix
+//	tables -table 3          # Table III — MPC/ZFP throughput and CR per dataset
+//	tables -table 3 -mb 16   # use 16 MB of each dataset (default 4)
+//	tables -table 3 -full    # use the full original dataset sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mpicomp/internal/cli"
+	"mpicomp/internal/core"
+	"mpicomp/internal/datasets"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/mpc"
+	"mpicomp/internal/zfp"
+)
+
+func main() {
+	table := flag.Int("table", 3, "which table to regenerate (1 or 3)")
+	mb := flag.Int("mb", 4, "megabytes of each dataset to use for Table III")
+	full := flag.Bool("full", false, "use each dataset's full original size (slow)")
+	rate := flag.Int("rate", 16, "ZFP rate for Table III (paper uses 16)")
+	flag.Parse()
+
+	switch *table {
+	case 1:
+		printTable1()
+	case 3:
+		printTable3(*mb, *full, *rate)
+	default:
+		cli.Fatal(fmt.Errorf("unknown table %d (want 1 or 3)", *table))
+	}
+}
+
+func mark(b bool) string {
+	if b {
+		return "v"
+	}
+	return "x"
+}
+
+func printTable1() {
+	fmt.Println("Table I: comparison between different compression techniques")
+	fmt.Println()
+	t := cli.NewTable("Design", "Lossless", "Lossy", "GPU", "MultiDim", "Float", "HighTput", "OnTheFlyMPI")
+	for _, r := range core.Table1() {
+		t.Row(r.Name, mark(r.Lossless), mark(r.Lossy), mark(r.GPUBased),
+			mark(r.MultiDim), mark(r.FloatingPoint), mark(r.HighThroughput), mark(r.OnTheFlyMPI))
+	}
+	t.Write(os.Stdout)
+}
+
+// printTable3 reproduces Table III: for each of the eight datasets, the
+// modeled kernel throughput on a V100 and the *measured* compression ratio
+// of the real codecs on the synthetic stand-in data.
+func printTable3(mb int, full bool, rate int) {
+	dev := gpusim.NewDevice(hw.TeslaV100(), 1)
+	fmt.Printf("Table III: performance and compression ratio of MPC and ZFP (V100 model, ZFP rate %d)\n\n", rate)
+	t := cli.NewTable("Dataset", "SizeMB", "Unique%", "TPc-ZFP", "TPd-ZFP", "CR-ZFP", "CR-ZFP(paper)",
+		"TPc-MPC", "TPd-MPC", "CR-MPC", "CR-MPC(paper)", "dim")
+	for _, d := range datasets.All() {
+		var vals []float32
+		if full {
+			vals = d.FullValues()
+		} else {
+			vals = d.Values(mb << 18)
+		}
+		bytes := len(vals) * 4
+
+		// Modeled kernel throughputs (Gb/s) for this message size.
+		tput := func(spec gpusim.KernelSpec) float64 {
+			dur := dev.KernelTime(spec)
+			if dur <= 0 {
+				return 0
+			}
+			return float64(bytes) * 8 / dur.Seconds() / 1e9
+		}
+		tpcZFP := tput(gpusim.KernelSpec{Blocks: dev.Spec.SMs, Bytes: bytes, ThroughputGbps: dev.Spec.ZFPCompressGbps})
+		tpdZFP := tput(gpusim.KernelSpec{Blocks: dev.Spec.SMs, Bytes: bytes, ThroughputGbps: dev.Spec.ZFPDecompressGbps})
+		tpcMPC := tput(gpusim.KernelSpec{Blocks: dev.Spec.SMs, Bytes: bytes, ThroughputGbps: dev.Spec.MPCCompressGbps, BusyWaitSync: true})
+		tpdMPC := tput(gpusim.KernelSpec{Blocks: dev.Spec.SMs, Bytes: bytes, ThroughputGbps: dev.Spec.MPCDecompressGbps, BusyWaitSync: true})
+
+		// Measured compression ratios from the real codecs.
+		words := make([]uint32, len(vals))
+		for i, v := range vals {
+			words[i] = math.Float32bits(v)
+		}
+		crMPC, err := mpc.Ratio(words, d.Dim)
+		cli.Fatal(err)
+		crZFP := zfp.Ratio(rate)
+		unique := 100 * datasets.UniqueFraction(vals)
+
+		t.Row(d.Name, fmt.Sprintf("%d", d.SizeMB), fmt.Sprintf("%.1f", unique),
+			fmt.Sprintf("%.1f", tpcZFP), fmt.Sprintf("%.1f", tpdZFP),
+			crZFP, d.PaperCRZFP,
+			fmt.Sprintf("%.1f", tpcMPC), fmt.Sprintf("%.1f", tpdMPC),
+			crMPC, d.PaperCRMPC, d.Dim)
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\nThroughputs (Gb/s) are the calibrated V100 kernel model;")
+	fmt.Println("compression ratios are measured by running the real codecs.")
+}

@@ -1,0 +1,24 @@
+// Package mpicomp is a reproduction of "Designing High-Performance MPI
+// Libraries with On-the-fly Compression for Modern GPU Clusters" (Zhou et
+// al., IPDPS 2021): a GPU-aware MPI runtime with on-the-fly MPC (lossless)
+// and ZFP (fixed-rate lossy) message compression, running on a simulated
+// GPU cluster substrate.
+//
+// The public surface lives in the internal packages (this module is a
+// self-contained research artifact):
+//
+//   - internal/core:   the compression framework (MPC-OPT, ZFP-OPT,
+//     naive integration, dynamic selection)
+//   - internal/mpi:    the message-passing runtime (rendezvous protocol,
+//     collectives)
+//   - internal/mpc:    the lossless MPC codec
+//   - internal/zfp:    the fixed-rate ZFP codec
+//   - internal/omb:    OSU microbenchmark workloads
+//   - internal/awpodc: the AWP-ODC proxy application
+//   - internal/dask:   the Dask data-science workload
+//
+// See README.md for a tour, DESIGN.md for the architecture, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; cmd/figures and cmd/tables print them as text tables.
+package mpicomp

@@ -1,0 +1,74 @@
+// Halo3d: the AWP-ODC motif — a 3-D wave simulation whose ranks exchange
+// multi-megabyte halo planes every step, run three ways (no compression,
+// MPC-OPT, ZFP-OPT) to show the application-level effect the paper reports
+// in Figures 12/13: higher sustained GPU computing FLOPS purely from
+// cheaper communication.
+//
+//	go run ./examples/halo3d
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mpicomp/internal/awpodc"
+	"mpicomp/internal/cli"
+	"mpicomp/internal/core"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/mpi"
+)
+
+func main() {
+	const (
+		nodes = 4
+		ppn   = 4 // 16 GPUs in a 4x4 process grid
+	)
+	app := awpodc.Config{NX: 256, NY: 256, NZ: 96, Fields: 9, Steps: 3}
+	px, py := awpodc.ProcessGrid(nodes * ppn)
+	fmt.Printf("AWP-ODC proxy: %d GPUs (%dx%d grid) on %s, halo %s per face\n\n",
+		nodes*ppn, px, py, hw.Lassen().Name, cli.FormatBytes(app.HaloBytesX()))
+
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline (no compression)", core.Config{}},
+		{"MPC-OPT static (lossless)", core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC}},
+		{"MPC-OPT dynamic (lossless)", core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC, Dynamic: true}},
+		{"ZFP-OPT rate 8 (lossy)", core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 8}},
+	}
+
+	t := cli.NewTable("Configuration", "TFLOPS", "ms/step", "comm/step", "ratio", "checksum")
+	var baseline awpodc.Result
+	for i, c := range configs {
+		world, err := mpi.NewWorld(mpi.Options{Cluster: hw.Lassen(), Nodes: nodes, PPN: ppn, Engine: c.cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := awpodc.Run(world, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = res
+		}
+		t.Row(c.name,
+			fmt.Sprintf("%.2f", res.TFlops),
+			fmt.Sprintf("%.2f", res.TimePerStep.Milliseconds()),
+			res.CommTime.String(),
+			fmt.Sprintf("%.1f", res.Ratio),
+			fmt.Sprintf("%.6g", res.Checksum))
+	}
+	t.Write(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Notes: the MPC rows' checksums equal the baseline's — lossless")
+	fmt.Println("compression cannot change the physics; ZFP's differs slightly")
+	fmt.Printf("(rate-8 quantization, baseline checksum %.6g).\n", baseline.Checksum)
+	fmt.Println("At this halo size MPC's kernels cost more than they save on both")
+	fmt.Println("NVLink and EDR edges, so static MPC-OPT loses (the paper's Fig. 9c")
+	fmt.Println("effect) while the dynamic engine detects this per message, bypasses,")
+	fmt.Println("and matches the baseline. ZFP-OPT's cheaper kernels win outright —")
+	fmt.Println("the paper's conclusion that ZFP-OPT helps almost everywhere.")
+}

@@ -1,0 +1,85 @@
+// Quickstart: send a large GPU-resident float32 message between two ranks
+// with on-the-fly MPC compression and verify the transfer is lossless.
+//
+// This is the minimal end-to-end use of the library: build a world on a
+// cluster model, configure the compression engine, and exchange device
+// buffers with Send/Recv. The rendezvous protocol compresses on the fly,
+// piggybacks the header on the RTS packet, and decompresses on arrival.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/datasets"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
+)
+
+func main() {
+	// Two nodes of TACC Longhorn (V100 GPUs, InfiniBand EDR), one rank
+	// per node, MPC-OPT compression.
+	world, err := mpi.NewWorld(mpi.Options{
+		Cluster: hw.Longhorn(),
+		Nodes:   2,
+		PPN:     1,
+		Engine: core.Config{
+			Mode:      core.ModeOpt,
+			Algorithm: core.AlgoMPC,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 8 MB of smooth scientific data (the compressible case).
+	values := datasets.Smooth(2<<20, 42, 1e-4)
+
+	times, err := world.Run(func(r *mpi.Rank) error {
+		switch r.ID() {
+		case 0:
+			// Device-resident send buffer, as a CUDA-aware MPI
+			// application would pass to MPI_Send.
+			buf := &gpusim.Buffer{
+				Data: core.FloatsToBytes(nil, values),
+				Loc:  gpusim.Device,
+				Dev:  r.Dev,
+			}
+			return r.Send(1, 0, buf)
+
+		case 1:
+			buf := &gpusim.Buffer{
+				Data: make([]byte, len(values)*4),
+				Loc:  gpusim.Device,
+				Dev:  r.Dev,
+			}
+			if err := r.Recv(0, 0, buf); err != nil {
+				return err
+			}
+			got := core.BytesToFloats(buf.Data)
+			for i := range values {
+				if got[i] != values[i] {
+					return fmt.Errorf("value %d corrupted: %v != %v", i, got[i], values[i])
+				}
+			}
+			fmt.Println("transfer verified bit-exact (MPC is lossless)")
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sender := world.Rank(0).Engine
+	fmt.Printf("message:            %d bytes\n", len(values)*4)
+	fmt.Printf("compression ratio:  %.2fx\n", sender.RatioAchieved())
+	fmt.Printf("simulated latency:  %v\n", simtime.Duration(mpi.MaxTime(times)))
+	fmt.Printf("engine activity:    %d compressions, %d decompressions\n",
+		sender.Compressions, world.Rank(1).Engine.Decompressions)
+	fmt.Printf("send-side phases:   %s\n", sender.Stats.String())
+}

@@ -1,0 +1,3 @@
+module mpicomp
+
+go 1.22

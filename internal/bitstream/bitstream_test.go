@@ -1,0 +1,219 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter()
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsReturnsRemainder(t *testing.T) {
+	w := NewWriter()
+	rest := w.WriteBits(0b1101_0110, 4)
+	if rest != 0b1101 {
+		t.Fatalf("WriteBits remainder: got %b want 1101", rest)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(4); got != 0b0110 {
+		t.Fatalf("ReadBits: got %04b want 0110", got)
+	}
+}
+
+func TestWriteBitsZeroCount(t *testing.T) {
+	w := NewWriter()
+	if rest := w.WriteBits(42, 0); rest != 42 {
+		t.Fatalf("WriteBits(_,0) should return input, got %d", rest)
+	}
+	if w.BitLen() != 0 {
+		t.Fatalf("no bits should be written, got %d", w.BitLen())
+	}
+}
+
+func TestWriteBits64(t *testing.T) {
+	w := NewWriter()
+	const v uint64 = 0xdeadbeefcafebabe
+	if rest := w.WriteBits(v, 64); rest != 0 {
+		t.Fatalf("full write should leave no remainder, got %x", rest)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(64); got != v {
+		t.Fatalf("got %x want %x", got, v)
+	}
+}
+
+func TestCrossWordBoundary(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0x7f, 7) // 7 bits so later writes straddle words
+	for i := 0; i < 10; i++ {
+		w.WriteBits(uint64(i)*0x0123456789abcdef, 64)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(7); got != 0x7f {
+		t.Fatalf("prefix: got %x", got)
+	}
+	for i := 0; i < 10; i++ {
+		want := uint64(i) * 0x0123456789abcdef
+		if got := r.ReadBits(64); got != want {
+			t.Fatalf("word %d: got %x want %x", i, got, want)
+		}
+	}
+}
+
+func TestPadToBit(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.PadToBit(128)
+	if w.BitLen() != 128 {
+		t.Fatalf("BitLen after pad: got %d want 128", w.BitLen())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("payload: got %b", got)
+	}
+	for i := 3; i < 128; i++ {
+		if r.ReadBit() != 0 {
+			t.Fatalf("padding bit %d not zero", i)
+		}
+	}
+}
+
+func TestPadToBitPanicsWhenTooLong(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := NewWriter()
+	w.WriteBits(0, 10)
+	w.PadToBit(5)
+}
+
+func TestReadPastEndYieldsZeros(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if got := r.ReadBits(8); got != 0xff {
+		t.Fatalf("payload: got %x", got)
+	}
+	if got := r.ReadBits(16); got != 0 {
+		t.Fatalf("past-end read should be zero, got %x", got)
+	}
+	if r.BitPos() != 24 {
+		t.Fatalf("BitPos: got %d want 24", r.BitPos())
+	}
+}
+
+func TestSkipToBit(t *testing.T) {
+	w := NewWriter()
+	for i := 0; i < 8; i++ {
+		w.WriteBits(uint64(i), 16) // blocks of 16 bits
+	}
+	r := NewReader(w.Bytes())
+	r.SkipToBit(5 * 16)
+	if got := r.ReadBits(16); got != 5 {
+		t.Fatalf("after skip: got %d want 5", got)
+	}
+	// Skip backwards too.
+	r.SkipToBit(2 * 16)
+	if got := r.ReadBits(16); got != 2 {
+		t.Fatalf("after back-skip: got %d want 2", got)
+	}
+	if r.BitPos() != 3*16 {
+		t.Fatalf("BitPos: got %d", r.BitPos())
+	}
+}
+
+func TestSkipToUnalignedBit(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 13)
+	w.WriteBits(0x5a5, 12)
+	r := NewReader(w.Bytes())
+	r.SkipToBit(13)
+	if got := r.ReadBits(12); got != 0x5a5 {
+		t.Fatalf("got %x want 5a5", got)
+	}
+}
+
+// Property: any sequence of variable-width writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		widths := make([]uint, n)
+		values := make([]uint64, n)
+		w := NewWriter()
+		for i := 0; i < n; i++ {
+			widths[i] = uint(1 + rng.Intn(64))
+			values[i] = rng.Uint64()
+			if widths[i] < 64 {
+				values[i] &= (uint64(1) << widths[i]) - 1
+			}
+			w.WriteBits(values[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			if got := r.ReadBits(widths[i]); got != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving WriteBit and WriteBits agrees with a pure
+// bit-at-a-time reference.
+func TestMixedWritesMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ref []uint
+		w := NewWriter()
+		for i := 0; i < 100; i++ {
+			if rng.Intn(2) == 0 {
+				b := uint(rng.Intn(2))
+				w.WriteBit(b)
+				ref = append(ref, b)
+			} else {
+				width := uint(1 + rng.Intn(30))
+				v := rng.Uint64() & ((1 << width) - 1)
+				w.WriteBits(v, width)
+				for j := uint(0); j < width; j++ {
+					ref = append(ref, uint((v>>j)&1))
+				}
+			}
+		}
+		r := NewReader(w.Bytes())
+		for _, want := range ref {
+			if r.ReadBit() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesNonDestructive(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1, 1)
+	b1 := w.Bytes()
+	b2 := w.Bytes()
+	if len(b1) != 1 || len(b2) != 1 || b1[0] != b2[0] {
+		t.Fatalf("Bytes should be repeatable: %v vs %v", b1, b2)
+	}
+}

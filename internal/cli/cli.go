@@ -1,0 +1,180 @@
+// Package cli holds the flag parsing and text-table rendering shared by
+// the repository's executables (cmd/tables, cmd/figures, cmd/ombrun,
+// cmd/awpodc, cmd/daskbench).
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/hw"
+)
+
+// EngineFlags collects the compression-engine configuration flags.
+type EngineFlags struct {
+	Mode    *string
+	Algo    *string
+	Rate    *int
+	Dim     *int
+	Dynamic *bool
+}
+
+// AddEngineFlags registers -mode/-algo/-rate/-mpcdim/-dynamic on fs.
+func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
+	return &EngineFlags{
+		Mode:    fs.String("mode", "opt", "compression integration: off | naive | opt"),
+		Algo:    fs.String("algo", "none", "compression algorithm: none | mpc | zfp"),
+		Rate:    fs.Int("rate", 16, "ZFP fixed rate in bits/value (4, 8, 16, ...)"),
+		Dim:     fs.Int("mpcdim", 1, "MPC dimensionality"),
+		Dynamic: fs.Bool("dynamic", false, "enable cost-model-driven per-message selection"),
+	}
+}
+
+// Config materializes the engine configuration from the parsed flags.
+func (e *EngineFlags) Config() (core.Config, error) {
+	cfg := core.Config{ZFPRate: *e.Rate, MPCDim: *e.Dim, Dynamic: *e.Dynamic}
+	switch strings.ToLower(*e.Mode) {
+	case "off":
+		cfg.Mode = core.ModeOff
+	case "naive":
+		cfg.Mode = core.ModeNaive
+	case "opt":
+		cfg.Mode = core.ModeOpt
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q", *e.Mode)
+	}
+	switch strings.ToLower(*e.Algo) {
+	case "none", "":
+		cfg.Algorithm = core.AlgoNone
+	case "mpc":
+		cfg.Algorithm = core.AlgoMPC
+	case "zfp":
+		cfg.Algorithm = core.AlgoZFP
+	default:
+		return cfg, fmt.Errorf("unknown -algo %q", *e.Algo)
+	}
+	return cfg, nil
+}
+
+// ClusterByName resolves a cluster flag value.
+func ClusterByName(name string) (hw.Cluster, error) {
+	c, ok := hw.Clusters()[strings.ToLower(name)]
+	if !ok {
+		return hw.Cluster{}, fmt.Errorf("unknown cluster %q (want longhorn, frontera, lassen, ri2, sierra or ampere)", name)
+	}
+	return c, nil
+}
+
+// ParseSizes parses a comma-separated size list with K/M suffixes
+// ("256K,1M,32M").
+func ParseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		mult := 1
+		switch {
+		case strings.HasSuffix(part, "K"), strings.HasSuffix(part, "k"):
+			mult, part = 1<<10, part[:len(part)-1]
+		case strings.HasSuffix(part, "M"), strings.HasSuffix(part, "m"):
+			mult, part = 1<<20, part[:len(part)-1]
+		case strings.HasSuffix(part, "G"), strings.HasSuffix(part, "g"):
+			mult, part = 1<<30, part[:len(part)-1]
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, n*mult)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size list")
+	}
+	return out, nil
+}
+
+// FormatBytes renders a byte count with a binary suffix ("32M", "256K").
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return strconv.Itoa(n)
+	}
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// Fatal prints the error to stderr and exits with status 1 when err is
+// non-nil; it is a no-op otherwise.
+func Fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+
+	"mpicomp/internal/core"
+)
+
+func TestEngineFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ef := AddEngineFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ef.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != core.ModeOpt || cfg.Algorithm != core.AlgoNone || cfg.ZFPRate != 16 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestEngineFlagsParsing(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ef := AddEngineFlags(fs)
+	if err := fs.Parse([]string{"-mode", "naive", "-algo", "zfp", "-rate", "8", "-dynamic"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ef.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != core.ModeNaive || cfg.Algorithm != core.AlgoZFP || cfg.ZFPRate != 8 || !cfg.Dynamic {
+		t.Fatalf("parsed wrong: %+v", cfg)
+	}
+}
+
+func TestEngineFlagsRejectsUnknown(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "bogus"},
+		{"-algo", "lz4"},
+	} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		ef := AddEngineFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ef.Config(); err == nil {
+			t.Fatalf("args %v should be rejected", args)
+		}
+	}
+}
+
+func TestClusterByName(t *testing.T) {
+	c, err := ClusterByName("Frontera")
+	if err != nil || c.Name != "Frontera Liquid" {
+		t.Fatalf("lookup failed: %v %v", c.Name, err)
+	}
+	if _, err := ClusterByName("summit"); err == nil {
+		t.Fatal("unknown cluster should fail")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes("256K, 1M,32M,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{256 << 10, 1 << 20, 32 << 20, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes: %v", got)
+		}
+	}
+	if _, err := ParseSizes(""); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := ParseSizes("12Q"); err == nil {
+		t.Fatal("bad suffix should fail")
+	}
+	g, err := ParseSizes("1G")
+	if err != nil || g[0] != 1<<30 {
+		t.Fatalf("G suffix: %v %v", g, err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		7:         "7",
+		1 << 10:   "1K",
+		256 << 10: "256K",
+		32 << 20:  "32M",
+		2 << 30:   "2G",
+		1500:      "1500",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d)=%q want %q", n, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Name", "Value")
+	tbl.Row("alpha", 1)
+	tbl.Row("a-much-longer-name", 3.14159)
+	var buf bytes.Buffer
+	tbl.Write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Name") || !strings.Contains(lines[3], "3.142") {
+		t.Fatalf("rendering wrong:\n%s", out)
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	idx0 := strings.Index(lines[0], "Value")
+	idx3 := strings.Index(lines[3], "3.142")
+	if idx0 != idx3 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFatalNilIsNoop(t *testing.T) {
+	Fatal(nil) // must not exit
+}

@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution: the
+// GPU-based on-the-fly message compression framework (Section III) and the
+// two optimized schemes MPC-OPT (Section IV) and ZFP-OPT (Section V).
+//
+// An Engine lives inside each MPI process. On the send side it compresses
+// device-resident messages above a threshold and produces the header that
+// the runtime piggybacks onto the rendezvous RTS packet (Algorithm 1); on
+// the receive side it interprets that header, stages the incoming
+// compressed data, and decompresses into the user buffer (Algorithm 2).
+//
+// Three integration modes are provided:
+//
+//   - ModeOff:   baseline, no compression (the "Baseline (No compression)"
+//     series of every figure).
+//   - ModeNaive: the straightforward integration of Section III — temporary
+//     device buffers via cudaMalloc on every message, cudaMemcpy size
+//     readback for MPC, cudaGetDeviceProperties per ZFP kernel launch.
+//   - ModeOpt:   MPC-OPT / ZFP-OPT — pre-allocated buffer pools, GDRCopy
+//     size readback, multi-stream kernel decomposition for MPC, cached
+//     device attributes for ZFP.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Algorithm selects the compression codec.
+type Algorithm uint8
+
+const (
+	// AlgoNone disables compression for the message.
+	AlgoNone Algorithm = iota
+	// AlgoMPC is the lossless Massively Parallel Compression codec.
+	AlgoMPC
+	// AlgoZFP is the fixed-rate lossy ZFP codec.
+	AlgoZFP
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoMPC:
+		return "MPC"
+	case AlgoZFP:
+		return "ZFP"
+	default:
+		return "none"
+	}
+}
+
+// Mode selects the integration level.
+type Mode uint8
+
+const (
+	// ModeOff disables the framework entirely.
+	ModeOff Mode = iota
+	// ModeNaive is the unoptimized integration of Section III.
+	ModeNaive
+	// ModeOpt enables the MPC-OPT / ZFP-OPT optimizations.
+	ModeOpt
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNaive:
+		return "naive"
+	case ModeOpt:
+		return "opt"
+	default:
+		return "off"
+	}
+}
+
+// DefaultThreshold is the message size at which compression engages.
+// The paper evaluates compression for large messages (its figures start at
+// 256 KB, with benefits appearing between 512 KB and 2 MB depending on the
+// interconnect).
+const DefaultThreshold = 256 << 10
+
+// DefaultPoolBuffers and DefaultPoolBufBytes size the pre-allocated device
+// buffer pool built at initialization in ModeOpt.
+const (
+	DefaultPoolBuffers  = 8
+	DefaultPoolBufBytes = 36 << 20 // fits a 32 MB message plus MPC expansion headroom
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Mode selects off / naive / optimized integration.
+	Mode Mode
+	// Algorithm selects the codec used for eligible messages.
+	Algorithm Algorithm
+	// ZFPRate is the fixed rate in bits per value (paper: 4, 8, 16).
+	ZFPRate int
+	// MPCDim is MPC's dimensionality control parameter.
+	MPCDim int
+	// Threshold is the minimum message size in bytes for compression;
+	// zero means DefaultThreshold.
+	Threshold int
+	// MaxPartitions caps MPC-OPT's multi-stream decomposition (the
+	// number of CUDA streams used); zero means 4.
+	MaxPartitions int
+	// PoolBuffers / PoolBufBytes size the ModeOpt buffer pool; zero
+	// means the defaults.
+	PoolBuffers  int
+	PoolBufBytes int
+	// Dynamic enables per-message compression selection driven by the
+	// Section II-A cost model (the paper's future-work extension): a
+	// message is compressed only when the model predicts a latency win
+	// on the link it will traverse.
+	Dynamic bool
+	// PipelineChunkBytes enables pipelined rendezvous (extension,
+	// modeled on MVAPICH2-GDR's chunked large-message path): messages
+	// larger than twice this size are compressed and transferred chunk
+	// by chunk, overlapping chunk k's transfer with chunk k+1's
+	// compression and the receiver's decompression of earlier chunks.
+	// Zero disables pipelining (whole-message compression, as in the
+	// paper's Figure 4).
+	PipelineChunkBytes int
+}
+
+func (c *Config) withDefaults() Config {
+	cc := *c
+	if cc.ZFPRate == 0 {
+		cc.ZFPRate = 16
+	}
+	if cc.MPCDim == 0 {
+		cc.MPCDim = 1
+	}
+	if cc.Threshold == 0 {
+		cc.Threshold = DefaultThreshold
+	}
+	if cc.MaxPartitions == 0 {
+		cc.MaxPartitions = 4
+	}
+	if cc.PoolBuffers == 0 {
+		cc.PoolBuffers = DefaultPoolBuffers
+	}
+	if cc.PoolBufBytes == 0 {
+		cc.PoolBufBytes = DefaultPoolBufBytes
+	}
+	return cc
+}
+
+// Header is the compression control information piggybacked onto the
+// rendezvous RTS packet (the "A"/"B" fields of Figure 4): whether and how
+// the payload is compressed, the original and compressed sizes, the codec
+// control parameters, and — for MPC-OPT's multi-stream flow — the number
+// of partitions and the compressed size of each.
+type Header struct {
+	Algo       Algorithm
+	Compressed bool
+	// OrigBytes is the size of the original message; CompBytes the size
+	// of the transferred payload.
+	OrigBytes int
+	CompBytes int
+	// Rate (ZFP) and Dim (MPC) are the codec control parameters.
+	Rate int
+	Dim  int
+	// PartBytes holds the compressed byte count of each MPC partition
+	// (Algorithm 3's [B1..BN]); len(PartBytes) is the partition count.
+	PartBytes []int
+}
+
+// Ratio reports the achieved compression ratio of the message.
+func (h Header) Ratio() float64 {
+	if !h.Compressed || h.CompBytes == 0 {
+		return 1
+	}
+	return float64(h.OrigBytes) / float64(h.CompBytes)
+}
+
+// wireSize is the serialized header size in bytes; it rides in the RTS
+// control packet. 24 fixed bytes plus 4 per partition.
+func (h Header) wireSize() int { return 24 + 4*len(h.PartBytes) }
+
+// Encode serializes the header (little-endian) for transport or storage.
+func (h Header) Encode() []byte {
+	buf := make([]byte, 0, h.wireSize())
+	buf = append(buf, byte(h.Algo), b2u8(h.Compressed), byte(h.Rate), byte(h.Dim))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.OrigBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.CompBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.PartBytes)))
+	for _, p := range h.PartBytes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	return buf
+}
+
+// DecodeHeader parses a header serialized by Encode.
+func DecodeHeader(buf []byte) (Header, error) {
+	if len(buf) < 24 {
+		return Header{}, fmt.Errorf("core: header too short (%d bytes)", len(buf))
+	}
+	var h Header
+	h.Algo = Algorithm(buf[0])
+	h.Compressed = buf[1] != 0
+	h.Rate = int(buf[2])
+	h.Dim = int(buf[3])
+	h.OrigBytes = int(binary.LittleEndian.Uint64(buf[4:]))
+	h.CompBytes = int(binary.LittleEndian.Uint64(buf[12:]))
+	nParts := int(binary.LittleEndian.Uint32(buf[20:]))
+	if nParts > 1024 || len(buf) < 24+4*nParts {
+		return Header{}, fmt.Errorf("core: corrupt header (nParts=%d, len=%d)", nParts, len(buf))
+	}
+	for i := 0; i < nParts; i++ {
+		h.PartBytes = append(h.PartBytes, int(binary.LittleEndian.Uint32(buf[24+4*i:])))
+	}
+	return h, nil
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DefaultPartitions is the fine-tuned partition count per message size for
+// MPC-OPT's data-partitioning + multi-stream flow (Section IV-B): larger
+// messages amortize more streams.
+func DefaultPartitions(bytes, maxParts int) int {
+	var p int
+	switch {
+	case bytes < 1<<20:
+		p = 1
+	case bytes < 4<<20:
+		p = 2
+	case bytes < 16<<20:
+		p = 4
+	default:
+		p = 8
+	}
+	if p > maxParts {
+		p = maxParts
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// --- byte/word/float conversions (device buffers hold raw bytes) ---
+
+// BytesToWords reinterprets little-endian bytes as uint32 words.
+func BytesToWords(b []byte) []uint32 {
+	w := make([]uint32, len(b)/4)
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return w
+}
+
+// WordsToBytes serializes uint32 words as little-endian bytes, appending
+// to dst.
+func WordsToBytes(dst []byte, w []uint32) []byte {
+	for _, v := range w {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// BytesToFloats reinterprets little-endian bytes as float32 values.
+func BytesToFloats(b []byte) []float32 {
+	f := make([]float32, len(b)/4)
+	for i := range f {
+		f[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return f
+}
+
+// FloatsToBytes serializes float32 values as little-endian bytes,
+// appending to dst.
+func FloatsToBytes(dst []byte, f []float32) []byte {
+	for _, v := range f {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}

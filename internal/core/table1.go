@@ -1,0 +1,39 @@
+package core
+
+// CompressorFeatures is one row of the paper's Table I: the capability
+// matrix comparing compression designs.
+type CompressorFeatures struct {
+	Name string
+	// Lossless / Lossy indicate supported fidelity modes.
+	Lossless bool
+	Lossy    bool
+	// GPUBased indicates a GPU implementation exists.
+	GPUBased bool
+	// MultiDim indicates support for multidimensional data layouts.
+	MultiDim bool
+	// FloatingPoint indicates native floating-point support.
+	FloatingPoint bool
+	// HighThroughput indicates throughput sufficient for modern
+	// interconnects (the paper's bar: >100 Gb/s class).
+	HighThroughput bool
+	// OnTheFlyMPI indicates efficient on-the-fly MPI integration.
+	OnTheFlyMPI bool
+	// Proposed marks the paper's contributions.
+	Proposed bool
+}
+
+// Table1 returns the paper's Table I rows in publication order.
+func Table1() []CompressorFeatures {
+	return []CompressorFeatures{
+		{Name: "FPC", Lossless: true, FloatingPoint: true, OnTheFlyMPI: true},
+		{Name: "fpzip", Lossless: true, Lossy: true, MultiDim: true, FloatingPoint: true},
+		{Name: "ISOBAR", Lossless: true, MultiDim: true, FloatingPoint: true},
+		{Name: "SPDP", Lossless: true, MultiDim: true, FloatingPoint: true},
+		{Name: "GFC", Lossless: true, GPUBased: true, FloatingPoint: true, HighThroughput: true},
+		{Name: "MPC", Lossless: true, GPUBased: true, MultiDim: true, FloatingPoint: true, HighThroughput: true},
+		{Name: "SZ", Lossy: true, GPUBased: true, MultiDim: true, FloatingPoint: true, HighThroughput: true},
+		{Name: "ZFP", Lossy: true, GPUBased: true, MultiDim: true, FloatingPoint: true, HighThroughput: true},
+		{Name: "Proposed MPC-OPT", Proposed: true, Lossless: true, GPUBased: true, MultiDim: true, FloatingPoint: true, HighThroughput: true, OnTheFlyMPI: true},
+		{Name: "Proposed ZFP-OPT", Proposed: true, Lossy: true, GPUBased: true, MultiDim: true, FloatingPoint: true, HighThroughput: true, OnTheFlyMPI: true},
+	}
+}

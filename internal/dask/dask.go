@@ -1,0 +1,218 @@
+// Package dask reproduces the paper's data-science study (Section VII-B):
+// a Dask-style distributed array framework whose workers communicate
+// through the GPU-aware MPI runtime (the MPI4Dask-over-MVAPICH2-GDR setup
+// of the paper), running the cuPy transpose-sum benchmark
+//
+//	y = x + x.T; y.persist(); wait(y)
+//
+// on a chunked square matrix. Chunk exchanges are the large GPU-to-GPU
+// messages (the paper: "typically 8 MB to 1 GB") that ZFP-OPT accelerates.
+package dask
+
+import (
+	"fmt"
+	"math"
+
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
+)
+
+// Matrix describes the distributed square matrix.
+type Matrix struct {
+	// Dim is the matrix dimension (paper: 10,000).
+	Dim int
+	// ChunkDim is the square chunk edge (paper: 1,000).
+	ChunkDim int
+}
+
+// Chunks returns the number of chunks along one dimension.
+func (m Matrix) Chunks() int { return m.Dim / m.ChunkDim }
+
+// ChunkBytes returns the size of one chunk in bytes.
+func (m Matrix) ChunkBytes() int { return m.ChunkDim * m.ChunkDim * 4 }
+
+// owner maps chunk (i,j) to a worker (round-robin over linearized chunk
+// index, Dask's default block distribution).
+func (m Matrix) owner(i, j, workers int) int { return (i*m.Chunks() + j) % workers }
+
+// element is the deterministic value of x[r][c], so any worker can verify
+// any received chunk.
+func element(r, c int) float32 {
+	// Smooth in both directions: compressible like real array data.
+	return float32(math.Sin(float64(r)*0.001) + math.Cos(float64(c)*0.0015))
+}
+
+// fillChunk materializes chunk (i,j) of x.
+func fillChunk(m Matrix, i, j int, dst []byte) {
+	cd := m.ChunkDim
+	for a := 0; a < cd; a++ {
+		for b := 0; b < cd; b++ {
+			bits := math.Float32bits(element(i*cd+a, j*cd+b))
+			off := 4 * (a*cd + b)
+			dst[off] = byte(bits)
+			dst[off+1] = byte(bits >> 8)
+			dst[off+2] = byte(bits >> 16)
+			dst[off+3] = byte(bits >> 24)
+		}
+	}
+}
+
+func readF32(b []byte, idx int) float32 {
+	off := 4 * idx
+	bits := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+	return math.Float32frombits(bits)
+}
+
+// Result is one benchmark measurement, matching Figure 14's two panels.
+type Result struct {
+	Workers int
+	// ExecTime is the makespan of the transpose-sum task graph.
+	ExecTime simtime.Duration
+	// ThroughputGBps is the aggregate application throughput: bytes of
+	// array data produced and consumed by the computation per second
+	// across all workers.
+	ThroughputGBps float64
+	// MaxErr is the largest absolute deviation of y from the exact
+	// result (zero for lossless transports).
+	MaxErr float64
+	// Ratio is the achieved compression ratio of chunk transfers.
+	Ratio float64
+}
+
+// TransposeSum runs y = x + x.T over the world's ranks as Dask workers.
+func TransposeSum(w *mpi.World, m Matrix) (Result, error) {
+	if m.Dim%m.ChunkDim != 0 {
+		return Result{}, fmt.Errorf("dask: chunk %d must divide dim %d", m.ChunkDim, m.Dim)
+	}
+	workers := w.Size()
+	nc := m.Chunks()
+	cb := m.ChunkBytes()
+	errs := make([]float64, workers)
+
+	for i := 0; i < workers; i++ {
+		w.Rank(i).Engine.ResetCounters()
+	}
+	w.ResetClocks()
+	times, err := w.Run(func(r *mpi.Rank) error {
+		me := r.ID()
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		// Materialize owned chunks ("x = cupy array distributed across
+		// workers"): GPU fill kernel per chunk.
+		type chunkRef struct{ i, j int }
+		var owned []chunkRef
+		chunkData := map[chunkRef]*gpusim.Buffer{}
+		for i := 0; i < nc; i++ {
+			for j := 0; j < nc; j++ {
+				if m.owner(i, j, workers) != me {
+					continue
+				}
+				buf := &gpusim.Buffer{Data: make([]byte, cb), Loc: gpusim.Device, Dev: r.Dev}
+				fillChunk(m, i, j, buf.Data)
+				r.Dev.LaunchKernel(r.Clock, r.Dev.Stream(0), gpusim.KernelSpec{
+					Blocks: r.Dev.Spec.SMs, Bytes: cb, ThroughputGbps: r.Dev.Spec.MemBWGBps * 8,
+				})
+				owned = append(owned, chunkRef{i, j})
+				chunkData[chunkRef{i, j}] = buf
+			}
+		}
+		r.Dev.StreamSync(r.Clock, r.Dev.Stream(0))
+
+		// Task graph: for every owned chunk (i,j) we need chunk (j,i).
+		// Post all receives, then all sends (tag = linearized chunk id
+		// of the chunk being shipped).
+		var reqs []*mpi.Request
+		recvBufs := map[chunkRef]*gpusim.Buffer{}
+		for _, c := range owned {
+			peer := m.owner(c.j, c.i, workers)
+			if peer == me {
+				continue
+			}
+			// Receive (j,i) from its owner.
+			rb := &gpusim.Buffer{Data: make([]byte, cb), Loc: gpusim.Device, Dev: r.Dev}
+			recvBufs[chunkRef{c.j, c.i}] = rb
+			req, err := r.Irecv(peer, c.j*nc+c.i, rb)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		for _, c := range owned {
+			peer := m.owner(c.j, c.i, workers)
+			if peer == me {
+				continue
+			}
+			// The owner of (j,i) also owns the task needing our (i,j).
+			req, err := r.Isend(peer, c.i*nc+c.j, chunkData[c])
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if err := r.Waitall(reqs...); err != nil {
+			return err
+		}
+
+		// Compute y = x + x.T chunk-wise and verify against the exact
+		// closed form (transpose read + add + store: 3 passes).
+		var maxErr float64
+		cd := m.ChunkDim
+		for _, c := range owned {
+			var tr *gpusim.Buffer
+			if m.owner(c.j, c.i, workers) == me {
+				tr = chunkData[chunkRef{c.j, c.i}]
+			} else {
+				tr = recvBufs[chunkRef{c.j, c.i}]
+			}
+			r.Dev.LaunchKernel(r.Clock, r.Dev.Stream(0), gpusim.KernelSpec{
+				Blocks: r.Dev.Spec.SMs, Bytes: 3 * cb, ThroughputGbps: r.Dev.Spec.MemBWGBps * 8,
+			})
+			for a := 0; a < cd; a += 7 { // sampled verification
+				for b := 0; b < cd; b += 7 {
+					x := readF32(chunkData[c].Data, a*cd+b)
+					xt := readF32(tr.Data, b*cd+a)
+					// float32 arithmetic throughout, so a lossless
+					// transport yields bit-exact equality.
+					want := element(c.i*cd+a, c.j*cd+b) + element(c.j*cd+b, c.i*cd+a)
+					if e := math.Abs(float64(x+xt) - float64(want)); e > maxErr {
+						maxErr = e
+					}
+				}
+			}
+		}
+		r.Dev.StreamSync(r.Clock, r.Dev.Stream(0))
+		errs[me] = maxErr
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	makespan := simtime.Duration(mpi.MaxTime(times))
+	var maxErr float64
+	for _, e := range errs {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	// Application throughput: the computation reads x and x.T and writes
+	// y — 3 full arrays of Dim^2 values.
+	totalBytes := 3 * float64(m.Dim) * float64(m.Dim) * 4
+	var in, out float64
+	for i := 0; i < workers; i++ {
+		in += float64(w.Rank(i).Engine.BytesIn)
+		out += float64(w.Rank(i).Engine.BytesOut)
+	}
+	ratio := 1.0
+	if out > 0 {
+		ratio = in / out
+	}
+	return Result{
+		Workers:        workers,
+		ExecTime:       makespan,
+		ThroughputGBps: totalBytes / makespan.Seconds() / 1e9,
+		MaxErr:         maxErr,
+		Ratio:          ratio,
+	}, nil
+}

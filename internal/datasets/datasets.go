@@ -1,0 +1,264 @@
+// Package datasets generates deterministic synthetic stand-ins for the
+// eight single-precision HPC datasets of the paper's Table III (originally
+// from the MPC paper: NAS Parallel Benchmark message traces, observational
+// data, and a plasma simulation). The real files are not redistributable,
+// so each generator is tuned to the documented characteristics: total
+// size, fraction of unique values, and the compressibility regime that
+// yields the paper's MPC compression ratios (≈1.3-1.5 for most sets,
+// ≈9 for msg_sppm).
+//
+// Generation is deterministic (seeded xorshift) so every experiment is
+// reproducible bit-for-bit.
+package datasets
+
+import (
+	"math"
+)
+
+// rng is a small deterministic xorshift64* generator so dataset content
+// does not depend on math/rand version differences.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// float64 in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// normal returns an approximately standard normal variate (Irwin-Hall sum
+// of 12 uniforms), plenty for shaping compressibility.
+func (r *rng) normal() float64 {
+	s := -6.0
+	for i := 0; i < 12; i++ {
+		s += r.float()
+	}
+	return s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Dataset describes one Table III dataset and how to synthesize it.
+type Dataset struct {
+	// Name as in Table III.
+	Name string
+	// SizeMB is the dataset's original size in megabytes.
+	SizeMB int
+	// UniquePct is the documented fraction of unique values (percent).
+	UniquePct float64
+	// Dim is the fine-tuned MPC dimensionality for this dataset.
+	Dim int
+	// PaperCRMPC and PaperCRZFP are Table III's compression ratios,
+	// recorded for EXPERIMENTS.md comparisons.
+	PaperCRMPC float64
+	PaperCRZFP float64
+
+	gen func(n int, r *rng) []float32
+}
+
+// Values generates n float32 values of this dataset.
+func (d Dataset) Values(n int) []float32 {
+	return d.gen(n, newRNG(hash(d.Name)))
+}
+
+// FullValues generates the dataset at its original Table III size.
+func (d Dataset) FullValues() []float32 {
+	return d.Values(d.SizeMB << 18) // SizeMB * 2^20 bytes / 4 bytes per value
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// smoothWalk produces a random walk whose per-step relative noise sets the
+// number of mantissa bits that differ between neighbors — the knob that
+// controls the MPC compression ratio.
+func smoothWalk(n int, r *rng, relNoise float64, base float64) []float32 {
+	out := make([]float32, n)
+	v := base
+	for i := 0; i < n; i++ {
+		v += r.normal() * relNoise * math.Abs(v)
+		if math.Abs(v) < base/16 || math.Abs(v) > base*16 {
+			v = base * (0.5 + r.float())
+		}
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// interleavedWalks emulates multi-field message buffers: d independent
+// walks interleaved with stride d, so MPC compresses best at dim=d.
+func interleavedWalks(n int, r *rng, d int, relNoise float64) []float32 {
+	out := make([]float32, n)
+	vals := make([]float64, d)
+	for c := range vals {
+		vals[c] = math.Pow(10, float64(c%5)-2) * (1 + r.float())
+	}
+	for i := 0; i < n; i++ {
+		c := i % d
+		vals[c] += r.normal() * relNoise * math.Abs(vals[c])
+		out[i] = float32(vals[c])
+	}
+	return out
+}
+
+// runsData produces long runs of repeated values with occasional jumps —
+// the msg_sppm regime (10.2% unique, MPC CR ≈ 9).
+func runsData(n int, r *rng, meanRun int) []float32 {
+	out := make([]float32, n)
+	v := float32(1.0)
+	i := 0
+	for i < n {
+		runLen := 1 + r.intn(2*meanRun)
+		if i+runLen > n {
+			runLen = n - i
+		}
+		for j := 0; j < runLen; j++ {
+			out[i+j] = v
+		}
+		i += runLen
+		v = float32(math.Abs(r.normal())*10 + 0.001)
+	}
+	return out
+}
+
+// quantizedData draws from a small alphabet of levels (low unique fraction)
+// whose order is only mildly correlated — obs_error/obs_info/num_plasma
+// regime: few unique values but only moderate MPC compression because
+// neighbors still differ.
+func quantizedData(n int, r *rng, levels int, stickiness float64) []float32 {
+	alphabet := make([]float32, levels)
+	base := 1.0
+	for i := range alphabet {
+		base *= 1 + 0.01*r.float()
+		alphabet[i] = float32(base)
+	}
+	out := make([]float32, n)
+	cur := r.intn(levels)
+	for i := 0; i < n; i++ {
+		if r.float() > stickiness {
+			step := r.intn(7) - 3
+			cur += step
+			if cur < 0 {
+				cur = 0
+			}
+			if cur >= levels {
+				cur = levels - 1
+			}
+		}
+		out[i] = alphabet[cur]
+	}
+	return out
+}
+
+// All returns the eight Table III datasets in table order.
+func All() []Dataset {
+	return []Dataset{
+		{
+			Name: "msg_bt", SizeMB: 128, UniquePct: 92.9, Dim: 5,
+			PaperCRMPC: 1.339, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return interleavedWalks(n, r, 5, 2e-3) },
+		},
+		{
+			Name: "msg_lu", SizeMB: 93, UniquePct: 99.2, Dim: 5,
+			PaperCRMPC: 1.444, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return interleavedWalks(n, r, 5, 6e-4) },
+		},
+		{
+			Name: "msg_sp", SizeMB: 16, UniquePct: 98.9, Dim: 5,
+			PaperCRMPC: 1.352, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return interleavedWalks(n, r, 5, 1.6e-3) },
+		},
+		{
+			Name: "msg_sppm", SizeMB: 16, UniquePct: 10.2, Dim: 1,
+			PaperCRMPC: 8.951, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return runsData(n, r, 150) },
+		},
+		{
+			Name: "msg_sweep3d", SizeMB: 60, UniquePct: 89.8, Dim: 1,
+			PaperCRMPC: 1.537, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return smoothWalk(n, r, 3e-4, 100) },
+		},
+		{
+			Name: "obs_error", SizeMB: 30, UniquePct: 18.0, Dim: 1,
+			PaperCRMPC: 1.301, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return quantizedData(n, r, 1<<14, 0.1) },
+		},
+		{
+			Name: "obs_info", SizeMB: 9, UniquePct: 23.9, Dim: 1,
+			PaperCRMPC: 1.440, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return quantizedData(n, r, 1<<13, 0.35) },
+		},
+		{
+			Name: "num_plasma", SizeMB: 17, UniquePct: 0.3, Dim: 1,
+			PaperCRMPC: 1.348, PaperCRZFP: 2,
+			gen: func(n int, r *rng) []float32 { return quantizedData(n, r, 1<<10, 0.05) },
+		},
+	}
+}
+
+// ByName returns the dataset with the given Table III name.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// UniqueFraction measures the fraction of distinct values in data —
+// the "Unique vals %" column of Table III.
+func UniqueFraction(data []float32) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	seen := make(map[float32]struct{}, len(data)/4)
+	for _, v := range data {
+		seen[v] = struct{}{}
+	}
+	return float64(len(seen)) / float64(len(data))
+}
+
+// Dummy produces the "dummy data" OSU microbenchmarks send by default:
+// a constant fill pattern, which compresses extremely well (the paper
+// notes MPC-OPT's communication advantage on OMB dummy data in Fig. 10).
+func Dummy(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = 1.0
+	}
+	return out
+}
+
+// Smooth produces generic smooth field data (for examples and the AWP
+// proxy's initial conditions) with a configurable seed.
+func Smooth(n int, seed uint64, relNoise float64) []float32 {
+	return smoothWalk(n, newRNG(seed), relNoise, 1.0)
+}
+
+// Random produces incompressible white-noise float32 data in (0,1),
+// useful as a worst case for the compressors.
+func Random(n int, seed uint64) []float32 {
+	r := newRNG(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(r.float())
+	}
+	return out
+}

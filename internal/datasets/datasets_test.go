@@ -1,0 +1,217 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"mpicomp/internal/mpc"
+	"mpicomp/internal/zfp"
+)
+
+const testN = 1 << 20 // 4 MB of float32 per dataset in tests
+
+func TestDeterministic(t *testing.T) {
+	for _, d := range All() {
+		a := d.Values(10000)
+		b := d.Values(10000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: generation not deterministic at %d", d.Name, i)
+			}
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	for _, d := range All() {
+		for i, v := range d.Values(testN) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite value at %d: %v", d.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestEightDatasets(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("Table III has 8 datasets, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, d := range all {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"msg_bt", "msg_lu", "msg_sp", "msg_sppm", "msg_sweep3d", "obs_error", "obs_info", "num_plasma"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, ok := ByName("msg_sppm")
+	if !ok || d.Name != "msg_sppm" {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName should reject unknown names")
+	}
+}
+
+// The MPC compression ratios must land in each dataset's documented regime:
+// ~1.3-1.6 for the smooth/quantized sets, >4 for msg_sppm.
+func TestMPCCompressionRatiosMatchPaperRegime(t *testing.T) {
+	for _, d := range All() {
+		vals := d.Values(testN)
+		cr, err := func() (float64, error) {
+			words := make([]uint32, len(vals))
+			for i, v := range vals {
+				words[i] = math.Float32bits(v)
+			}
+			return mpc.Ratio(words, d.Dim)
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := d.PaperCRMPC*0.72, d.PaperCRMPC*1.38
+		if cr < lo || cr > hi {
+			t.Errorf("%s: MPC CR %.3f outside paper regime [%.2f, %.2f] (paper %.3f)", d.Name, cr, lo, hi, d.PaperCRMPC)
+		}
+	}
+}
+
+// msg_sppm must compress dramatically better than every other dataset,
+// as in Table III.
+func TestSppmIsTheOutlier(t *testing.T) {
+	var sppm float64
+	others := math.Inf(1)
+	for _, d := range All() {
+		vals := d.Values(testN / 4)
+		words := make([]uint32, len(vals))
+		for i, v := range vals {
+			words[i] = math.Float32bits(v)
+		}
+		cr, err := mpc.Ratio(words, d.Dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name == "msg_sppm" {
+			sppm = cr
+		} else if cr < others {
+			others = cr
+		}
+	}
+	if sppm < 3*others {
+		t.Fatalf("msg_sppm CR %.2f should dwarf others (min %.2f)", sppm, others)
+	}
+}
+
+// Unique-value fractions should be ordered consistently with Table III:
+// the msg_* NAS traces are mostly unique, the obs_*/plasma sets are not.
+func TestUniqueFractionRegimes(t *testing.T) {
+	get := func(name string) float64 {
+		d, _ := ByName(name)
+		return UniqueFraction(d.Values(testN / 4))
+	}
+	if u := get("msg_lu"); u < 0.5 {
+		t.Errorf("msg_lu unique fraction %.3f too low", u)
+	}
+	if u := get("msg_sppm"); u > 0.5 {
+		t.Errorf("msg_sppm unique fraction %.3f too high", u)
+	}
+	if u := get("num_plasma"); u > 0.05 {
+		t.Errorf("num_plasma unique fraction %.3f should be tiny", u)
+	}
+	if u := get("obs_error"); u > 0.5 {
+		t.Errorf("obs_error unique fraction %.3f too high", u)
+	}
+}
+
+// ZFP at rate 16 must reconstruct every dataset within its fixed-rate
+// guarantee: error bounded relative to the largest magnitude in each
+// 4-value block (per-value relative error is unbounded when a block mixes
+// magnitudes — that is inherent to ZFP's block-floating-point design and
+// is why the paper warns to "carefully select the appropriate rate").
+func TestZFPAccuracyOnDatasets(t *testing.T) {
+	for _, d := range All() {
+		vals := d.Values(1 << 16)
+		comp, err := zfp.Compress(nil, vals, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := zfp.Decompress(nil, comp, len(vals), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxRel float64
+		for b := 0; b < len(vals); b += zfp.BlockValues {
+			end := b + zfp.BlockValues
+			if end > len(vals) {
+				end = len(vals)
+			}
+			var blockMax, blockErr float64
+			for i := b; i < end; i++ {
+				if m := math.Abs(float64(vals[i])); m > blockMax {
+					blockMax = m
+				}
+				if e := math.Abs(float64(vals[i]) - float64(got[i])); e > blockErr {
+					blockErr = e
+				}
+			}
+			if blockMax == 0 {
+				continue
+			}
+			if rel := blockErr / blockMax; rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if maxRel > 5e-3 {
+			t.Errorf("%s: ZFP rate-16 max block-relative error %g", d.Name, maxRel)
+		}
+	}
+}
+
+func TestTunedDimMatchesDeclaredDim(t *testing.T) {
+	// The declared Dim should be (near-)optimal for interleaved sets.
+	for _, name := range []string{"msg_bt", "msg_lu", "msg_sp"} {
+		d, _ := ByName(name)
+		best, err := mpc.TuneDimFloat32(d.Values(1<<18), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != d.Dim {
+			t.Errorf("%s: tuned dim %d != declared %d", name, best, d.Dim)
+		}
+	}
+}
+
+func TestDummyAndHelpers(t *testing.T) {
+	dmy := Dummy(100)
+	for _, v := range dmy {
+		if v != 1.0 {
+			t.Fatal("dummy data should be constant")
+		}
+	}
+	s := Smooth(1000, 7, 1e-3)
+	if len(s) != 1000 {
+		t.Fatal("Smooth length")
+	}
+	r1, r2 := Random(100, 1), Random(100, 2)
+	same := true
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestFullValuesSize(t *testing.T) {
+	d, _ := ByName("obs_info")
+	if n := len(d.FullValues()); n != d.SizeMB<<18 {
+		t.Fatalf("FullValues: got %d values want %d", n, d.SizeMB<<18)
+	}
+}

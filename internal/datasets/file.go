@@ -1,0 +1,82 @@
+package datasets
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File loading for users who have the original MPC/SDRBench datasets: the
+// synthetic generators stand in for them by default, but any raw
+// little-endian float32 (.f32/.bin/.dat) or float64 (.f64) file can be
+// used instead wherever a []float32 is accepted.
+
+// LoadFile reads a raw floating-point dataset file. float64 inputs are
+// narrowed to float32 (the paper's experiments are single-precision).
+func LoadFile(path string) ([]float32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".f64":
+		if len(raw)%8 != 0 {
+			return nil, fmt.Errorf("datasets: %s: %d bytes is not a whole number of float64s", path, len(raw))
+		}
+		out := make([]float32, len(raw)/8)
+		for i := range out {
+			out[i] = float32(math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
+		}
+		return out, nil
+	default: // .f32, .bin, .dat, anything else: raw float32
+		if len(raw)%4 != 0 {
+			return nil, fmt.Errorf("datasets: %s: %d bytes is not a whole number of float32s", path, len(raw))
+		}
+		out := make([]float32, len(raw)/4)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		return out, nil
+	}
+}
+
+// SaveFile writes values as raw little-endian float32, the format LoadFile
+// reads back — useful for exporting the synthetic stand-ins.
+func SaveFile(path string, values []float32) error {
+	buf := make([]byte, 4*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("datasets: %w", err)
+	}
+	return nil
+}
+
+// FromFile wraps a loaded file as a Dataset so it can flow through the
+// same experiment harnesses as the synthetic generators: Values(n)
+// truncates or cycles the file content to the requested length.
+func FromFile(name, path string) (Dataset, error) {
+	vals, err := LoadFile(path)
+	if err != nil {
+		return Dataset{}, err
+	}
+	if len(vals) == 0 {
+		return Dataset{}, fmt.Errorf("datasets: %s is empty", path)
+	}
+	return Dataset{
+		Name:   name,
+		SizeMB: len(vals) * 4 >> 20,
+		Dim:    1,
+		gen: func(n int, _ *rng) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = vals[i%len(vals)]
+			}
+			return out
+		},
+	}, nil
+}

@@ -1,0 +1,36 @@
+package gfc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecompress: arbitrary bytes must decode fully or error — no panics.
+func FuzzDecompress(f *testing.F) {
+	good := Compress(nil, []float64{1, 2, 3})
+	f.Add(good, 3)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x70}, 1)
+	f.Fuzz(func(t *testing.T, comp []byte, n int) {
+		if n < 0 || n > 1<<14 {
+			return
+		}
+		out, err := Decompress(nil, comp, n)
+		if err == nil && len(out) != n {
+			t.Fatalf("decoded %d values, want %d", len(out), n)
+		}
+	})
+}
+
+func TestDecompressRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		comp := make([]byte, rng.Intn(400))
+		rng.Read(comp)
+		n := rng.Intn(200)
+		out, err := Decompress(nil, comp, n)
+		if err == nil && len(out) != n {
+			t.Fatal("silent mis-size on garbage input")
+		}
+	}
+}

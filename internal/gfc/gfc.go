@@ -1,0 +1,146 @@
+// Package gfc implements the GFC GPU floating-point compressor of O'Neil
+// and Burtscher ("Floating-Point Data Compression at 75 Gb/s on a GPU",
+// GPGPU-4 2011) — one of the prior GPU compressors the paper's Table I
+// compares against (lossless, double-precision, high-throughput, but with
+// no on-the-fly MPI integration).
+//
+// The algorithm, per warp-sized chunk of doubles:
+//
+//  1. Delta: each value is predicted by its predecessor (the last value
+//     of the previous chunk seeds the first).
+//  2. Sign-magnitude: the residual's sign is separated from |residual|.
+//  3. Leading-zero-byte elimination: |residual| is stored in 8 minus z
+//     bytes, where z is its count of leading zero bytes; a 4-bit header
+//     per value records the sign and z. Two headers pack per byte.
+//
+// The format is self-framing given the element count, and compression is
+// bit-lossless (property-tested).
+package gfc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ChunkValues is the number of doubles per chunk (one CUDA warp).
+const ChunkValues = 32
+
+// ErrCorrupt reports a buffer that cannot decode to the stated count.
+var ErrCorrupt = errors.New("gfc: corrupt compressed data")
+
+// Bound returns the maximum compressed size for n doubles: half a byte of
+// header plus up to 8 payload bytes per value.
+func Bound(n int) int { return (n+1)/2 + 8*n }
+
+// header nibble layout: bit 3 = sign of the residual, bits 0-2 = number
+// of leading zero bytes (clamped to 7, so a zero residual still stores
+// one zero byte — matching GFC's design tradeoff).
+
+// Compress compresses src, appending to dst.
+func Compress(dst []byte, src []float64) []byte {
+	n := len(src)
+	var prev uint64
+	for base := 0; base < n; base += ChunkValues {
+		end := base + ChunkValues
+		if end > n {
+			end = n
+		}
+		count := end - base
+		headers := make([]byte, (count+1)/2)
+		var payload []byte
+		chunkPrev := prev
+		for i := 0; i < count; i++ {
+			cur := math.Float64bits(src[base+i])
+			d := int64(cur - chunkPrev)
+			chunkPrev = cur
+			var sign byte
+			m := uint64(d)
+			if d < 0 {
+				sign = 8
+				m = uint64(-d)
+			}
+			z := bits.LeadingZeros64(m) / 8
+			if z > 7 {
+				z = 7
+			}
+			nib := sign | byte(z)
+			if i%2 == 0 {
+				headers[i/2] = nib << 4
+			} else {
+				headers[i/2] |= nib
+			}
+			// Store 8-z bytes of m, little-endian.
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], m)
+			payload = append(payload, tmp[:8-z]...)
+		}
+		dst = append(dst, headers...)
+		dst = append(dst, payload...)
+		prev = chunkPrev
+	}
+	return dst
+}
+
+// Decompress reconstructs exactly n doubles from comp, appending to dst.
+func Decompress(dst []float64, comp []byte, n int) ([]float64, error) {
+	pos := 0
+	var prev uint64
+	for base := 0; base < n; base += ChunkValues {
+		end := base + ChunkValues
+		if end > n {
+			end = n
+		}
+		count := end - base
+		hdrLen := (count + 1) / 2
+		if pos+hdrLen > len(comp) {
+			return dst, fmt.Errorf("%w: truncated header at value %d", ErrCorrupt, base)
+		}
+		headers := comp[pos : pos+hdrLen]
+		pos += hdrLen
+		for i := 0; i < count; i++ {
+			nib := headers[i/2]
+			if i%2 == 0 {
+				nib >>= 4
+			} else {
+				nib &= 0x0f
+			}
+			sign := nib&8 != 0
+			z := int(nib & 7)
+			nBytes := 8 - z
+			if pos+nBytes > len(comp) {
+				return dst, fmt.Errorf("%w: truncated payload at value %d", ErrCorrupt, base+i)
+			}
+			var tmp [8]byte
+			copy(tmp[:], comp[pos:pos+nBytes])
+			pos += nBytes
+			m := binary.LittleEndian.Uint64(tmp[:])
+			d := int64(m)
+			if sign {
+				d = -d
+			}
+			cur := prev + uint64(d)
+			dst = append(dst, math.Float64frombits(cur))
+			prev = cur
+		}
+	}
+	if pos != len(comp) {
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-pos)
+	}
+	return dst, nil
+}
+
+// CompressedSize returns the compressed size of src in bytes.
+func CompressedSize(src []float64) int {
+	return len(Compress(nil, src)) // GFC is cheap enough to just run
+}
+
+// Ratio reports original/compressed size for src.
+func Ratio(src []float64) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	return float64(len(src)*8) / float64(len(Compress(nil, src)))
+}

@@ -1,0 +1,146 @@
+package gfc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []float64) []byte {
+	t.Helper()
+	comp := Compress(nil, src)
+	got, err := Decompress(nil, comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("length %d want %d", len(got), len(src))
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got[i], src[i])
+		}
+	}
+	return comp
+}
+
+func TestRoundTripShapes(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []float64{3.14})
+	roundTrip(t, make([]float64, 31))
+	roundTrip(t, make([]float64, 32))
+	roundTrip(t, make([]float64, 33))
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	roundTrip(t, vals)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 500
+		src := make([]float64, n)
+		for i := range src {
+			switch rng.Intn(3) {
+			case 0:
+				src[i] = rng.NormFloat64()
+			case 1:
+				src[i] = math.Float64frombits(rng.Uint64()) // arbitrary bits
+			default:
+				if i > 0 {
+					src[i] = src[i-1] + 1e-9
+				}
+			}
+			if math.IsNaN(src[i]) {
+				src[i] = 0 // NaN payloads round-trip too, but keep compare simple
+			}
+		}
+		comp := Compress(nil, src)
+		if len(comp) > Bound(n) {
+			return false
+		}
+		got, err := Decompress(nil, comp, n)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressesSmoothData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]float64, 1<<16)
+	v := 100.0
+	for i := range src {
+		v += rng.NormFloat64() * 1e-9
+		src[i] = v
+	}
+	r := Ratio(src)
+	if r < 1.3 {
+		t.Fatalf("smooth doubles should compress: ratio %.3f", r)
+	}
+	// Constant data compresses hard: 0.5 header + 1 payload byte per value.
+	constant := make([]float64, 4096)
+	for i := range constant {
+		constant[i] = 42
+	}
+	if rc := Ratio(constant); rc < 5 {
+		t.Fatalf("constant data ratio too low: %.3f", rc)
+	}
+}
+
+func TestRandomDataBoundedExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = math.Float64frombits(rng.Uint64())
+	}
+	r := Ratio(src)
+	// Worst case: 0.5 header + 8 payload bytes per 8-byte value -> ~0.94.
+	if r < 0.93 {
+		t.Fatalf("random data expands too much: %.3f", r)
+	}
+}
+
+func TestCorruptRejected(t *testing.T) {
+	src := make([]float64, 64)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	comp := Compress(nil, src)
+	if _, err := Decompress(nil, comp[:len(comp)-1], 64); err == nil {
+		t.Fatal("truncated should fail")
+	}
+	if _, err := Decompress(nil, append(comp, 9), 64); err == nil {
+		t.Fatal("trailing bytes should fail")
+	}
+	if _, err := Decompress(nil, nil, 10); err == nil {
+		t.Fatal("empty buffer should fail for n>0")
+	}
+}
+
+func BenchmarkCompress1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 1<<17)
+	v := 1.0
+	for i := range src {
+		v += rng.NormFloat64() * 1e-9
+		src[i] = v
+	}
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(nil, src)
+	}
+}

@@ -1,0 +1,264 @@
+// Package hw is the hardware catalog for the cluster simulation: GPU
+// models, interconnect links, and the four clusters the paper evaluates on
+// (TACC Longhorn, TACC Frontera "Liquid" subsystem, LLNL Lassen, OSU RI2),
+// plus LLNL Sierra for the Figure 1 motivation and a hypothetical
+// A100 + HDR system for what-if analyses.
+//
+// Every number here is either taken directly from the paper's text or from
+// the public specification sheets the paper cites. Compressor kernel
+// throughputs live in this package too because they are properties of the
+// GPU generation (calibrated against the paper's Table III, measured on a
+// V100).
+package hw
+
+import "mpicomp/internal/simtime"
+
+// GPU describes one GPU model: raw capability plus the CUDA driver cost
+// constants the paper measures (Sections III-B, IV-A, V-A).
+type GPU struct {
+	Name string
+	// SMs is the number of streaming multiprocessors; MPC launches one
+	// thread block per SM, so this controls the intra-kernel
+	// synchronization overhead that MPC-OPT's partitioning attacks.
+	SMs int
+	// MemBWGBps is peak device-memory bandwidth in GB/s.
+	MemBWGBps float64
+	// FP32TFlops is peak single-precision throughput, used by the
+	// AWP-ODC proxy to convert FLOP counts to compute time.
+	FP32TFlops float64
+	// MemoryGB is device memory capacity.
+	MemoryGB int
+
+	// Driver/runtime cost constants (simulated).
+	KernelLaunch     simtime.Duration // one kernel launch
+	CudaMallocBase   simtime.Duration // fixed part of cudaMalloc
+	CudaMallocPerMB  simtime.Duration // size-dependent part of cudaMalloc
+	CudaFree         simtime.Duration // cudaFree
+	MemcpyD2HSmall   simtime.Duration // cudaMemcpy of a few bytes D2H (~20us, Sec. IV-A)
+	GDRCopySmall     simtime.Duration // GDRCopy of a few bytes D2H (1-5us, Sec. IV-B)
+	DevicePropsQuery simtime.Duration // cudaGetDeviceProperties (~1840us per call, Sec. V-A)
+	AttributeQuery   simtime.Duration // cudaDeviceGetAttribute (~1us, Sec. V-B)
+	StreamSync       simtime.Duration // cudaStreamSynchronize driver overhead
+	// BlockSyncPerSM is MPC's intra-kernel busy-wait synchronization cost
+	// per participating thread block (Sec. IV-B): kernels using more
+	// blocks pay proportionally more.
+	BlockSyncPerSM simtime.Duration
+
+	// Compression kernel throughputs in Gb/s (bits), calibrated to
+	// Table III for the V100 and scaled by relative SM count/clock for
+	// other GPUs.
+	MPCCompressGbps   float64
+	MPCDecompressGbps float64
+	ZFPCompressGbps   float64
+	ZFPDecompressGbps float64
+}
+
+// Scale returns a copy of g with compute-dependent rates multiplied by f.
+// Used to derive the RTX 5000 figures from the V100 calibration.
+func (g GPU) scale(name string, sms int, f float64) GPU {
+	s := g
+	s.Name = name
+	s.SMs = sms
+	s.MemBWGBps *= f
+	s.FP32TFlops *= f
+	s.MPCCompressGbps *= f
+	s.MPCDecompressGbps *= f
+	s.ZFPCompressGbps *= f
+	s.ZFPDecompressGbps *= f
+	return s
+}
+
+// TeslaV100 is the NVIDIA Tesla V100 (Volta), the GPU on Longhorn, Lassen
+// and RI2. Compressor throughputs are the geometric center of the paper's
+// Table III columns.
+func TeslaV100() GPU {
+	return GPU{
+		Name:       "NVIDIA Tesla V100",
+		SMs:        80,
+		MemBWGBps:  900,
+		FP32TFlops: 14.0,
+		MemoryGB:   16,
+
+		KernelLaunch:     simtime.FromMicroseconds(6),
+		CudaMallocBase:   simtime.FromMicroseconds(95),
+		CudaMallocPerMB:  simtime.FromMicroseconds(9),
+		CudaFree:         simtime.FromMicroseconds(60),
+		MemcpyD2HSmall:   simtime.FromMicroseconds(20),
+		GDRCopySmall:     simtime.FromMicroseconds(2),
+		DevicePropsQuery: simtime.FromMicroseconds(1840),
+		AttributeQuery:   simtime.FromMicroseconds(1),
+		StreamSync:       simtime.FromMicroseconds(4),
+		BlockSyncPerSM:   simtime.FromMicroseconds(0.55),
+
+		MPCCompressGbps:   205,
+		MPCDecompressGbps: 185,
+		ZFPCompressGbps:   450,
+		ZFPDecompressGbps: 720,
+	}
+}
+
+// QuadroRTX5000 is the NVIDIA Quadro RTX 5000 (Turing) used on the Frontera
+// Liquid submerged subsystem: 48 SMs, roughly 0.65x the V100's throughput.
+func QuadroRTX5000() GPU {
+	g := TeslaV100().scale("NVIDIA Quadro RTX 5000", 48, 0.65)
+	g.MemoryGB = 16
+	return g
+}
+
+// A100 is the NVIDIA Ampere GPU the paper's introduction motivates with
+// (1,555 GB/s memory bandwidth): roughly 1.7x the V100's throughput.
+// Included for what-if analyses of the widening GPU/network gap.
+func A100() GPU {
+	g := TeslaV100().scale("NVIDIA A100", 108, 1.7)
+	g.MemoryGB = 40
+	return g
+}
+
+// Link describes one interconnect: either an intra-node GPU link
+// (NVLink/PCIe/X-Bus) or an inter-node network (InfiniBand).
+type Link struct {
+	Name string
+	// BandwidthGBps is achievable one-way bandwidth in GB/s (1e9 bytes).
+	BandwidthGBps float64
+	// Latency is the base propagation + software latency per message.
+	Latency simtime.Duration
+	// PerMsgOverhead is the per-transfer fixed cost (posting a verbs work
+	// request, DMA setup) in addition to Latency.
+	PerMsgOverhead simtime.Duration
+}
+
+// TransferTime returns the time n bytes occupy this link (serialization
+// only; latency is accounted once per message by the protocol layer).
+func (l Link) TransferTime(n int) simtime.Duration {
+	return simtime.TransferTime(n, l.BandwidthGBps)
+}
+
+// Interconnect catalog. Bandwidths follow Figure 1 and the cluster specs:
+// 3-lane NVLink 75 GB/s, PCIe Gen3 x16 ~12 GB/s (effective), PCIe Gen4 x8
+// 16 GB/s, IB EDR 12.5 GB/s, IB FDR 6.8 GB/s, IB HDR 25 GB/s.
+func NVLink3Lane() Link {
+	return Link{Name: "NVLink (3-lane)", BandwidthGBps: 75, Latency: simtime.FromMicroseconds(1.8), PerMsgOverhead: simtime.FromMicroseconds(0.4)}
+}
+
+func NVLink2Lane() Link {
+	return Link{Name: "NVLink (2-lane)", BandwidthGBps: 50, Latency: simtime.FromMicroseconds(1.8), PerMsgOverhead: simtime.FromMicroseconds(0.4)}
+}
+
+func PCIeGen3x16() Link {
+	return Link{Name: "PCIe Gen3 x16", BandwidthGBps: 12, Latency: simtime.FromMicroseconds(2.5), PerMsgOverhead: simtime.FromMicroseconds(0.6)}
+}
+
+func PCIeGen4x8() Link {
+	return Link{Name: "PCIe Gen4 x8", BandwidthGBps: 16, Latency: simtime.FromMicroseconds(2.2), PerMsgOverhead: simtime.FromMicroseconds(0.6)}
+}
+
+func XBus() Link {
+	return Link{Name: "X-Bus", BandwidthGBps: 64, Latency: simtime.FromMicroseconds(2.0), PerMsgOverhead: simtime.FromMicroseconds(0.5)}
+}
+
+func InfiniBandEDR() Link {
+	return Link{Name: "InfiniBand EDR", BandwidthGBps: 12.5, Latency: simtime.FromMicroseconds(3.5), PerMsgOverhead: simtime.FromMicroseconds(1.0)}
+}
+
+func InfiniBandFDR() Link {
+	return Link{Name: "InfiniBand FDR", BandwidthGBps: 6.8, Latency: simtime.FromMicroseconds(4.0), PerMsgOverhead: simtime.FromMicroseconds(1.0)}
+}
+
+func InfiniBandHDR() Link {
+	return Link{Name: "InfiniBand HDR", BandwidthGBps: 25, Latency: simtime.FromMicroseconds(3.0), PerMsgOverhead: simtime.FromMicroseconds(1.0)}
+}
+
+// Cluster ties a GPU model and its links into a named system.
+type Cluster struct {
+	Name        string
+	GPU         GPU
+	GPUsPerNode int
+	// IntraNode is the GPU-GPU link inside a node; InterNode the network.
+	IntraNode Link
+	InterNode Link
+	// HostFlopsGFlops approximates one CPU core, for completeness.
+	HostFlopsGFlops float64
+}
+
+// Longhorn: TACC IBM POWER9 + 4x V100 with NVLink, IB EDR.
+func Longhorn() Cluster {
+	return Cluster{
+		Name:        "Longhorn",
+		GPU:         TeslaV100(),
+		GPUsPerNode: 4,
+		IntraNode:   NVLink3Lane(),
+		InterNode:   InfiniBandEDR(),
+	}
+}
+
+// FronteraLiquid: TACC liquid-submerged subsystem, 4x Quadro RTX 5000 on
+// PCIe, IB FDR.
+func FronteraLiquid() Cluster {
+	return Cluster{
+		Name:        "Frontera Liquid",
+		GPU:         QuadroRTX5000(),
+		GPUsPerNode: 4,
+		IntraNode:   PCIeGen3x16(),
+		InterNode:   InfiniBandFDR(),
+	}
+}
+
+// Lassen: LLNL POWER9 + 4x V100 (Sierra-class), NVLink intra-node, IB EDR.
+func Lassen() Cluster {
+	return Cluster{
+		Name:        "Lassen",
+		GPU:         TeslaV100(),
+		GPUsPerNode: 4,
+		IntraNode:   NVLink3Lane(),
+		InterNode:   InfiniBandEDR(),
+	}
+}
+
+// RI2: OSU NOWLAB cluster, 1x V100 per node on PCIe, IB EDR.
+func RI2() Cluster {
+	return Cluster{
+		Name:        "RI2",
+		GPU:         TeslaV100(),
+		GPUsPerNode: 1,
+		IntraNode:   PCIeGen3x16(),
+		InterNode:   InfiniBandEDR(),
+	}
+}
+
+// Sierra: the Figure 1 system (same node architecture as Lassen). Included
+// for the Fig. 1 disparity report.
+func Sierra() Cluster {
+	return Cluster{
+		Name:        "Sierra",
+		GPU:         TeslaV100(),
+		GPUsPerNode: 4,
+		IntraNode:   NVLink3Lane(),
+		InterNode:   InfiniBandEDR(),
+	}
+}
+
+// AmpereHDR is a hypothetical A100 + IB HDR cluster for the introduction's
+// what-if question: faster GPUs raise compression throughput more than
+// HDR raises network bandwidth, widening the regime where on-the-fly
+// compression wins.
+func AmpereHDR() Cluster {
+	return Cluster{
+		Name:        "Ampere-HDR",
+		GPU:         A100(),
+		GPUsPerNode: 4,
+		IntraNode:   NVLink3Lane(),
+		InterNode:   InfiniBandHDR(),
+	}
+}
+
+// Clusters returns the full catalog keyed by lower-case name.
+func Clusters() map[string]Cluster {
+	return map[string]Cluster{
+		"longhorn": Longhorn(),
+		"frontera": FronteraLiquid(),
+		"lassen":   Lassen(),
+		"ri2":      RI2(),
+		"sierra":   Sierra(),
+		"ampere":   AmpereHDR(),
+	}
+}

@@ -1,0 +1,116 @@
+package hw
+
+import (
+	"testing"
+
+	"mpicomp/internal/simtime"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cs := Clusters()
+	for _, name := range []string{"longhorn", "frontera", "lassen", "ri2", "sierra"} {
+		c, ok := cs[name]
+		if !ok {
+			t.Fatalf("missing cluster %s", name)
+		}
+		if c.GPU.SMs <= 0 || c.GPU.MPCCompressGbps <= 0 || c.GPUsPerNode <= 0 {
+			t.Fatalf("%s: incomplete spec %+v", name, c)
+		}
+	}
+}
+
+func TestFigure1Disparity(t *testing.T) {
+	// Figure 1: intra-node NVLink (75 GB/s) vastly outpaces the
+	// inter-node IB EDR (12.5 GB/s) on Sierra-class nodes.
+	s := Sierra()
+	if s.IntraNode.BandwidthGBps != 75 {
+		t.Fatalf("NVLink bandwidth: %v", s.IntraNode.BandwidthGBps)
+	}
+	if s.InterNode.BandwidthGBps != 12.5 {
+		t.Fatalf("EDR bandwidth: %v", s.InterNode.BandwidthGBps)
+	}
+	if ratio := s.IntraNode.BandwidthGBps / s.InterNode.BandwidthGBps; ratio < 5 {
+		t.Fatalf("disparity ratio %f too small", ratio)
+	}
+}
+
+func TestV100CalibratedToPaper(t *testing.T) {
+	g := TeslaV100()
+	// Driver constants quoted in the paper's text.
+	if g.MemcpyD2HSmall != simtime.FromMicroseconds(20) {
+		t.Errorf("cudaMemcpy small: %v", g.MemcpyD2HSmall)
+	}
+	if g.GDRCopySmall < simtime.FromMicroseconds(1) || g.GDRCopySmall > simtime.FromMicroseconds(5) {
+		t.Errorf("GDRCopy should be 1-5us: %v", g.GDRCopySmall)
+	}
+	if g.DevicePropsQuery != simtime.FromMicroseconds(1840) {
+		t.Errorf("cudaGetDeviceProperties: %v", g.DevicePropsQuery)
+	}
+	if g.AttributeQuery != simtime.FromMicroseconds(1) {
+		t.Errorf("cudaDeviceGetAttribute: %v", g.AttributeQuery)
+	}
+	// Table III throughput calibration: MPC ~170-212 Gb/s, ZFP 280-822.
+	if g.MPCCompressGbps < 168 || g.MPCCompressGbps > 212 {
+		t.Errorf("MPC compress throughput out of Table III range: %v", g.MPCCompressGbps)
+	}
+	if g.ZFPCompressGbps < 280 || g.ZFPCompressGbps > 586 {
+		t.Errorf("ZFP compress throughput out of Table III range: %v", g.ZFPCompressGbps)
+	}
+	if g.ZFPDecompressGbps <= g.ZFPCompressGbps {
+		t.Error("ZFP decompression should outpace compression (Table III)")
+	}
+}
+
+func TestRTX5000SlowerThanV100(t *testing.T) {
+	v, r := TeslaV100(), QuadroRTX5000()
+	if r.SMs >= v.SMs || r.MPCCompressGbps >= v.MPCCompressGbps || r.FP32TFlops >= v.FP32TFlops {
+		t.Fatalf("RTX 5000 should be the smaller GPU: %+v", r)
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	edr := InfiniBandEDR()
+	// 12.5 GB/s moving 1 MB ≈ 83.9us.
+	got := edr.TransferTime(1 << 20)
+	if got < simtime.FromMicroseconds(80) || got > simtime.FromMicroseconds(90) {
+		t.Fatalf("EDR 1MB: %v", got)
+	}
+	if edr.TransferTime(0) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+}
+
+func TestClusterInterconnects(t *testing.T) {
+	// Longhorn/Lassen: NVLink + EDR. Frontera Liquid: PCIe + FDR.
+	if Longhorn().IntraNode.Name != "NVLink (3-lane)" || Longhorn().InterNode.Name != "InfiniBand EDR" {
+		t.Error("Longhorn links wrong")
+	}
+	if FronteraLiquid().IntraNode.Name != "PCIe Gen3 x16" || FronteraLiquid().InterNode.Name != "InfiniBand FDR" {
+		t.Error("Frontera Liquid links wrong")
+	}
+	if FronteraLiquid().GPU.Name != "NVIDIA Quadro RTX 5000" {
+		t.Error("Frontera Liquid GPU wrong")
+	}
+	if RI2().GPUsPerNode != 1 {
+		t.Error("RI2 has 1 GPU per node")
+	}
+}
+
+func TestAmpereWhatIf(t *testing.T) {
+	a := AmpereHDR()
+	if a.GPU.Name != "NVIDIA A100" || a.InterNode.Name != "InfiniBand HDR" {
+		t.Fatalf("Ampere cluster misconfigured: %+v", a)
+	}
+	v := TeslaV100()
+	// The introduction's point: GPU capability (and with it, compression
+	// throughput) grows faster than the network. A100/HDR widens the
+	// compute:network ratio over V100/EDR.
+	v100Ratio := v.MPCCompressGbps / (InfiniBandEDR().BandwidthGBps * 8)
+	a100Ratio := a.GPU.MPCCompressGbps / (a.InterNode.BandwidthGBps * 8)
+	if a100Ratio <= v100Ratio*0.8 {
+		t.Fatalf("A100/HDR should keep compression viable: %0.2f vs %0.2f", a100Ratio, v100Ratio)
+	}
+	if _, ok := Clusters()["ampere"]; !ok {
+		t.Fatal("ampere missing from catalog")
+	}
+}

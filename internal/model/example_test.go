@@ -1,0 +1,29 @@
+package model_test
+
+import (
+	"fmt"
+
+	"mpicomp/internal/model"
+	"mpicomp/internal/simtime"
+)
+
+// The Section II-A cost model: does compressing a 32 MB message pay off
+// on an InfiniBand EDR link?
+func ExampleBenefit() {
+	p := model.Params{
+		Tcompr:        simtime.FromMicroseconds(650),
+		Tdecompr:      simtime.FromMicroseconds(700),
+		TohCompr:      simtime.FromMicroseconds(30),
+		TohDecompr:    simtime.FromMicroseconds(30),
+		MsgBytes:      32 << 20,
+		BandwidthGBps: 12.5, // IB EDR
+		CR:            4,
+	}
+	fmt.Println("compression wins:", model.Benefit(p) > 0)
+
+	p.BandwidthGBps = 75 // 3-lane NVLink
+	fmt.Println("still wins on NVLink:", model.Benefit(p) > 0)
+	// Output:
+	// compression wins: true
+	// still wins on NVLink: false
+}

@@ -1,0 +1,280 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Component framework. The MPC paper does not present one fixed
+// algorithm: it defines an algebra of word transformations (value
+// predictors, sign folds, bit shuffles) and *synthesizes* the best
+// pipeline per data class by exhaustive search, terminating every
+// pipeline with zero-word elimination. CompressWords is the canonical
+// single-precision pipeline (LNV -> SGN -> BIT -> ZE); this file exposes
+// the algebra itself so alternative pipelines can be built, verified and
+// searched exactly as in the original work.
+
+// Stage identifies one reversible word transformation.
+type Stage uint8
+
+const (
+	// StageLNV subtracts the value dim positions earlier (the "last
+	// n-th value" predictor; dim is the pipeline's dimensionality).
+	StageLNV Stage = iota
+	// StageSGN folds the sign bit into the LSB (zig-zag), mapping small
+	// negative residuals to small codes.
+	StageSGN
+	// StageBIT transposes each 32-word chunk's bit matrix so that bit
+	// planes become words.
+	StageBIT
+	numStages
+)
+
+// String implements fmt.Stringer with the MPC paper's component names.
+func (s Stage) String() string {
+	switch s {
+	case StageLNV:
+		return "LNV"
+	case StageSGN:
+		return "SGN"
+	case StageBIT:
+		return "BIT"
+	default:
+		return fmt.Sprintf("Stage(%d)", uint8(s))
+	}
+}
+
+// Pipeline is an ordered sequence of stages terminated by zero-word
+// elimination. Each stage appears at most once.
+type Pipeline struct {
+	Stages []Stage
+	Dim    int
+}
+
+// String renders the pipeline in the MPC paper's "A|B|C|ZE" notation.
+func (p Pipeline) String() string {
+	out := ""
+	for _, s := range p.Stages {
+		out += s.String() + "|"
+	}
+	return fmt.Sprintf("%sZE(dim=%d)", out, p.Dim)
+}
+
+// Canonical returns the pipeline CompressWords implements.
+func Canonical(dim int) Pipeline {
+	return Pipeline{Stages: []Stage{StageLNV, StageSGN, StageBIT}, Dim: dim}
+}
+
+func (p Pipeline) validate() error {
+	if err := checkDim(p.Dim); err != nil {
+		return err
+	}
+	seen := map[Stage]bool{}
+	for _, s := range p.Stages {
+		if s >= numStages {
+			return fmt.Errorf("mpc: unknown stage %d", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("mpc: stage %v repeated", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+// applyStage transforms words in place (forward direction).
+func applyStage(s Stage, words []uint32, dim int) {
+	switch s {
+	case StageLNV:
+		// Reverse order so each subtraction sees the original values.
+		for i := len(words) - 1; i >= dim; i-- {
+			words[i] -= words[i-dim]
+		}
+	case StageSGN:
+		for i, v := range words {
+			words[i] = zigzag(v)
+		}
+	case StageBIT:
+		var chunk [32]uint32
+		for base := 0; base+ChunkWords <= len(words); base += ChunkWords {
+			copy(chunk[:], words[base:base+ChunkWords])
+			transpose32(&chunk)
+			copy(words[base:base+ChunkWords], chunk[:])
+		}
+	}
+}
+
+// invertStage undoes applyStage.
+func invertStage(s Stage, words []uint32, dim int) {
+	switch s {
+	case StageLNV:
+		for i := dim; i < len(words); i++ {
+			words[i] += words[i-dim]
+		}
+	case StageSGN:
+		for i, v := range words {
+			words[i] = unzigzag(v)
+		}
+	case StageBIT:
+		// The transpose is an involution.
+		applyStage(StageBIT, words, dim)
+	}
+}
+
+// zeEncode is the terminal zero-word-elimination coder: per 32-word chunk
+// a bitmap plus the nonzero words; the tail is stored raw.
+func zeEncode(dst []byte, words []uint32) []byte {
+	n := len(words)
+	for base := 0; base+ChunkWords <= n; base += ChunkWords {
+		var bitmap uint32
+		for j := 0; j < ChunkWords; j++ {
+			if words[base+j] != 0 {
+				bitmap |= 1 << uint(j)
+			}
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, bitmap)
+		for j := 0; j < ChunkWords; j++ {
+			if words[base+j] != 0 {
+				dst = binary.LittleEndian.AppendUint32(dst, words[base+j])
+			}
+		}
+	}
+	for i := n - n%ChunkWords; i < n; i++ {
+		dst = binary.LittleEndian.AppendUint32(dst, words[i])
+	}
+	return dst
+}
+
+// zeDecode inverts zeEncode into exactly n words.
+func zeDecode(comp []byte, n int) ([]uint32, error) {
+	out := make([]uint32, 0, n)
+	pos := 0
+	full := n / ChunkWords
+	for c := 0; c < full; c++ {
+		if pos+4 > len(comp) {
+			return nil, fmt.Errorf("%w: truncated bitmap at chunk %d", ErrCorrupt, c)
+		}
+		bitmap := binary.LittleEndian.Uint32(comp[pos:])
+		pos += 4
+		for j := 0; j < ChunkWords; j++ {
+			if bitmap&(1<<uint(j)) != 0 {
+				if pos+4 > len(comp) {
+					return nil, fmt.Errorf("%w: truncated plane at chunk %d", ErrCorrupt, c)
+				}
+				out = append(out, binary.LittleEndian.Uint32(comp[pos:]))
+				pos += 4
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	for i := full * ChunkWords; i < n; i++ {
+		if pos+4 > len(comp) {
+			return nil, fmt.Errorf("%w: truncated tail", ErrCorrupt)
+		}
+		out = append(out, binary.LittleEndian.Uint32(comp[pos:]))
+		pos += 4
+	}
+	if pos != len(comp) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-pos)
+	}
+	return out, nil
+}
+
+// Compress runs the pipeline over src, appending the encoded stream to dst.
+func (p Pipeline) Compress(dst []byte, src []uint32) ([]byte, error) {
+	if err := p.validate(); err != nil {
+		return dst, err
+	}
+	work := append([]uint32(nil), src...)
+	for _, s := range p.Stages {
+		applyStage(s, work, p.Dim)
+	}
+	return zeEncode(dst, work), nil
+}
+
+// Decompress inverts Compress into exactly n words.
+func (p Pipeline) Decompress(dst []uint32, comp []byte, n int) ([]uint32, error) {
+	if err := p.validate(); err != nil {
+		return dst, err
+	}
+	work, err := zeDecode(comp, n)
+	if err != nil {
+		return dst, err
+	}
+	for i := len(p.Stages) - 1; i >= 0; i-- {
+		invertStage(p.Stages[i], work, p.Dim)
+	}
+	return append(dst, work...), nil
+}
+
+// CompressedSize reports the pipeline's output size on src without
+// keeping the buffer.
+func (p Pipeline) CompressedSize(src []uint32) (int, error) {
+	out, err := p.Compress(nil, src)
+	if err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}
+
+// SearchPipeline exhaustively evaluates every stage ordering (each stage
+// used at most once) and every dimensionality up to maxDim on the sample,
+// returning the pipeline with the smallest output — the MPC paper's
+// synthesis procedure. The returned ratio is original/compressed on the
+// sample.
+func SearchPipeline(sample []uint32, maxDim int) (Pipeline, float64, error) {
+	if maxDim < 1 || maxDim > MaxDim {
+		return Pipeline{}, 0, checkDim(maxDim)
+	}
+	stageSets := permutedSubsets([]Stage{StageLNV, StageSGN, StageBIT})
+	best := Pipeline{Dim: 1}
+	bestSize := int(^uint(0) >> 1)
+	for _, stages := range stageSets {
+		usesLNV := false
+		for _, s := range stages {
+			if s == StageLNV {
+				usesLNV = true
+			}
+		}
+		dims := []int{1}
+		if usesLNV {
+			dims = dims[:0]
+			for d := 1; d <= maxDim; d++ {
+				dims = append(dims, d)
+			}
+		}
+		for _, dim := range dims {
+			p := Pipeline{Stages: stages, Dim: dim}
+			size, err := p.CompressedSize(sample)
+			if err != nil {
+				return Pipeline{}, 0, err
+			}
+			if size < bestSize {
+				best, bestSize = p, size
+			}
+		}
+	}
+	ratio := 1.0
+	if bestSize > 0 {
+		ratio = float64(len(sample)*4) / float64(bestSize)
+	}
+	return best, ratio, nil
+}
+
+// permutedSubsets enumerates all orderings of all subsets of stages.
+func permutedSubsets(stages []Stage) [][]Stage {
+	var out [][]Stage
+	var rec func(remaining, current []Stage)
+	rec = func(remaining, current []Stage) {
+		out = append(out, append([]Stage(nil), current...))
+		for i, s := range remaining {
+			rest := make([]Stage, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			rec(rest, append(current, s))
+		}
+	}
+	rec(stages, nil)
+	return out
+}

@@ -1,0 +1,208 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Double-precision component pipelines (the MPC paper's native domain):
+// the same algebra as components.go over 64-bit words with 64-word
+// chunks.
+
+// Pipeline64 is an ordered sequence of stages over 64-bit words,
+// terminated by zero-word elimination.
+type Pipeline64 struct {
+	Stages []Stage
+	Dim    int
+}
+
+// Canonical64 returns the canonical double-precision pipeline
+// (CompressWords64's fused implementation).
+func Canonical64(dim int) Pipeline64 {
+	return Pipeline64{Stages: []Stage{StageLNV, StageSGN, StageBIT}, Dim: dim}
+}
+
+// String renders the pipeline in the paper's notation.
+func (p Pipeline64) String() string {
+	out := ""
+	for _, s := range p.Stages {
+		out += s.String() + "|"
+	}
+	return fmt.Sprintf("%sZE64(dim=%d)", out, p.Dim)
+}
+
+func (p Pipeline64) validate() error {
+	if err := checkDim(p.Dim); err != nil {
+		return err
+	}
+	seen := map[Stage]bool{}
+	for _, s := range p.Stages {
+		if s >= numStages {
+			return fmt.Errorf("mpc: unknown stage %d", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("mpc: stage %v repeated", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+func applyStage64(s Stage, words []uint64, dim int) {
+	switch s {
+	case StageLNV:
+		for i := len(words) - 1; i >= dim; i-- {
+			words[i] -= words[i-dim]
+		}
+	case StageSGN:
+		for i, v := range words {
+			words[i] = zigzag64(v)
+		}
+	case StageBIT:
+		var chunk [64]uint64
+		for base := 0; base+ChunkWords64 <= len(words); base += ChunkWords64 {
+			copy(chunk[:], words[base:base+ChunkWords64])
+			transpose64(&chunk)
+			copy(words[base:base+ChunkWords64], chunk[:])
+		}
+	}
+}
+
+func invertStage64(s Stage, words []uint64, dim int) {
+	switch s {
+	case StageLNV:
+		for i := dim; i < len(words); i++ {
+			words[i] += words[i-dim]
+		}
+	case StageSGN:
+		for i, v := range words {
+			words[i] = unzigzag64(v)
+		}
+	case StageBIT:
+		applyStage64(StageBIT, words, dim)
+	}
+}
+
+func zeEncode64(dst []byte, words []uint64) []byte {
+	n := len(words)
+	for base := 0; base+ChunkWords64 <= n; base += ChunkWords64 {
+		var bitmap uint64
+		for j := 0; j < ChunkWords64; j++ {
+			if words[base+j] != 0 {
+				bitmap |= 1 << uint(j)
+			}
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, bitmap)
+		for j := 0; j < ChunkWords64; j++ {
+			if words[base+j] != 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, words[base+j])
+			}
+		}
+	}
+	for i := n - n%ChunkWords64; i < n; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, words[i])
+	}
+	return dst
+}
+
+func zeDecode64(comp []byte, n int) ([]uint64, error) {
+	out := make([]uint64, 0, n)
+	pos := 0
+	full := n / ChunkWords64
+	for c := 0; c < full; c++ {
+		if pos+8 > len(comp) {
+			return nil, fmt.Errorf("%w: truncated bitmap at chunk %d", ErrCorrupt, c)
+		}
+		bitmap := binary.LittleEndian.Uint64(comp[pos:])
+		pos += 8
+		for j := 0; j < ChunkWords64; j++ {
+			if bitmap&(1<<uint(j)) != 0 {
+				if pos+8 > len(comp) {
+					return nil, fmt.Errorf("%w: truncated plane at chunk %d", ErrCorrupt, c)
+				}
+				out = append(out, binary.LittleEndian.Uint64(comp[pos:]))
+				pos += 8
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	for i := full * ChunkWords64; i < n; i++ {
+		if pos+8 > len(comp) {
+			return nil, fmt.Errorf("%w: truncated tail", ErrCorrupt)
+		}
+		out = append(out, binary.LittleEndian.Uint64(comp[pos:]))
+		pos += 8
+	}
+	if pos != len(comp) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-pos)
+	}
+	return out, nil
+}
+
+// Compress runs the pipeline over 64-bit words, appending to dst.
+func (p Pipeline64) Compress(dst []byte, src []uint64) ([]byte, error) {
+	if err := p.validate(); err != nil {
+		return dst, err
+	}
+	work := append([]uint64(nil), src...)
+	for _, s := range p.Stages {
+		applyStage64(s, work, p.Dim)
+	}
+	return zeEncode64(dst, work), nil
+}
+
+// Decompress inverts Compress into exactly n words.
+func (p Pipeline64) Decompress(dst []uint64, comp []byte, n int) ([]uint64, error) {
+	if err := p.validate(); err != nil {
+		return dst, err
+	}
+	work, err := zeDecode64(comp, n)
+	if err != nil {
+		return dst, err
+	}
+	for i := len(p.Stages) - 1; i >= 0; i-- {
+		invertStage64(p.Stages[i], work, p.Dim)
+	}
+	return append(dst, work...), nil
+}
+
+// SearchPipeline64 evaluates every stage ordering and dimensionality on a
+// double-precision sample, returning the best pipeline and its ratio.
+func SearchPipeline64(sample []uint64, maxDim int) (Pipeline64, float64, error) {
+	if maxDim < 1 || maxDim > MaxDim {
+		return Pipeline64{}, 0, checkDim(maxDim)
+	}
+	best := Pipeline64{Dim: 1}
+	bestSize := int(^uint(0) >> 1)
+	for _, stages := range permutedSubsets([]Stage{StageLNV, StageSGN, StageBIT}) {
+		usesLNV := false
+		for _, s := range stages {
+			if s == StageLNV {
+				usesLNV = true
+			}
+		}
+		dims := []int{1}
+		if usesLNV {
+			dims = dims[:0]
+			for d := 1; d <= maxDim; d++ {
+				dims = append(dims, d)
+			}
+		}
+		for _, dim := range dims {
+			p := Pipeline64{Stages: stages, Dim: dim}
+			out, err := p.Compress(nil, sample)
+			if err != nil {
+				return Pipeline64{}, 0, err
+			}
+			if len(out) < bestSize {
+				best, bestSize = p, len(out)
+			}
+		}
+	}
+	ratio := 1.0
+	if bestSize > 0 {
+		ratio = float64(len(sample)*8) / float64(bestSize)
+	}
+	return best, ratio, nil
+}

@@ -1,0 +1,107 @@
+package mpc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEveryPipeline64RoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	src := make([]uint64, 150) // 2 chunks + tail
+	for i := range src {
+		if i > 0 && rng.Intn(2) == 0 {
+			src[i] = src[i-1] + uint64(rng.Intn(8))
+		} else {
+			src[i] = rng.Uint64()
+		}
+	}
+	for _, stages := range permutedSubsets([]Stage{StageLNV, StageSGN, StageBIT}) {
+		p := Pipeline64{Stages: stages, Dim: 2}
+		comp, err := p.Compress(nil, src)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		got, err := p.Decompress(nil, comp, len(src))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		for i := range src {
+			if got[i] != src[i] {
+				t.Fatalf("%v: word %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestCanonical64MatchesCompressWords64(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	src := make([]uint64, 256)
+	v := 1.0
+	for i := range src {
+		v += rng.NormFloat64() * 1e-9
+		src[i] = math.Float64bits(v)
+	}
+	for _, dim := range []int{1, 3} {
+		fused, err := CompressWords64(nil, src, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed, err := Canonical64(dim).Compress(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fused, composed) {
+			t.Fatalf("dim %d: fused (%d B) and composed (%d B) differ", dim, len(fused), len(composed))
+		}
+	}
+}
+
+func TestSearchPipeline64FindsCompressive(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	src := make([]uint64, 2048)
+	v := 1000.0
+	for i := range src {
+		v += rng.NormFloat64() * 1e-8
+		src[i] = math.Float64bits(v)
+	}
+	best, ratio, err := SearchPipeline64(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1.3 {
+		t.Fatalf("smooth doubles should compress: ratio %.3f (%v)", ratio, best)
+	}
+	comp, err := best.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := best.Decompress(nil, comp, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("search winner not lossless at %d", i)
+		}
+	}
+	if best.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestPipeline64Validation(t *testing.T) {
+	if _, err := (Pipeline64{Stages: []Stage{StageBIT, StageBIT}, Dim: 1}).Compress(nil, nil); err == nil {
+		t.Fatal("repeated stage should fail")
+	}
+	if _, err := (Pipeline64{Dim: 99}).Compress(nil, nil); err == nil {
+		t.Fatal("bad dim should fail")
+	}
+	if _, err := (Pipeline64{Dim: 1}).Decompress(nil, []byte{1}, 64); err == nil {
+		t.Fatal("corrupt stream should fail")
+	}
+	if _, _, err := SearchPipeline64(nil, 0); err == nil {
+		t.Fatal("bad maxDim should fail")
+	}
+}

@@ -1,0 +1,167 @@
+package mpc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEveryPipelineRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := make([]uint32, 137) // chunk + tail
+	for i := range src {
+		if i > 0 && rng.Intn(2) == 0 {
+			src[i] = src[i-1] + uint32(rng.Intn(8))
+		} else {
+			src[i] = rng.Uint32()
+		}
+	}
+	for _, stages := range permutedSubsets([]Stage{StageLNV, StageSGN, StageBIT}) {
+		for _, dim := range []int{1, 3} {
+			p := Pipeline{Stages: stages, Dim: dim}
+			comp, err := p.Compress(nil, src)
+			if err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+			got, err := p.Decompress(nil, comp, len(src))
+			if err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+			for i := range src {
+				if got[i] != src[i] {
+					t.Fatalf("%v: word %d differs", p, i)
+				}
+			}
+		}
+	}
+}
+
+// The canonical component pipeline must produce byte-identical output to
+// the fused CompressWords implementation on chunk-aligned input.
+func TestCanonicalPipelineMatchesCompressWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := make([]uint32, 256)
+	v := float32(1)
+	for i := range src {
+		v += float32(rng.NormFloat64()) * 0.01
+		src[i] = math.Float32bits(v)
+	}
+	for _, dim := range []int{1, 2, 5} {
+		fused, err := CompressWords(nil, src, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed, err := Canonical(dim).Compress(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fused, composed) {
+			t.Fatalf("dim %d: fused and composed outputs differ (%d vs %d bytes)",
+				dim, len(fused), len(composed))
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := (Pipeline{Stages: []Stage{StageLNV, StageLNV}, Dim: 1}).Compress(nil, nil); err == nil {
+		t.Fatal("repeated stage should fail")
+	}
+	if _, err := (Pipeline{Stages: []Stage{Stage(9)}, Dim: 1}).Compress(nil, nil); err == nil {
+		t.Fatal("unknown stage should fail")
+	}
+	if _, err := (Pipeline{Dim: 0}).Compress(nil, nil); err == nil {
+		t.Fatal("bad dim should fail")
+	}
+	if _, err := (Pipeline{Dim: 1}).Decompress(nil, []byte{1, 2}, 32); err == nil {
+		t.Fatal("corrupt stream should fail")
+	}
+}
+
+func TestSearchFindsCanonicalOnSmoothData(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	src := make([]uint32, 4096)
+	v := float32(100)
+	for i := range src {
+		v += float32(rng.NormFloat64()) * 0.01
+		src[i] = math.Float32bits(v)
+	}
+	best, ratio, err := SearchPipeline(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1.1 {
+		t.Fatalf("search should find a compressive pipeline: ratio %.3f (%v)", ratio, best)
+	}
+	// The winner must include the delta predictor and the transpose —
+	// the components that make MPC work on smooth data.
+	has := map[Stage]bool{}
+	for _, s := range best.Stages {
+		has[s] = true
+	}
+	if !has[StageLNV] || !has[StageBIT] {
+		t.Fatalf("search winner %v should use LNV and BIT", best)
+	}
+	// And it must beat the empty pipeline (raw ZE).
+	rawSize, _ := (Pipeline{Dim: 1}).CompressedSize(src)
+	bestSize, _ := best.CompressedSize(src)
+	if bestSize >= rawSize {
+		t.Fatalf("winner %v (%d) should beat raw ZE (%d)", best, bestSize, rawSize)
+	}
+}
+
+func TestSearchOnRunsPrefersPlainDelta(t *testing.T) {
+	// Long runs of identical values: LNV alone already zeroes chunks, so
+	// the search must find a pipeline at the format ceiling.
+	src := make([]uint32, 2048)
+	for i := range src {
+		src[i] = 0x3f800000
+	}
+	best, ratio, err := SearchPipeline(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 15 {
+		t.Fatalf("constant data should approach the ZE ceiling: %.2f (%v)", ratio, best)
+	}
+}
+
+func TestSearchPropertyAlwaysRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(200)
+		src := make([]uint32, n)
+		for i := range src {
+			src[i] = rng.Uint32() >> uint(rng.Intn(24))
+		}
+		best, _, err := SearchPipeline(src, 3)
+		if err != nil {
+			return false
+		}
+		comp, err := best.Compress(nil, src)
+		if err != nil {
+			return false
+		}
+		got, err := best.Decompress(nil, comp, n)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if got[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineString(t *testing.T) {
+	p := Canonical(5)
+	if p.String() != "LNV|SGN|BIT|ZE(dim=5)" {
+		t.Fatalf("String: %q", p.String())
+	}
+}

@@ -1,0 +1,191 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Double-precision MPC. The original MPC paper targets 64-bit data: the
+// pipeline is identical to the 32-bit path (LNV delta -> sign fold ->
+// bit transpose -> zero-word elimination) but operates on 64-bit words in
+// chunks of 64 (two warps' worth in the CUDA mapping), with a 64-bit
+// occupancy bitmap per chunk.
+
+// ChunkWords64 is the number of 64-bit words per transpose chunk.
+const ChunkWords64 = 64
+
+// Bound64 returns the maximum compressed size in bytes for n 64-bit words.
+func Bound64(n int) int {
+	full := n / ChunkWords64
+	tail := n % ChunkWords64
+	return full*(8+ChunkWords64*8) + tail*8
+}
+
+func zigzag64(v uint64) uint64   { return (v << 1) ^ uint64(int64(v)>>63) }
+func unzigzag64(v uint64) uint64 { return (v >> 1) ^ (-(v & 1)) }
+
+// transpose64 performs an in-place 64x64 bit-matrix transpose (recursive
+// block swaps, the 64-bit analogue of transpose32).
+func transpose64(a *[64]uint64) {
+	var m uint64 = 0x00000000ffffffff
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// CompressWords64 compresses len(src) 64-bit words with the given
+// dimensionality, appending to dst.
+func CompressWords64(dst []byte, src []uint64, dim int) ([]byte, error) {
+	if err := checkDim(dim); err != nil {
+		return dst, err
+	}
+	n := len(src)
+	var chunk [64]uint64
+	for base := 0; base+ChunkWords64 <= n; base += ChunkWords64 {
+		for i := 0; i < ChunkWords64; i++ {
+			idx := base + i
+			var pred uint64
+			if idx >= dim {
+				pred = src[idx-dim]
+			}
+			chunk[i] = zigzag64(src[idx] - pred)
+		}
+		transpose64(&chunk)
+		var bitmap uint64
+		for j := 0; j < ChunkWords64; j++ {
+			if chunk[j] != 0 {
+				bitmap |= 1 << uint(j)
+			}
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, bitmap)
+		for j := 0; j < ChunkWords64; j++ {
+			if chunk[j] != 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, chunk[j])
+			}
+		}
+	}
+	for i := n - n%ChunkWords64; i < n; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, src[i])
+	}
+	return dst, nil
+}
+
+// DecompressWords64 decompresses comp into exactly n 64-bit words.
+func DecompressWords64(dst []uint64, comp []byte, n, dim int) ([]uint64, error) {
+	if err := checkDim(dim); err != nil {
+		return dst, err
+	}
+	out := dst
+	start := len(out)
+	var chunk [64]uint64
+	pos := 0
+	full := n / ChunkWords64
+	for c := 0; c < full; c++ {
+		if pos+8 > len(comp) {
+			return dst, fmt.Errorf("%w: truncated bitmap at chunk %d", ErrCorrupt, c)
+		}
+		bitmap := binary.LittleEndian.Uint64(comp[pos:])
+		pos += 8
+		for j := 0; j < ChunkWords64; j++ {
+			if bitmap&(1<<uint(j)) != 0 {
+				if pos+8 > len(comp) {
+					return dst, fmt.Errorf("%w: truncated plane at chunk %d", ErrCorrupt, c)
+				}
+				chunk[j] = binary.LittleEndian.Uint64(comp[pos:])
+				pos += 8
+			} else {
+				chunk[j] = 0
+			}
+		}
+		transpose64(&chunk)
+		base := start + c*ChunkWords64
+		for i := 0; i < ChunkWords64; i++ {
+			idx := base + i
+			var pred uint64
+			if idx-start >= dim {
+				pred = out[idx-dim]
+			}
+			out = append(out, unzigzag64(chunk[i])+pred)
+		}
+	}
+	for i := full * ChunkWords64; i < n; i++ {
+		if pos+8 > len(comp) {
+			return dst, fmt.Errorf("%w: truncated tail", ErrCorrupt)
+		}
+		out = append(out, binary.LittleEndian.Uint64(comp[pos:]))
+		pos += 8
+	}
+	if pos != len(comp) {
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-pos)
+	}
+	return out, nil
+}
+
+// CompressFloat64 losslessly compresses double-precision data.
+func CompressFloat64(dst []byte, src []float64, dim int) ([]byte, error) {
+	words := make([]uint64, len(src))
+	for i, f := range src {
+		words[i] = math.Float64bits(f)
+	}
+	return CompressWords64(dst, words, dim)
+}
+
+// DecompressFloat64 decompresses comp into exactly n float64 values.
+func DecompressFloat64(dst []float64, comp []byte, n, dim int) ([]float64, error) {
+	words, err := DecompressWords64(make([]uint64, 0, n), comp, n, dim)
+	if err != nil {
+		return dst, err
+	}
+	for _, w := range words {
+		dst = append(dst, math.Float64frombits(w))
+	}
+	return dst, nil
+}
+
+// CompressedSize64 returns the compressed size of src without
+// materializing the output.
+func CompressedSize64(src []uint64, dim int) (int, error) {
+	if err := checkDim(dim); err != nil {
+		return 0, err
+	}
+	n := len(src)
+	size := 0
+	var chunk [64]uint64
+	for base := 0; base+ChunkWords64 <= n; base += ChunkWords64 {
+		for i := 0; i < ChunkWords64; i++ {
+			idx := base + i
+			var pred uint64
+			if idx >= dim {
+				pred = src[idx-dim]
+			}
+			chunk[i] = zigzag64(src[idx] - pred)
+		}
+		transpose64(&chunk)
+		size += 8
+		for j := 0; j < ChunkWords64; j++ {
+			if chunk[j] != 0 {
+				size += 8
+			}
+		}
+	}
+	size += (n % ChunkWords64) * 8
+	return size, nil
+}
+
+// Ratio64 reports the compression ratio of 64-bit data at dim.
+func Ratio64(src []uint64, dim int) (float64, error) {
+	cs, err := CompressedSize64(src, dim)
+	if err != nil {
+		return 0, err
+	}
+	if cs == 0 {
+		return 1, nil
+	}
+	return float64(len(src)*8) / float64(cs), nil
+}

@@ -1,0 +1,169 @@
+package mpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripWords64(t *testing.T, src []uint64, dim int) {
+	t.Helper()
+	comp, err := CompressWords64(nil, src, dim)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	got, err := DecompressWords64(nil, comp, len(src), dim)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("length: got %d want %d", len(got), len(src))
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("word %d: got %#x want %#x (dim=%d)", i, got[i], src[i], dim)
+		}
+	}
+}
+
+func seq64(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+func TestRoundTrip64Shapes(t *testing.T) {
+	roundTripWords64(t, nil, 1)
+	roundTripWords64(t, seq64(1), 1)
+	roundTripWords64(t, seq64(63), 2)
+	roundTripWords64(t, seq64(64), 1)
+	roundTripWords64(t, seq64(129), 7)
+}
+
+func TestRoundTrip64Property(t *testing.T) {
+	f := func(seed int64, dimRaw uint8, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + int(dimRaw)%MaxDim
+		n := int(nRaw) % 400
+		src := make([]uint64, n)
+		for i := range src {
+			if i > 0 && rng.Intn(2) == 0 {
+				src[i] = src[i-1] + uint64(rng.Intn(16))
+			} else {
+				src[i] = rng.Uint64()
+			}
+		}
+		comp, err := CompressWords64(nil, src, dim)
+		if err != nil {
+			return false
+		}
+		got, err := DecompressWords64(nil, comp, n, dim)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if got[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	src := make([]float64, 999)
+	v := 1.0
+	for i := range src {
+		v += rng.NormFloat64() * 1e-6
+		src[i] = v
+	}
+	comp, err := CompressFloat64(nil, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressFloat64(nil, comp, len(src), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float64bits(got[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	// Smooth doubles should compress well (MPC's native domain).
+	if ratio := float64(len(src)*8) / float64(len(comp)); ratio < 1.5 {
+		t.Fatalf("smooth float64 ratio too low: %.3f", ratio)
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		b = a
+		transpose64(&b)
+		transpose64(&b)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzag64Inverse(t *testing.T) {
+	for _, v := range []uint64{0, 1, math.MaxUint64, 1 << 63, 12345} {
+		if unzigzag64(zigzag64(v)) != v {
+			t.Fatalf("zigzag64 round-trip failed for %#x", v)
+		}
+	}
+}
+
+func TestCompressedSize64Matches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(300)
+		src := make([]uint64, n)
+		for i := range src {
+			src[i] = rng.Uint64() >> uint(rng.Intn(40))
+		}
+		dim := 1 + rng.Intn(MaxDim)
+		comp, err := CompressWords64(nil, src, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := CompressedSize64(src, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs != len(comp) || cs > Bound64(n) {
+			t.Fatalf("size mismatch: cs=%d len=%d bound=%d", cs, len(comp), Bound64(n))
+		}
+	}
+}
+
+func TestCorrupt64Rejected(t *testing.T) {
+	src := seq64(128)
+	comp, _ := CompressWords64(nil, src, 1)
+	if _, err := DecompressWords64(nil, comp[:len(comp)-3], 128, 1); err == nil {
+		t.Fatal("truncated should fail")
+	}
+	if _, err := DecompressWords64(nil, append(comp, 1, 2, 3, 4, 5, 6, 7, 8), 128, 1); err == nil {
+		t.Fatal("trailing bytes should fail")
+	}
+	if _, err := CompressWords64(nil, src, 0); err == nil {
+		t.Fatal("bad dim should fail")
+	}
+	if _, err := Ratio64(src, -1); err == nil {
+		t.Fatal("bad dim should fail in Ratio64")
+	}
+}

@@ -1,0 +1,495 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/gpusim"
+)
+
+// Collective tags live in their own namespace; a generation counter would
+// be needed for overlapping collectives, but ranks here execute
+// collectives in program order so fixed tags per algorithm step suffice.
+const (
+	tagBarrier = internalTagBase - iota
+	tagBcast
+	tagAllgather
+	tagGather
+	tagScatter
+	tagReduce
+	tagAlltoall
+	tagAllreduce
+)
+
+// Barrier synchronizes all ranks (dissemination algorithm, O(log P)
+// rounds of small host messages).
+func (r *Rank) Barrier() error {
+	size := r.Size()
+	if size == 1 {
+		return nil
+	}
+	token := gpusim.NewHostBuffer(1)
+	scratch := gpusim.NewHostBuffer(1)
+	for k := 1; k < size; k <<= 1 {
+		dst := (r.id + k) % size
+		src := (r.id - k + size) % size
+		if err := r.Sendrecv(dst, tagBarrier, token, src, tagBarrier, scratch); err != nil {
+			return fmt.Errorf("mpi: barrier: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buf to every rank using a binomial tree — the
+// algorithm osu_bcast exercises for large messages.
+//
+// The collective is compression-aware: the root compresses the message
+// once, interior ranks forward the compressed payload (relaying it before
+// decompressing their own copy), and every rank decompresses exactly once.
+// This is the collective co-design the paper's framework enables — the
+// header carried with each payload makes relayed messages self-describing.
+func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
+	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	size := r.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (r.id - root + size) % size
+
+	var payload []byte
+	var hdr core.Header
+	var staged *gpusim.Buffer
+
+	// Obtain the payload: the root compresses, everyone else receives
+	// the raw compressed bytes from the parent.
+	mask := 1
+	if vrank == 0 {
+		payload, hdr = r.Engine.CompressForLink(r.Clock, buf, r.world.cluster.InterNode.BandwidthGBps)
+		for mask < size {
+			mask <<= 1
+		}
+	} else {
+		for mask < size {
+			if vrank&mask != 0 {
+				parent := ((vrank - mask) + root) % size
+				req, err := r.irecvRaw(parent, tagBcast)
+				if err != nil {
+					return err
+				}
+				if err := r.Wait(req); err != nil {
+					return fmt.Errorf("mpi: bcast recv: %w", err)
+				}
+				payload, hdr, staged = req.raw.payload, req.raw.hdr, req.raw.staged
+				break
+			}
+			mask <<= 1
+		}
+	}
+
+	// Relay to children first (decreasing mask order), then decompress
+	// locally — the decompression kernel runs while the forwards drain.
+	var sends []*Request
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < size {
+			child := (vrank + mask + root) % size
+			req, err := r.isendPayload(child, tagBcast, payload, hdr)
+			if err != nil {
+				return fmt.Errorf("mpi: bcast send: %w", err)
+			}
+			sends = append(sends, req)
+		}
+	}
+	if vrank != 0 {
+		if err := r.Engine.Decompress(r.Clock, hdr, payload, buf); err != nil {
+			return fmt.Errorf("mpi: bcast decompress: %w", err)
+		}
+		r.Engine.ReleaseRecv(r.Clock, staged)
+	}
+	return r.Waitall(sends...)
+}
+
+// Allgather gathers each rank's sendBuf into every rank's recvBuf
+// (recvBuf holds size * len(sendBuf) bytes, rank i's block at offset
+// i*len(sendBuf)) using the ring algorithm MVAPICH2 uses for large
+// messages.
+func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
+	size := r.Size()
+	blk := sendBuf.Len()
+	if recvBuf.Len() != size*blk {
+		return fmt.Errorf("mpi: allgather recv buffer %d bytes, want %d", recvBuf.Len(), size*blk)
+	}
+	// Own contribution (device-local copy).
+	own := recvBuf.Slice(r.id*blk, blk)
+	if sendBuf.Loc == gpusim.Device {
+		r.Dev.MemcpyD2D(r.Clock, r.Dev.Stream(0), own.Data, sendBuf.Data)
+		r.Dev.StreamSync(r.Clock, r.Dev.Stream(0))
+	} else {
+		copy(own.Data, sendBuf.Data)
+	}
+	if size == 1 {
+		return nil
+	}
+	right := (r.id + 1) % size
+	left := (r.id - 1 + size) % size
+
+	// Compression-aware ring: each rank compresses its own block once;
+	// at every step it forwards the compressed payload received in the
+	// previous step and decompresses it into place while the transfers
+	// of the current step are in flight.
+	payload, hdr := r.Engine.CompressForLink(r.Clock, own, r.world.cluster.InterNode.BandwidthGBps)
+	type pending struct {
+		raw rawResult
+		dst *gpusim.Buffer
+	}
+	var todo *pending
+	for step := 0; step < size-1; step++ {
+		recvIdx := (r.id - step - 1 + size) % size
+		rreq, err := r.irecvRaw(left, tagAllgather)
+		if err != nil {
+			return err
+		}
+		sreq, err := r.isendPayload(right, tagAllgather, payload, hdr)
+		if err != nil {
+			return fmt.Errorf("mpi: allgather step %d: %w", step, err)
+		}
+		// Decompress the previous step's block while this step's
+		// transfers progress.
+		if todo != nil {
+			if err := r.Engine.Decompress(r.Clock, todo.raw.hdr, todo.raw.payload, todo.dst); err != nil {
+				return fmt.Errorf("mpi: allgather decompress: %w", err)
+			}
+			r.Engine.ReleaseRecv(r.Clock, todo.raw.staged)
+		}
+		if err := r.Waitall(sreq, rreq); err != nil {
+			return fmt.Errorf("mpi: allgather step %d: %w", step, err)
+		}
+		todo = &pending{raw: rreq.raw, dst: recvBuf.Slice(recvIdx*blk, blk)}
+		payload, hdr = rreq.raw.payload, rreq.raw.hdr
+	}
+	if todo != nil {
+		if err := r.Engine.Decompress(r.Clock, todo.raw.hdr, todo.raw.payload, todo.dst); err != nil {
+			return fmt.Errorf("mpi: allgather decompress: %w", err)
+		}
+		r.Engine.ReleaseRecv(r.Clock, todo.raw.staged)
+	}
+	return nil
+}
+
+// Gather collects every rank's sendBuf into root's recvBuf (rank i's block
+// at offset i*len(sendBuf)). recvBuf is ignored on non-root ranks.
+func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
+	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	blk := sendBuf.Len()
+	if r.id == root {
+		if recvBuf.Len() != r.Size()*blk {
+			return fmt.Errorf("mpi: gather recv buffer %d bytes, want %d", recvBuf.Len(), r.Size()*blk)
+		}
+		reqs := make([]*Request, 0, r.Size()-1)
+		for src := 0; src < r.Size(); src++ {
+			dst := recvBuf.Slice(src*blk, blk)
+			if src == root {
+				copy(dst.Data, sendBuf.Data)
+				continue
+			}
+			req, err := r.Irecv(src, tagGather, dst)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		return r.Waitall(reqs...)
+	}
+	return r.Send(root, tagGather, sendBuf)
+}
+
+// Scatter distributes root's sendBuf (rank i's block at offset
+// i*len(recvBuf)) into every rank's recvBuf. sendBuf is ignored on
+// non-root ranks.
+func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
+	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	blk := recvBuf.Len()
+	if r.id == root {
+		if sendBuf.Len() != r.Size()*blk {
+			return fmt.Errorf("mpi: scatter send buffer %d bytes, want %d", sendBuf.Len(), r.Size()*blk)
+		}
+		reqs := make([]*Request, 0, r.Size()-1)
+		for dst := 0; dst < r.Size(); dst++ {
+			src := sendBuf.Slice(dst*blk, blk)
+			if dst == root {
+				copy(recvBuf.Data, src.Data)
+				continue
+			}
+			req, err := r.Isend(dst, tagScatter, src)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		return r.Waitall(reqs...)
+	}
+	return r.Recv(root, tagScatter, recvBuf)
+}
+
+// ReduceSum computes the element-wise float32 sum of every rank's sendBuf
+// into root's recvBuf (binomial tree). Buffers must hold float32 data.
+func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
+	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	size := r.Size()
+	vrank := (r.id - root + size) % size
+	// Accumulator starts as a copy of the local contribution.
+	acc := append([]byte(nil), sendBuf.Data...)
+	tmp := &gpusim.Buffer{Data: make([]byte, len(acc)), Loc: sendBuf.Loc, Dev: sendBuf.Dev}
+	accBuf := &gpusim.Buffer{Data: acc, Loc: sendBuf.Loc, Dev: sendBuf.Dev}
+
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % size
+			return r.Send(parent, tagReduce, accBuf)
+		}
+		if vrank+mask < size {
+			child := (vrank + mask + root) % size
+			if err := r.Recv(child, tagReduce, tmp); err != nil {
+				return fmt.Errorf("mpi: reduce recv: %w", err)
+			}
+			sumFloat32(r, acc, tmp.Data)
+		}
+	}
+	if r.id == root {
+		if recvBuf.Len() != len(acc) {
+			return fmt.Errorf("mpi: reduce recv buffer %d bytes, want %d", recvBuf.Len(), len(acc))
+		}
+		copy(recvBuf.Data, acc)
+	}
+	return nil
+}
+
+// AllreduceSum computes the element-wise float32 sum into every rank's
+// recvBuf (reduce to rank 0 + broadcast — the paper leaves compressed
+// Allreduce as future work; this gives it the compressed p2p edges).
+func (r *Rank) AllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
+	if err := r.ReduceSum(0, sendBuf, recvBuf); err != nil {
+		return err
+	}
+	return r.Bcast(0, recvBuf)
+}
+
+// Alltoall exchanges blocks between all pairs: rank i's j-th send block
+// lands in rank j's i-th receive block. Pairwise-exchange algorithm.
+func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
+	size := r.Size()
+	if sendBuf.Len()%size != 0 || recvBuf.Len() != sendBuf.Len() {
+		return fmt.Errorf("mpi: alltoall buffers must be equal and divisible by %d ranks", size)
+	}
+	blk := sendBuf.Len() / size
+	// Local block.
+	copy(recvBuf.Slice(r.id*blk, blk).Data, sendBuf.Slice(r.id*blk, blk).Data)
+	pow2 := size&(size-1) == 0
+	for step := 1; step < size; step++ {
+		if pow2 {
+			// XOR pairing: both sides of each pair exchange directly.
+			peer := r.id ^ step
+			sb := sendBuf.Slice(peer*blk, blk)
+			rb := recvBuf.Slice(peer*blk, blk)
+			if err := r.Sendrecv(peer, tagAlltoall, sb, peer, tagAlltoall, rb); err != nil {
+				return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
+			}
+			continue
+		}
+		// General ring: send to rank+step, receive from rank-step.
+		dst := (r.id + step) % size
+		src := (r.id - step + size) % size
+		sb := sendBuf.Slice(dst*blk, blk)
+		rb := recvBuf.Slice(src*blk, blk)
+		if err := r.Sendrecv(dst, tagAlltoall, sb, src, tagAlltoall, rb); err != nil {
+			return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+// sumFloat32 adds src into dst element-wise (float32), charging the GPU a
+// memory-bound vector-add kernel (reads two floats, writes one per
+// element).
+func sumFloat32(r *Rank, dst, src []byte) {
+	n := len(dst) / 4
+	r.Dev.LaunchKernel(r.Clock, r.Dev.Stream(0), gpusim.KernelSpec{
+		Blocks:         r.Dev.Spec.SMs,
+		Bytes:          12 * n,
+		ThroughputGbps: r.Dev.Spec.MemBWGBps * 8, // GB/s -> Gb/s
+	})
+	r.Dev.StreamSync(r.Clock, r.Dev.Stream(0))
+	for i := 0; i < n; i++ {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst[4*i:]))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(a+b))
+	}
+}
+
+// BcastScatterAllgather is the bandwidth-optimal large-message broadcast
+// MVAPICH2 switches to above its binomial-tree threshold: the message is
+// scattered into per-rank blocks from the root, then ring-allgathered.
+// Each stage rides the compression-enabled point-to-point path. Messages
+// whose size is not divisible into aligned blocks fall back to the
+// binomial tree.
+func (r *Rank) BcastScatterAllgather(root int, buf *gpusim.Buffer) error {
+	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	size := r.Size()
+	if size == 1 {
+		return nil
+	}
+	if buf.Len()%(4*size) != 0 {
+		return r.Bcast(root, buf)
+	}
+	blk := buf.Len() / size
+	mine := buf.Slice(r.id*blk, blk)
+	var src *gpusim.Buffer
+	if r.id == root {
+		src = buf
+	} else {
+		src = buf.Slice(0, 0)
+	}
+	if err := r.Scatter(root, src, mine); err != nil {
+		return fmt.Errorf("mpi: bcast-sag scatter: %w", err)
+	}
+	if err := r.Allgather(mine, buf); err != nil {
+		return fmt.Errorf("mpi: bcast-sag allgather: %w", err)
+	}
+	return nil
+}
+
+// BcastHierarchical is MVAPICH2's two-level broadcast: the message first
+// moves between node leaders over the network (binomial tree among the
+// first rank of each node), then fans out inside each node over the fast
+// intra-node link. With compression enabled, the inter-node stage moves
+// compressed payloads while the NVLink/PCIe stage can stay uncompressed
+// (pair it with Config.Dynamic for exactly that split).
+func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
+	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	w := r.world
+	ppn := w.ppn
+	if ppn == 1 || w.nodes == 1 {
+		return r.Bcast(root, buf)
+	}
+	rootNode := w.nodeOf(root)
+	myNode := r.Node()
+	leader := myNode * ppn // first rank on my node
+	onRootNode := myNode == rootNode
+
+	// Stage 0: move the message to the root node's leader if needed.
+	if onRootNode && root != leader {
+		if r.id == root {
+			if err := r.Send(leader, tagBcast, buf); err != nil {
+				return err
+			}
+		} else if r.id == leader {
+			if err := r.Recv(root, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Stage 1: binomial tree among node leaders (ranks i*ppn).
+	if r.id == leader {
+		nodes := w.nodes
+		vnode := (myNode - rootNode + nodes) % nodes
+		mask := 1
+		for mask < nodes {
+			if vnode&mask != 0 {
+				parentNode := ((vnode - mask) + rootNode) % nodes
+				if err := r.Recv(parentNode*ppn, tagBcast, buf); err != nil {
+					return err
+				}
+				break
+			}
+			mask <<= 1
+		}
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if vnode+mask < nodes {
+				childNode := (vnode + mask + rootNode) % nodes
+				if err := r.Send(childNode*ppn, tagBcast, buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Stage 2: node-local fan-out from the leader.
+	if r.id == leader {
+		for peer := leader + 1; peer < leader+ppn && peer < r.Size(); peer++ {
+			if onRootNode && peer == root {
+				continue // the root already has the data
+			}
+			if err := r.Send(peer, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if onRootNode && r.id == root {
+		return nil
+	}
+	return r.Recv(leader, tagBcast, buf)
+}
+
+// RingAllreduceSum is the bandwidth-optimal allreduce (ring
+// reduce-scatter followed by ring allgather), the algorithm large-message
+// reductions use in practice. Each of the 2(P-1) steps moves one block
+// through the compression-enabled point-to-point path. Buffers must hold
+// float32 data; sizes not divisible into aligned blocks fall back to
+// reduce+broadcast.
+func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
+	size := r.Size()
+	if recvBuf.Len() != sendBuf.Len() {
+		return fmt.Errorf("mpi: ring allreduce buffers differ: %d vs %d", sendBuf.Len(), recvBuf.Len())
+	}
+	if size == 1 {
+		copy(recvBuf.Data, sendBuf.Data)
+		return nil
+	}
+	if sendBuf.Len()%(4*size) != 0 {
+		return r.AllreduceSum(sendBuf, recvBuf)
+	}
+	blk := sendBuf.Len() / size
+	copy(recvBuf.Data, sendBuf.Data)
+	right := (r.id + 1) % size
+	left := (r.id - 1 + size) % size
+	scratch := &gpusim.Buffer{Data: make([]byte, blk), Loc: recvBuf.Loc, Dev: recvBuf.Dev}
+
+	// Phase 1: reduce-scatter. After step s, the block each rank just
+	// received accumulates one more contribution; after P-1 steps rank i
+	// holds the fully reduced block (i+1) mod P.
+	for step := 0; step < size-1; step++ {
+		sendIdx := (r.id - step + size) % size
+		recvIdx := (r.id - step - 1 + size) % size
+		sb := recvBuf.Slice(sendIdx*blk, blk)
+		if err := r.Sendrecv(right, tagAllreduce, sb, left, tagAllreduce, scratch); err != nil {
+			return fmt.Errorf("mpi: ring reduce-scatter step %d: %w", step, err)
+		}
+		sumFloat32(r, recvBuf.Slice(recvIdx*blk, blk).Data, scratch.Data)
+	}
+	// Phase 2: allgather the reduced blocks around the ring.
+	for step := 0; step < size-1; step++ {
+		sendIdx := (r.id + 1 - step + size) % size
+		recvIdx := (r.id - step + size) % size
+		sb := recvBuf.Slice(sendIdx*blk, blk)
+		rb := recvBuf.Slice(recvIdx*blk, blk)
+		if err := r.Sendrecv(right, tagAllreduce, sb, left, tagAllreduce, rb); err != nil {
+			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package mpi is a GPU-aware MPI-style message-passing runtime over the
+// simulated cluster: ranks are goroutines with logical clocks, point-to-
+// point communication uses an eager protocol for small messages and the
+// RTS/CTS rendezvous protocol for large ones, and the on-the-fly
+// compression engine of package core hooks the rendezvous path exactly as
+// the paper describes (header piggybacked on RTS, compressed payload
+// transferred after CTS, decompression after the last byte arrives).
+//
+// Real bytes move between ranks; only time is simulated, so messages are
+// bit-exact (lossless codecs) or within codec error bounds (ZFP) while
+// latencies follow the calibrated hardware model.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/netsim"
+	"mpicomp/internal/simtime"
+	"mpicomp/internal/trace"
+)
+
+// AnySource matches a message from any sender in Recv/Irecv.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv/Irecv.
+const AnyTag = -2
+
+// internalTagBase namespaces tags used by collectives and barriers so they
+// cannot collide with user tags (which must be >= 0).
+const internalTagBase = -1 << 20
+
+// DefaultEagerLimit is the rendezvous threshold: messages at or above this
+// size use RTS/CTS, below it they are sent eagerly.
+const DefaultEagerLimit = 16 << 10
+
+// Options configures a World.
+type Options struct {
+	// Cluster selects the hardware model (default: hw.Longhorn()).
+	Cluster hw.Cluster
+	// Nodes and PPN (processes per node) define the job layout;
+	// world size = Nodes * PPN.
+	Nodes int
+	PPN   int
+	// Engine is the compression framework configuration applied to
+	// every rank.
+	Engine core.Config
+	// EagerLimit overrides the rendezvous threshold (0 = default).
+	EagerLimit int
+	// Streams is the number of CUDA streams per device (0 = 8, enough
+	// for MPC-OPT's maximum partitioning).
+	Streams int
+	// Tracer, when non-nil, records every engine phase and network
+	// transfer for timeline inspection (trace.WriteChromeTrace).
+	Tracer *trace.Collector
+}
+
+// World is one simulated MPI job.
+type World struct {
+	cluster    hw.Cluster
+	nodes, ppn int
+	size       int
+	eagerLimit int
+	fabric     *netsim.Fabric
+	ranks      []*Rank
+	tracer     *trace.Collector
+}
+
+// NewWorld builds the job: fabric, devices, per-rank engines (paying
+// initialization-time costs such as ModeOpt's pool allocation).
+func NewWorld(opt Options) (*World, error) {
+	if opt.Cluster.Name == "" {
+		opt.Cluster = hw.Longhorn()
+	}
+	if opt.Nodes < 1 || opt.PPN < 1 {
+		return nil, fmt.Errorf("mpi: need at least 1 node and 1 ppn (got %d, %d)", opt.Nodes, opt.PPN)
+	}
+	if opt.PPN > opt.Cluster.GPUsPerNode {
+		return nil, fmt.Errorf("mpi: ppn %d exceeds %s's %d GPUs/node", opt.PPN, opt.Cluster.Name, opt.Cluster.GPUsPerNode)
+	}
+	eager := opt.EagerLimit
+	if eager == 0 {
+		eager = DefaultEagerLimit
+	}
+	streams := opt.Streams
+	if streams == 0 {
+		streams = 8
+	}
+	w := &World{
+		cluster:    opt.Cluster,
+		nodes:      opt.Nodes,
+		ppn:        opt.PPN,
+		size:       opt.Nodes * opt.PPN,
+		eagerLimit: eager,
+		fabric:     netsim.NewFabric(opt.Cluster, opt.Nodes),
+		tracer:     opt.Tracer,
+	}
+	for id := 0; id < w.size; id++ {
+		dev := gpusim.NewDevice(opt.Cluster.GPU, streams)
+		// Engine construction (including ModeOpt's pool allocation) is
+		// MPI_Init-time work: it happens before the simulated timeline
+		// starts, exactly as the paper moves it off the critical path.
+		initClk := simtime.NewClock(0)
+		eng := core.NewEngine(initClk, dev, opt.Engine)
+		eng.Tracer = opt.Tracer
+		eng.Track = fmt.Sprintf("rank %d", id)
+		r := &Rank{
+			id:     id,
+			world:  w,
+			Clock:  simtime.NewClock(0),
+			Dev:    dev,
+			Engine: eng,
+			box:    newMailbox(),
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Nodes returns the node count.
+func (w *World) Nodes() int { return w.nodes }
+
+// PPN returns processes per node.
+func (w *World) PPN() int { return w.ppn }
+
+// Cluster returns the hardware model.
+func (w *World) Cluster() hw.Cluster { return w.cluster }
+
+// Fabric exposes the interconnect (for inspection in tests).
+func (w *World) Fabric() *netsim.Fabric { return w.fabric }
+
+// Rank returns rank id's state (for post-run inspection).
+func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// nodeOf maps a rank to its node (block distribution, as mpirun does).
+func (w *World) nodeOf(rank int) int { return rank / w.ppn }
+
+// ResetClocks rewinds all clocks, stream timelines, and fabric state to
+// zero, keeping engine pools warm — used between measurement repetitions.
+func (w *World) ResetClocks() {
+	for _, r := range w.ranks {
+		*r.Clock = *simtime.NewClock(0)
+		r.Dev.ResetStreams()
+	}
+	w.fabric.Reset()
+}
+
+// Run executes fn concurrently on every rank and waits for completion.
+// It returns the final per-rank clock values (the job's simulated
+// timeline) and the first error any rank produced.
+func (w *World) Run(fn func(r *Rank) error) ([]simtime.Time, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for _, r := range w.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r.id] = fmt.Errorf("mpi: rank %d panicked: %v", r.id, p)
+				}
+			}()
+			errs[r.id] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	times := make([]simtime.Time, w.size)
+	for i, r := range w.ranks {
+		times[i] = r.Clock.Now()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return times, err
+		}
+	}
+	return times, nil
+}
+
+// MaxTime returns the latest of the given instants (the job makespan).
+func MaxTime(times []simtime.Time) simtime.Time {
+	var m simtime.Time
+	for _, t := range times {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Rank is one MPI process: a logical clock, a GPU, a compression engine,
+// and a mailbox.
+type Rank struct {
+	id    int
+	world *World
+	// Clock is the rank's logical time; every operation advances it.
+	Clock *simtime.Clock
+	// Dev is the rank's GPU.
+	Dev *gpusim.GPUDevice
+	// Engine is the rank's on-the-fly compression engine.
+	Engine *core.Engine
+	box    *mailbox
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Node returns the node hosting this rank.
+func (r *Rank) Node() int { return r.world.nodeOf(r.id) }
+
+// World returns the enclosing world.
+func (r *Rank) World() *World { return r.world }
+
+func (r *Rank) checkPeer(peer int) error {
+	if peer < 0 || peer >= r.world.size {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", peer, r.world.size)
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/simtime"
+)
+
+// envelope is one in-flight message's control state. For eager messages it
+// carries the payload directly; for rendezvous it carries the piggybacked
+// compression header (Figure 3), the payload, and the sender's post time,
+// so that whichever side completes the match can compute the entire
+// handshake-and-transfer timeline — modeling MVAPICH2's asynchronous
+// progress engine, which transfers data as soon as the CTS arrives with no
+// further sender involvement.
+type envelope struct {
+	src, tag int
+	eager    bool
+
+	payload []byte
+	hdr     core.Header
+
+	// rendezvous timeline inputs
+	rtsArrival simtime.Time // RTS packet arrival at the receiver
+	sendPost   simtime.Time // sender's clock when the send was posted
+
+	// rendezvous timeline outputs (filled by completeMatch)
+	matchTime   simtime.Time   // receive matched + staging done
+	dataArrival simtime.Time   // last byte of payload at the receiver
+	staged      *gpusim.Buffer // receive-side staging buffer
+	// senderDone delivers the sender-side completion instant.
+	senderDone chan simtime.Time
+
+	// eager timeline
+	arrival simtime.Time
+
+	// pipelined rendezvous (chunked) state
+	pipelined bool
+	chunks    []chunkPart
+}
+
+// recvPost is a posted (but not yet matched) receive.
+type recvPost struct {
+	src, tag int
+	postTime simtime.Time
+	matched  chan *envelope
+	rank     *Rank
+}
+
+// mailbox implements MPI matching semantics: posted receives match
+// incoming envelopes in arrival order, with wildcard source/tag;
+// unmatched envelopes queue as "unexpected messages".
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []*envelope
+	posted     []*recvPost
+}
+
+func newMailbox() *mailbox { return &mailbox{} }
+
+func tagMatches(postTag, msgTag int) bool { return postTag == AnyTag || postTag == msgTag }
+func srcMatches(postSrc, msgSrc int) bool { return postSrc == AnySource || postSrc == msgSrc }
+
+// deliver hands an envelope to the mailbox. If a posted receive matches,
+// the match completes immediately in the caller's goroutine (the runtime's
+// progress engine): staging, CTS, and the data-transfer timeline are all
+// computed here, so neither side ever depends on the other reaching Wait.
+func (m *mailbox) deliver(env *envelope) {
+	m.mu.Lock()
+	for i, p := range m.posted {
+		if srcMatches(p.src, env.src) && tagMatches(p.tag, env.tag) {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			m.mu.Unlock()
+			completeMatch(p, env)
+			p.matched <- env
+			return
+		}
+	}
+	m.unexpected = append(m.unexpected, env)
+	m.mu.Unlock()
+}
+
+// post registers a receive. If an unexpected envelope already matches it
+// is returned immediately (match completed); otherwise the receive queues
+// and the caller waits on p.matched.
+func (m *mailbox) post(p *recvPost) *envelope {
+	m.mu.Lock()
+	for i, env := range m.unexpected {
+		if srcMatches(p.src, env.src) && tagMatches(p.tag, env.tag) {
+			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			m.mu.Unlock()
+			completeMatch(p, env)
+			return env
+		}
+	}
+	m.posted = append(m.posted, p)
+	m.mu.Unlock()
+	return nil
+}
+
+// completeMatch performs the rendezvous protocol's receiver-side steps
+// (Figure 4, steps 4-5): record the match, stage the temporary device
+// buffer for the compressed payload, send the CTS, and compute the data
+// transfer over the fabric. Eager envelopes need no work.
+func completeMatch(p *recvPost, env *envelope) {
+	if env.eager {
+		return
+	}
+	if env.pipelined {
+		completePipelinedMatch(p, env)
+		return
+	}
+	r := p.rank
+	w := r.world
+	// The receive proceeds once both the RTS has arrived and the receive
+	// is posted (asynchronous progress-thread semantics).
+	match := simtime.Max(p.postTime, env.rtsArrival)
+	// Stage the receive buffer before clearing the sender to send.
+	stageClk := simtime.NewClock(match)
+	env.staged = r.Engine.StageRecv(stageClk, env.hdr)
+	env.matchTime = stageClk.Now()
+	srcNode := w.nodeOf(env.src)
+	dstNode := w.nodeOf(r.id)
+	cts := w.fabric.ControlMessage(dstNode, srcNode, env.matchTime)
+	// The RDMA transfer is posted by the sender's HCA when the CTS
+	// arrives; the sender's CPU is not involved.
+	ready := simtime.Max(env.sendPost, cts)
+	env.dataArrival = w.fabric.Transfer(srcNode, dstNode, ready, len(env.payload))
+	w.tracer.Add(fmt.Sprintf("net %d->%d", env.src, r.id), "transfer", ready, env.dataArrival)
+	env.senderDone <- env.dataArrival
+}
+
+// Request is a handle for a nonblocking operation, completed by Wait.
+type Request struct {
+	rank *Rank
+	done bool
+	err  error
+
+	// send side
+	isSend bool
+	env    *envelope
+
+	// receive side
+	buf   *gpusim.Buffer
+	post  *recvPost
+	early *envelope // match found at post time
+	// raw receive (collective relay path)
+	wantRaw bool
+	raw     rawResult
+}
+
+// Send transmits buf to rank dst with the given tag, blocking until the
+// local buffer is reusable (rendezvous: transfer drained).
+func (r *Rank) Send(dst, tag int, buf *gpusim.Buffer) error {
+	req, err := r.Isend(dst, tag, buf)
+	if err != nil {
+		return err
+	}
+	return r.Wait(req)
+}
+
+// Recv receives into buf from rank src (or AnySource) with the given tag
+// (or AnyTag), blocking until the message content is available in buf.
+func (r *Rank) Recv(src, tag int, buf *gpusim.Buffer) error {
+	req, err := r.Irecv(src, tag, buf)
+	if err != nil {
+		return err
+	}
+	return r.Wait(req)
+}
+
+// Isend starts a nonblocking send. Compression (when eligible) happens
+// now, on the caller's clock, exactly as in Figure 4 steps 1-3; the
+// handshake and transfer proceed asynchronously and Wait observes their
+// completion.
+func (r *Rank) Isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
+	if err := r.checkPeer(dst); err != nil {
+		return nil, err
+	}
+	if tag < 0 && tag > internalTagBase {
+		return nil, fmt.Errorf("mpi: user tags must be non-negative (got %d)", tag)
+	}
+	w := r.world
+	dstRank := w.ranks[dst]
+
+	if buf.Len() < w.eagerLimit {
+		// Eager protocol: one message carrying the payload.
+		payload := append([]byte(nil), buf.Data...)
+		arrival := w.fabric.Transfer(r.Node(), w.nodeOf(dst), r.Clock.Now(), len(payload))
+		env := &envelope{src: r.id, tag: tag, eager: true, payload: payload, arrival: arrival}
+		// The sender's CPU returns as soon as the message is injected.
+		r.Clock.Advance(simtime.FromMicroseconds(0.5))
+		dstRank.box.deliver(env)
+		return &Request{rank: r, isSend: true, done: true}, nil
+	}
+
+	if r.pipelineEligible(buf) {
+		return r.isendPipelined(dst, tag, buf)
+	}
+
+	// Rendezvous: compress (steps 1-3), then RTS with the piggybacked
+	// header (step 4). The engine sees the destination link's bandwidth
+	// so the dynamic-selection extension can gate per message.
+	link := w.fabric.LinkFor(r.Node(), w.nodeOf(dst))
+	payload, hdr := r.Engine.CompressForLink(r.Clock, buf, link.BandwidthGBps)
+	env := &envelope{
+		src: r.id, tag: tag,
+		payload:    payload,
+		hdr:        hdr,
+		rtsArrival: w.fabric.ControlMessage(r.Node(), w.nodeOf(dst), r.Clock.Now()),
+		sendPost:   r.Clock.Now(),
+		senderDone: make(chan simtime.Time, 1),
+	}
+	req := &Request{rank: r, isSend: true, env: env}
+	dstRank.box.deliver(env)
+	return req, nil
+}
+
+// Irecv starts a nonblocking receive into buf.
+func (r *Rank) Irecv(src, tag int, buf *gpusim.Buffer) (*Request, error) {
+	if src != AnySource {
+		if err := r.checkPeer(src); err != nil {
+			return nil, err
+		}
+	}
+	p := &recvPost{src: src, tag: tag, postTime: r.Clock.Now(), matched: make(chan *envelope, 1), rank: r}
+	req := &Request{rank: r, buf: buf, post: p}
+	req.early = r.box.post(p)
+	r.Clock.Advance(simtime.FromMicroseconds(0.3))
+	return req, nil
+}
+
+// Wait blocks until the request completes, advancing the caller's clock to
+// the completion instant and (for receives) decompressing into the user
+// buffer.
+func (r *Rank) Wait(req *Request) error {
+	if req == nil {
+		return fmt.Errorf("mpi: Wait on nil request")
+	}
+	if req.done {
+		return req.err
+	}
+	req.done = true
+	if req.isSend {
+		// Local completion: the send buffer is reusable once the
+		// transfer has drained.
+		done := <-req.env.senderDone
+		r.Clock.AdvanceTo(done)
+		return nil
+	}
+	if req.wantRaw {
+		req.err = r.waitRecvRaw(req)
+	} else {
+		req.err = r.waitRecv(req)
+	}
+	return req.err
+}
+
+func (r *Rank) waitRecv(req *Request) error {
+	env := req.early
+	if env == nil {
+		env = <-req.post.matched
+	}
+	if env.eager {
+		r.Clock.AdvanceTo(env.arrival)
+		r.Clock.Advance(simtime.FromMicroseconds(0.5)) // unpack
+		if len(env.payload) > req.buf.Len() {
+			return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", len(env.payload), req.buf.Len())
+		}
+		copy(req.buf.Data, env.payload)
+		return nil
+	}
+	if env.pipelined {
+		return r.waitRecvPipelined(req, env)
+	}
+	// Rendezvous: the payload lands in the staged device buffer once the
+	// transfer completes (step 5), then the decompression kernel
+	// restores it into the user buffer (steps 6-7).
+	r.Clock.AdvanceTo(simtime.Max(env.matchTime, env.dataArrival))
+	if env.hdr.OrigBytes > req.buf.Len() {
+		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, req.buf.Len())
+	}
+	if env.staged != nil {
+		copy(env.staged.Data, env.payload)
+	}
+	if err := r.Engine.Decompress(r.Clock, env.hdr, env.payload, req.buf); err != nil {
+		return err
+	}
+	r.Engine.ReleaseRecv(r.Clock, env.staged)
+	return nil
+}
+
+// Waitall completes all requests (in order).
+func (r *Rank) Waitall(reqs ...*Request) error {
+	var first error
+	for _, req := range reqs {
+		if err := r.Wait(req); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sendrecv performs a simultaneous send and receive (the classic exchange
+// primitive collectives are built from).
+func (r *Rank) Sendrecv(dst, sendTag int, sendBuf *gpusim.Buffer, src, recvTag int, recvBuf *gpusim.Buffer) error {
+	rreq, err := r.Irecv(src, recvTag, recvBuf)
+	if err != nil {
+		return err
+	}
+	sreq, err := r.Isend(dst, sendTag, sendBuf)
+	if err != nil {
+		return err
+	}
+	return r.Waitall(sreq, rreq)
+}
+
+// --- raw payload plumbing for compression-aware collectives ---
+//
+// Collectives that relay data (Bcast trees, Allgather rings) would pay a
+// full decompress + recompress at every hop if they used plain Send/Recv.
+// The framework's header makes this unnecessary: a rank can forward the
+// compressed payload it received, and every consumer decompresses exactly
+// once. isendPayload and irecvRaw expose the rendezvous path at that
+// level; they are internal to the collectives.
+
+// isendPayload starts a rendezvous send of an already-prepared payload
+// with its compression header (no engine work on this rank).
+func (r *Rank) isendPayload(dst, tag int, payload []byte, hdr core.Header) (*Request, error) {
+	if err := r.checkPeer(dst); err != nil {
+		return nil, err
+	}
+	w := r.world
+	r.Clock.Advance(simtime.FromMicroseconds(0.3))
+	env := &envelope{
+		src: r.id, tag: tag,
+		payload:    payload,
+		hdr:        hdr,
+		rtsArrival: w.fabric.ControlMessage(r.Node(), w.nodeOf(dst), r.Clock.Now()),
+		sendPost:   r.Clock.Now(),
+		senderDone: make(chan simtime.Time, 1),
+	}
+	req := &Request{rank: r, isSend: true, env: env}
+	w.ranks[dst].box.deliver(env)
+	return req, nil
+}
+
+// rawResult is what a raw receive yields: the wire payload, its header,
+// and the staging buffer to release after decompression.
+type rawResult struct {
+	payload []byte
+	hdr     core.Header
+	staged  *gpusim.Buffer
+}
+
+// irecvRaw posts a receive whose Wait captures the raw payload instead of
+// decompressing into a user buffer. The result appears in req.raw.
+func (r *Rank) irecvRaw(src, tag int) (*Request, error) {
+	if src != AnySource {
+		if err := r.checkPeer(src); err != nil {
+			return nil, err
+		}
+	}
+	p := &recvPost{src: src, tag: tag, postTime: r.Clock.Now(), matched: make(chan *envelope, 1), rank: r}
+	req := &Request{rank: r, post: p, wantRaw: true}
+	req.early = r.box.post(p)
+	r.Clock.Advance(simtime.FromMicroseconds(0.3))
+	return req, nil
+}
+
+// waitRecvRaw completes a raw receive: the clock advances to payload
+// arrival but no decompression happens.
+func (r *Rank) waitRecvRaw(req *Request) error {
+	env := req.early
+	if env == nil {
+		env = <-req.post.matched
+	}
+	if env.eager {
+		r.Clock.AdvanceTo(env.arrival)
+		r.Clock.Advance(simtime.FromMicroseconds(0.5))
+		req.raw = rawResult{
+			payload: env.payload,
+			hdr:     core.Header{Algo: core.AlgoNone, OrigBytes: len(env.payload), CompBytes: len(env.payload)},
+		}
+		return nil
+	}
+	r.Clock.AdvanceTo(simtime.Max(env.matchTime, env.dataArrival))
+	if env.staged != nil {
+		copy(env.staged.Data, env.payload)
+	}
+	req.raw = rawResult{payload: env.payload, hdr: env.hdr, staged: env.staged}
+	return nil
+}

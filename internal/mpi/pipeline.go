@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/simtime"
+)
+
+// Pipelined rendezvous (extension). MVAPICH2-GDR moves large GPU messages
+// through a chunk pipeline; composing that with on-the-fly compression
+// lets chunk k's network transfer overlap chunk k+1's compression kernel
+// on the sender and chunk k-1's decompression on the receiver. The
+// whole-message path of the paper's Figure 4 serializes
+// compress -> transfer -> decompress; the pipeline's end-to-end time
+// approaches max(compress, transfer, decompress) plus a fill term.
+//
+// Each chunk carries its own compression header, so mixed chunks
+// (compressed and bypassed) are fine and the existing engine is reused
+// unchanged.
+
+// chunkPart is one pipeline stage's payload.
+type chunkPart struct {
+	payload []byte
+	hdr     core.Header
+	// origBytes is the chunk's span in the original message.
+	origBytes int
+	// ready is when the sender finished compressing this chunk.
+	ready simtime.Time
+	// arrival is when the chunk's last byte reaches the receiver
+	// (filled at match time).
+	arrival simtime.Time
+}
+
+// pipelineEligible reports whether a message should take the chunked path.
+func (r *Rank) pipelineEligible(buf *gpusim.Buffer) bool {
+	chunk := r.Engine.Config().PipelineChunkBytes
+	return chunk > 0 && buf.Len() >= 2*chunk && buf.Len()%4 == 0
+}
+
+// isendPipelined starts a chunked rendezvous send: chunks are compressed
+// in order on the caller's clock, each becoming ready for transfer as its
+// kernel completes.
+func (r *Rank) isendPipelined(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
+	w := r.world
+	chunkBytes := r.Engine.Config().PipelineChunkBytes
+	link := w.fabric.LinkFor(r.Node(), w.nodeOf(dst))
+
+	// The RTS goes out first — the receiver can match, stage, and
+	// return the CTS while the sender is still compressing chunks.
+	env := &envelope{
+		src: r.id, tag: tag,
+		rtsArrival: w.fabric.ControlMessage(r.Node(), w.nodeOf(dst), r.Clock.Now()),
+		sendPost:   r.Clock.Now(),
+		senderDone: make(chan simtime.Time, 1),
+		hdr:        core.Header{Algo: core.AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()},
+		pipelined:  true,
+	}
+	for off := 0; off < buf.Len(); off += chunkBytes {
+		n := chunkBytes
+		if off+n > buf.Len() {
+			n = buf.Len() - off
+		}
+		view := buf.Slice(off, n)
+		payload, hdr := r.Engine.CompressForLink(r.Clock, view, link.BandwidthGBps)
+		env.chunks = append(env.chunks, chunkPart{
+			payload:   payload,
+			hdr:       hdr,
+			origBytes: n,
+			ready:     r.Clock.Now(),
+		})
+	}
+	req := &Request{rank: r, isSend: true, env: env}
+	w.ranks[dst].box.deliver(env)
+	return req, nil
+}
+
+// completePipelinedMatch resolves the chunk transfer timeline at match
+// time (the pipelined analogue of completeMatch).
+func completePipelinedMatch(p *recvPost, env *envelope) {
+	r := p.rank
+	w := r.world
+	match := simtime.Max(p.postTime, env.rtsArrival)
+	// One staging buffer covers the largest chunk; it is recycled per
+	// chunk on the receive side.
+	biggest := 0
+	for _, c := range env.chunks {
+		if len(c.payload) > biggest {
+			biggest = len(c.payload)
+		}
+	}
+	stageClk := simtime.NewClock(match)
+	env.staged = r.Engine.StageRecv(stageClk, core.Header{
+		Algo: core.AlgoMPC, Compressed: true,
+		OrigBytes: biggest, CompBytes: biggest,
+	})
+	env.matchTime = stageClk.Now()
+	srcNode := w.nodeOf(env.src)
+	dstNode := w.nodeOf(r.id)
+	cts := w.fabric.ControlMessage(dstNode, srcNode, env.matchTime)
+	last := simtime.Time(0)
+	track := fmt.Sprintf("net %d->%d", env.src, r.id)
+	for i := range env.chunks {
+		ready := simtime.Max(env.chunks[i].ready, cts)
+		env.chunks[i].arrival = w.fabric.Transfer(srcNode, dstNode, ready, len(env.chunks[i].payload))
+		w.tracer.Add(track, fmt.Sprintf("chunk %d", i), ready, env.chunks[i].arrival)
+		if env.chunks[i].arrival > last {
+			last = env.chunks[i].arrival
+		}
+	}
+	env.dataArrival = last
+	env.senderDone <- last
+}
+
+// waitRecvPipelined consumes the chunk stream: each chunk is decompressed
+// into its slice of the user buffer as it arrives, overlapping with the
+// transfers of later chunks.
+func (r *Rank) waitRecvPipelined(req *Request, env *envelope) error {
+	total := 0
+	for _, c := range env.chunks {
+		total += c.origBytes
+	}
+	if total > req.buf.Len() {
+		return fmt.Errorf("mpi: pipelined message of %d bytes truncated into %d-byte buffer", total, req.buf.Len())
+	}
+	r.Clock.AdvanceTo(env.matchTime)
+	off := 0
+	for i := range env.chunks {
+		c := &env.chunks[i]
+		r.Clock.AdvanceTo(c.arrival)
+		if env.staged != nil && c.hdr.Compressed {
+			copy(env.staged.Data, c.payload)
+		}
+		dst := req.buf.Slice(off, c.origBytes)
+		if err := r.Engine.Decompress(r.Clock, c.hdr, c.payload, dst); err != nil {
+			return fmt.Errorf("mpi: pipelined chunk %d: %w", i, err)
+		}
+		off += c.origBytes
+	}
+	r.Engine.ReleaseRecv(r.Clock, env.staged)
+	return nil
+}

@@ -1,0 +1,475 @@
+// Package omb ports the OSU Micro-Benchmark suite (OMB) workloads the
+// paper uses — osu_latency, osu_bw, osu_bcast, osu_allgather — onto the
+// simulated GPU-aware MPI runtime, including the paper's modification of
+// OMB to transmit real datasets instead of dummy buffers (Section VI-B).
+//
+// Methodology mirrors OMB: warmup iterations are discarded, measured
+// iterations are averaged; for collectives, the per-iteration latency is
+// the slowest rank's (max) and ranks resynchronize with a barrier between
+// iterations.
+package omb
+
+import (
+	"fmt"
+	"sync"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/datasets"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
+)
+
+// DataGen produces the float32 message contents for a given element count.
+// OMB's default is dummy (constant) data; the paper's modified OMB draws
+// from the Table III datasets.
+type DataGen func(nFloats int) []float32
+
+// DummyData is OMB's default constant-fill payload.
+func DummyData(n int) []float32 { return datasets.Dummy(n) }
+
+// DatasetData returns a DataGen drawing from a named Table III dataset.
+func DatasetData(name string) (DataGen, error) {
+	d, ok := datasets.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("omb: unknown dataset %q", name)
+	}
+	return func(n int) []float32 { return d.Values(n) }, nil
+}
+
+// DefaultSizes is the message-size sweep of the paper's point-to-point
+// figures: 256 KB to 32 MB, doubling.
+func DefaultSizes() []int {
+	var sizes []int
+	for s := 256 << 10; s <= 32<<20; s <<= 1 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// P2PResult is one row of a point-to-point sweep.
+type P2PResult struct {
+	Bytes int
+	// Latency is the average one-way latency.
+	Latency simtime.Duration
+	// BandwidthGBps is payload bandwidth (osu_bw) or derived from
+	// latency (osu_latency rows leave it zero).
+	BandwidthGBps float64
+	// Ratio is the average achieved compression ratio (1 = none).
+	Ratio float64
+}
+
+func deviceBuffer(r *mpi.Rank, vals []float32) *gpusim.Buffer {
+	return &gpusim.Buffer{Data: core.FloatsToBytes(nil, vals), Loc: gpusim.Device, Dev: r.Dev}
+}
+
+// Latency runs osu_latency (ping-pong) between ranks 0 and 1 for each
+// message size, with `warmup` discarded and `iters` measured iterations.
+func Latency(w *mpi.World, sizes []int, warmup, iters int, gen DataGen) ([]P2PResult, error) {
+	if w.Size() < 2 {
+		return nil, fmt.Errorf("omb: latency needs at least 2 ranks")
+	}
+	if gen == nil {
+		gen = DummyData
+	}
+	results := make([]P2PResult, 0, len(sizes))
+	for _, size := range sizes {
+		vals := gen(size / 4)
+		var avg simtime.Duration
+		w.ResetClocks()
+		resetStats(w)
+		_, err := w.Run(func(r *mpi.Rank) error {
+			if r.ID() > 1 {
+				return nil
+			}
+			buf := deviceBuffer(r, vals)
+			scratch := &gpusim.Buffer{Data: make([]byte, size), Loc: gpusim.Device, Dev: r.Dev}
+			var total simtime.Duration
+			for it := 0; it < warmup+iters; it++ {
+				start := r.Clock.Now()
+				if r.ID() == 0 {
+					if err := r.Send(1, 0, buf); err != nil {
+						return err
+					}
+					if err := r.Recv(1, 0, scratch); err != nil {
+						return err
+					}
+				} else {
+					if err := r.Recv(0, 0, scratch); err != nil {
+						return err
+					}
+					if err := r.Send(0, 0, buf); err != nil {
+						return err
+					}
+				}
+				if it >= warmup && r.ID() == 0 {
+					total += r.Clock.Now().Sub(start) / 2
+				}
+			}
+			if r.ID() == 0 {
+				avg = total / simtime.Duration(iters)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, P2PResult{
+			Bytes:   size,
+			Latency: avg,
+			Ratio:   avgRatio(w, 0, 1),
+		})
+	}
+	return results, nil
+}
+
+// Bandwidth runs osu_bw between ranks 0 and 1: `window` back-to-back
+// nonblocking sends per iteration, acknowledged by a small reply.
+// extraPerMsg adds a fixed software overhead per message, used to model a
+// less-optimized MPI library for the Figure 2(a) comparison.
+func Bandwidth(w *mpi.World, sizes []int, warmup, iters, window int, extraPerMsg simtime.Duration) ([]P2PResult, error) {
+	if w.Size() < 2 {
+		return nil, fmt.Errorf("omb: bandwidth needs at least 2 ranks")
+	}
+	if window <= 0 {
+		window = 64
+	}
+	results := make([]P2PResult, 0, len(sizes))
+	for _, size := range sizes {
+		var bw float64
+		w.ResetClocks()
+		_, err := w.Run(func(r *mpi.Rank) error {
+			if r.ID() > 1 {
+				return nil
+			}
+			bufs := make([]*gpusim.Buffer, window)
+			for i := range bufs {
+				bufs[i] = &gpusim.Buffer{Data: make([]byte, size), Loc: gpusim.Device, Dev: r.Dev}
+			}
+			ack := gpusim.NewHostBuffer(4)
+			var measured simtime.Duration
+			for it := 0; it < warmup+iters; it++ {
+				start := r.Clock.Now()
+				reqs := make([]*mpi.Request, window)
+				var err error
+				for i := 0; i < window; i++ {
+					r.Clock.Advance(extraPerMsg)
+					if r.ID() == 0 {
+						reqs[i], err = r.Isend(1, i, bufs[i])
+					} else {
+						reqs[i], err = r.Irecv(0, i, bufs[i])
+					}
+					if err != nil {
+						return err
+					}
+				}
+				if err := r.Waitall(reqs...); err != nil {
+					return err
+				}
+				if r.ID() == 0 {
+					if err := r.Recv(1, 1000, ack); err != nil {
+						return err
+					}
+				} else {
+					if err := r.Send(0, 1000, ack); err != nil {
+						return err
+					}
+				}
+				if it >= warmup && r.ID() == 0 {
+					measured += r.Clock.Now().Sub(start)
+				}
+			}
+			if r.ID() == 0 {
+				totalBytes := float64(size) * float64(window) * float64(iters)
+				bw = totalBytes / measured.Seconds() / 1e9
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, P2PResult{Bytes: size, BandwidthGBps: bw})
+	}
+	return results, nil
+}
+
+// CollResult is one collective measurement.
+type CollResult struct {
+	Bytes   int
+	Dataset string
+	Latency simtime.Duration
+	Ratio   float64
+}
+
+// collectiveLatency times one collective closure across all ranks:
+// barrier, run, measure the slowest rank, averaged over iterations.
+func collectiveLatency(w *mpi.World, warmup, iters int, op func(r *mpi.Rank) error) (simtime.Duration, error) {
+	if warmup+iters > maxIters {
+		return 0, fmt.Errorf("omb: warmup+iters %d exceeds %d", warmup+iters, maxIters)
+	}
+	w.ResetClocks()
+	resetStats(w)
+	perIter := make([]simtime.Duration, warmup+iters)
+	var mu chanMax
+	_, err := w.Run(func(r *mpi.Rank) error {
+		for it := 0; it < warmup+iters; it++ {
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+			start := r.Clock.Now()
+			if err := op(r); err != nil {
+				return err
+			}
+			mu.update(it, r.Clock.Now().Sub(start))
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	copy(perIter, mu.vals[:warmup+iters])
+	var total simtime.Duration
+	for _, d := range perIter[warmup:] {
+		total += d
+	}
+	return total / simtime.Duration(iters), nil
+}
+
+// chanMax tracks the per-iteration maximum duration across ranks.
+type chanMax struct {
+	mu   sync.Mutex
+	vals [maxIters]simtime.Duration
+}
+
+// maxIters bounds warmup+iters per measurement.
+const maxIters = 1024
+
+func (c *chanMax) update(it int, d simtime.Duration) {
+	c.mu.Lock()
+	if d > c.vals[it] {
+		c.vals[it] = d
+	}
+	c.mu.Unlock()
+}
+
+// BcastLatency runs osu_bcast with the given payload for the whole world.
+func BcastLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		buf := deviceBuffer(r, vals)
+		return r.Bcast(0, buf)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// AllgatherLatency runs osu_allgather: every rank contributes bytes of
+// payload and receives world*bytes.
+func AllgatherLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		send := deviceBuffer(r, vals)
+		recv := &gpusim.Buffer{Data: make([]byte, bytes*r.Size()), Loc: gpusim.Device, Dev: r.Dev}
+		return r.Allgather(send, recv)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// resetStats clears per-rank engine accounting so a measurement reflects
+// only its own operations.
+func resetStats(w *mpi.World) {
+	for i := 0; i < w.Size(); i++ {
+		w.Rank(i).Engine.ResetCounters()
+	}
+}
+
+// avgRatio reports the achieved compression ratio aggregated over the
+// named ranks' engines (1 when nothing was compressed).
+func avgRatio(w *mpi.World, rankIDs ...int) float64 {
+	var in, out float64
+	for _, id := range rankIDs {
+		e := w.Rank(id).Engine
+		in += float64(e.BytesIn)
+		out += float64(e.BytesOut)
+	}
+	if out == 0 {
+		return 1
+	}
+	return in / out
+}
+
+func avgRatioAll(w *mpi.World) float64 {
+	ids := make([]int, w.Size())
+	for i := range ids {
+		ids[i] = i
+	}
+	return avgRatio(w, ids...)
+}
+
+// AlltoallLatency runs an osu_alltoall-style measurement: every rank
+// exchanges a block of `bytes` with every other rank. The paper lists
+// compressed Alltoall as future work; this exercises it end to end.
+func AlltoallLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4 * w.Size())
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		send := deviceBuffer(r, vals)
+		recv := &gpusim.Buffer{Data: make([]byte, bytes*r.Size()), Loc: gpusim.Device, Dev: r.Dev}
+		return r.Alltoall(send, recv)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// AllreduceLatency runs an osu_allreduce-style measurement (float32 sum).
+func AllreduceLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		send := deviceBuffer(r, vals)
+		recv := &gpusim.Buffer{Data: make([]byte, bytes), Loc: gpusim.Device, Dev: r.Dev}
+		return r.AllreduceSum(send, recv)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// BiBandwidth runs osu_bibw: both ranks stream `window` messages at each
+// other simultaneously, measuring aggregate bidirectional bandwidth.
+func BiBandwidth(w *mpi.World, sizes []int, warmup, iters, window int) ([]P2PResult, error) {
+	if w.Size() < 2 {
+		return nil, fmt.Errorf("omb: bibw needs at least 2 ranks")
+	}
+	if window <= 0 {
+		window = 16
+	}
+	results := make([]P2PResult, 0, len(sizes))
+	for _, size := range sizes {
+		var bw float64
+		w.ResetClocks()
+		_, err := w.Run(func(r *mpi.Rank) error {
+			if r.ID() > 1 {
+				return nil
+			}
+			peer := 1 - r.ID()
+			sendBufs := make([]*gpusim.Buffer, window)
+			recvBufs := make([]*gpusim.Buffer, window)
+			for i := range sendBufs {
+				sendBufs[i] = &gpusim.Buffer{Data: make([]byte, size), Loc: gpusim.Device, Dev: r.Dev}
+				recvBufs[i] = &gpusim.Buffer{Data: make([]byte, size), Loc: gpusim.Device, Dev: r.Dev}
+			}
+			var measured simtime.Duration
+			for it := 0; it < warmup+iters; it++ {
+				start := r.Clock.Now()
+				reqs := make([]*mpi.Request, 0, 2*window)
+				for i := 0; i < window; i++ {
+					rq, err := r.Irecv(peer, i, recvBufs[i])
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, rq)
+				}
+				for i := 0; i < window; i++ {
+					sq, err := r.Isend(peer, i, sendBufs[i])
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, sq)
+				}
+				if err := r.Waitall(reqs...); err != nil {
+					return err
+				}
+				if it >= warmup && r.ID() == 0 {
+					measured += r.Clock.Now().Sub(start)
+				}
+			}
+			if r.ID() == 0 {
+				totalBytes := 2 * float64(size) * float64(window) * float64(iters)
+				bw = totalBytes / measured.Seconds() / 1e9
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, P2PResult{Bytes: size, BandwidthGBps: bw})
+	}
+	return results, nil
+}
+
+// ReduceLatency runs an osu_reduce-style measurement (float32 sum to
+// rank 0).
+func ReduceLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		send := deviceBuffer(r, vals)
+		recv := &gpusim.Buffer{Data: make([]byte, bytes), Loc: gpusim.Device, Dev: r.Dev}
+		return r.ReduceSum(0, send, recv)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// GatherLatency runs an osu_gather-style measurement (to rank 0).
+func GatherLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		send := deviceBuffer(r, vals)
+		var recv *gpusim.Buffer
+		if r.ID() == 0 {
+			recv = &gpusim.Buffer{Data: make([]byte, bytes*r.Size()), Loc: gpusim.Device, Dev: r.Dev}
+		}
+		return r.Gather(0, send, recv)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// ScatterLatency runs an osu_scatter-style measurement (from rank 0).
+func ScatterLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) error {
+		var send *gpusim.Buffer
+		if r.ID() == 0 {
+			vals := gen(bytes / 4 * r.Size())
+			send = deviceBuffer(r, vals)
+		}
+		recv := &gpusim.Buffer{Data: make([]byte, bytes), Loc: gpusim.Device, Dev: r.Dev}
+		return r.Scatter(0, send, recv)
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}

@@ -1,0 +1,281 @@
+package omb
+
+import (
+	"testing"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
+)
+
+func newW(t testing.TB, cluster hw.Cluster, nodes, ppn int, cfg core.Config) *mpi.World {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Options{Cluster: cluster, Nodes: nodes, PPN: ppn, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLatencyMonotonicInSize(t *testing.T) {
+	w := newW(t, hw.Longhorn(), 2, 1, core.Config{})
+	res, err := Latency(w, []int{256 << 10, 1 << 20, 4 << 20}, 1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("rows: %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Latency <= res[i-1].Latency {
+			t.Fatalf("latency must grow with size: %v", res)
+		}
+	}
+	// Baseline never compresses.
+	if res[0].Ratio != 1 {
+		t.Fatalf("baseline ratio should be 1, got %v", res[0].Ratio)
+	}
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	run := func() simtime.Duration {
+		w := newW(t, hw.Longhorn(), 2, 1, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC})
+		res, err := Latency(w, []int{4 << 20}, 1, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Latency
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("simulation must be deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestCompressedLatencyBeatsBaselineAt32MB(t *testing.T) {
+	// The headline point-to-point result (Fig. 9b): on Frontera Liquid's
+	// FDR network both OPT schemes win big at 32 MB.
+	sizes := []int{32 << 20}
+	base, err := Latency(newW(t, hw.FronteraLiquid(), 2, 1, core.Config{}), sizes, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpcOpt, err := Latency(newW(t, hw.FronteraLiquid(), 2, 1,
+		core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC}), sizes, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zfpOpt, err := Latency(newW(t, hw.FronteraLiquid(), 2, 1,
+		core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 4}), sizes, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, m, z := base[0].Latency, mpcOpt[0].Latency, zfpOpt[0].Latency
+	// Paper: MPC-OPT up to 77.1%, ZFP-OPT(rate:4) up to 83.1% reduction.
+	if red := 1 - float64(m)/float64(b); red < 0.4 {
+		t.Fatalf("MPC-OPT reduction too small: %.1f%% (%v vs %v)", red*100, m, b)
+	}
+	if red := 1 - float64(z)/float64(b); red < 0.65 {
+		t.Fatalf("ZFP-OPT(4) reduction too small: %.1f%% (%v vs %v)", red*100, z, b)
+	}
+	if mpcOpt[0].Ratio <= 2 {
+		t.Fatalf("dummy-data MPC ratio should be large: %v", mpcOpt[0].Ratio)
+	}
+	if zfpOpt[0].Ratio < 7.9 || zfpOpt[0].Ratio > 8.1 {
+		t.Fatalf("ZFP rate 4 ratio should be 8: %v", zfpOpt[0].Ratio)
+	}
+}
+
+func TestNaiveIntegrationHurts(t *testing.T) {
+	// Figure 5: the naive integration is *slower* than no compression at
+	// small-to-mid sizes.
+	sizes := []int{512 << 10}
+	base, err := Latency(newW(t, hw.Longhorn(), 2, 1, core.Config{}), sizes, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Latency(newW(t, hw.Longhorn(), 2, 1,
+		core.Config{Mode: core.ModeNaive, Algorithm: core.AlgoMPC}), sizes, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive[0].Latency <= base[0].Latency {
+		t.Fatalf("naive MPC at 512KB should lose to baseline: %v vs %v",
+			naive[0].Latency, base[0].Latency)
+	}
+}
+
+func TestBandwidthSaturatesLink(t *testing.T) {
+	// Figure 2(a): the baseline library saturates IB EDR (12.5 GB/s) for
+	// large messages.
+	w := newW(t, hw.Longhorn(), 2, 1, core.Config{})
+	res, err := Bandwidth(w, []int{1 << 20, 8 << 20, 32 << 20}, 1, 2, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res[len(res)-1].BandwidthGBps
+	if last < 11.0 || last > 12.6 {
+		t.Fatalf("32MB bandwidth should approach 12.5 GB/s: %v", last)
+	}
+	// Small messages achieve less.
+	if res[0].BandwidthGBps >= last {
+		t.Fatalf("bandwidth should grow with size: %+v", res)
+	}
+}
+
+func TestBandwidthExtraOverheadLowersSmallMsg(t *testing.T) {
+	w := newW(t, hw.Longhorn(), 2, 1, core.Config{})
+	clean, err := Bandwidth(w, []int{64 << 10}, 1, 2, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Bandwidth(w, []int{64 << 10}, 1, 2, 16, simtime.FromMicroseconds(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow[0].BandwidthGBps >= clean[0].BandwidthGBps {
+		t.Fatal("per-message overhead should reduce small-message bandwidth")
+	}
+}
+
+func TestBcastAndAllgatherDatasets(t *testing.T) {
+	// Figure 11 conditions (shrunk): 4 nodes x 2 ppn on Frontera Liquid,
+	// real dataset payloads, 2 MB messages.
+	gen, err := DatasetData("msg_sppm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newW(t, hw.FronteraLiquid(), 4, 2, core.Config{})
+	comp := newW(t, hw.FronteraLiquid(), 4, 2, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC})
+
+	b0, err := BcastLatency(base, 2<<20, 1, 2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := BcastLatency(comp, 2<<20, 1, 2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Latency >= b0.Latency {
+		t.Fatalf("MPC-OPT bcast on msg_sppm should win: %v vs %v", b1.Latency, b0.Latency)
+	}
+	if b1.Ratio < 4 {
+		t.Fatalf("msg_sppm should compress > 4x, got %v", b1.Ratio)
+	}
+
+	a0, err := AllgatherLatency(base, 4<<20, 1, 2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := AllgatherLatency(comp, 4<<20, 1, 2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Latency >= a0.Latency {
+		t.Fatalf("MPC-OPT allgather on msg_sppm should win: %v vs %v", a1.Latency, a0.Latency)
+	}
+}
+
+func TestDatasetDataUnknown(t *testing.T) {
+	if _, err := DatasetData("bogus"); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestLatencyNeedsTwoRanks(t *testing.T) {
+	w := newW(t, hw.Longhorn(), 1, 1, core.Config{})
+	if _, err := Latency(w, []int{1024}, 0, 1, nil); err == nil {
+		t.Fatal("1 rank should fail")
+	}
+	if _, err := Bandwidth(w, []int{1024}, 0, 1, 4, 0); err == nil {
+		t.Fatal("1 rank should fail")
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	s := DefaultSizes()
+	if s[0] != 256<<10 || s[len(s)-1] != 32<<20 || len(s) != 8 {
+		t.Fatalf("sweep wrong: %v", s)
+	}
+}
+
+func TestAlltoallAndAllreduce(t *testing.T) {
+	base := newW(t, hw.FronteraLiquid(), 4, 1, core.Config{})
+	comp := newW(t, hw.FronteraLiquid(), 4, 1, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 8})
+
+	a0, err := AlltoallLatency(base, 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := AlltoallLatency(comp, 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Latency >= a0.Latency {
+		t.Fatalf("compressed alltoall should win on FDR: %v vs %v", a1.Latency, a0.Latency)
+	}
+
+	r0, err := AllreduceLatency(base, 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := AllreduceLatency(comp, 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Latency >= r0.Latency {
+		t.Fatalf("compressed allreduce should win on FDR: %v vs %v", r1.Latency, r0.Latency)
+	}
+	if a1.Ratio < 3.9 || r1.Ratio < 3.9 {
+		t.Fatalf("ZFP r8 ratio should be 4: %v %v", a1.Ratio, r1.Ratio)
+	}
+}
+
+func TestBiBandwidthExceedsUnidirectional(t *testing.T) {
+	// Full-duplex adapters: bidirectional aggregate beats one direction.
+	w := newW(t, hw.Longhorn(), 2, 1, core.Config{})
+	uni, err := Bandwidth(w, []int{4 << 20}, 1, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := BiBandwidth(w, []int{4 << 20}, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi[0].BandwidthGBps <= uni[0].BandwidthGBps*1.5 {
+		t.Fatalf("bibw %v should approach 2x unidirectional %v",
+			bi[0].BandwidthGBps, uni[0].BandwidthGBps)
+	}
+	if _, err := BiBandwidth(newW(t, hw.Longhorn(), 1, 1, core.Config{}), []int{1024}, 0, 1, 4); err == nil {
+		t.Fatal("1 rank should fail")
+	}
+}
+
+func TestReduceGatherScatterLatencies(t *testing.T) {
+	base := newW(t, hw.Longhorn(), 2, 2, core.Config{})
+	comp := newW(t, hw.Longhorn(), 2, 2,
+		core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 8, Threshold: 256 << 10})
+	const msg = 2 << 20
+	for name, f := range map[string]func(w *mpi.World) (CollResult, error){
+		"reduce":  func(w *mpi.World) (CollResult, error) { return ReduceLatency(w, msg, 1, 2, nil) },
+		"gather":  func(w *mpi.World) (CollResult, error) { return GatherLatency(w, msg, 1, 2, nil) },
+		"scatter": func(w *mpi.World) (CollResult, error) { return ScatterLatency(w, msg, 1, 2, nil) },
+	} {
+		b, err := f(base)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		c, err := f(comp)
+		if err != nil {
+			t.Fatalf("%s compressed: %v", name, err)
+		}
+		if b.Latency <= 0 || c.Latency <= 0 {
+			t.Fatalf("%s: degenerate latencies %v %v", name, b.Latency, c.Latency)
+		}
+		// ZFP r8 cuts the wire bytes 4x; all three involve inter-node
+		// rendezvous transfers above the threshold, so it must help.
+		if c.Latency >= b.Latency {
+			t.Errorf("%s: compression should help: %v vs %v", name, c.Latency, b.Latency)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalendarBasicSequence(t *testing.T) {
+	c := NewCalendar()
+	s1, e1 := c.Reserve(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first: [%v,%v]", s1, e1)
+	}
+	// Overlapping request queues after.
+	s2, e2 := c.Reserve(50, 100)
+	if s2 != 100 || e2 != 200 {
+		t.Fatalf("second: [%v,%v]", s2, e2)
+	}
+	if c.BusyUntil() != 200 {
+		t.Fatalf("busyUntil: %v", c.BusyUntil())
+	}
+}
+
+func TestCalendarBackfillsGaps(t *testing.T) {
+	c := NewCalendar()
+	// A late-ready reservation books far in the future...
+	c.Reserve(1000, 100)
+	// ...and an early-ready one called LATER still gets the early slot.
+	s, e := c.Reserve(0, 100)
+	if s != 0 || e != 100 {
+		t.Fatalf("early flow should backfill: [%v,%v]", s, e)
+	}
+	// A mid gap (100..1000) fits a 900 reservation exactly.
+	s, e = c.Reserve(0, 900)
+	if s != 100 || e != 1000 {
+		t.Fatalf("gap fill: [%v,%v]", s, e)
+	}
+	// Now the calendar is solid 0..1100; next goes after.
+	s, _ = c.Reserve(0, 10)
+	if s != 1100 {
+		t.Fatalf("after solid block: %v", s)
+	}
+}
+
+func TestCalendarGapTooSmall(t *testing.T) {
+	c := NewCalendar()
+	c.Reserve(0, 100)   // [0,100)
+	c.Reserve(150, 100) // [150,250)
+	// A 60-unit request ready at 0 does not fit the 50-unit gap.
+	s, e := c.Reserve(0, 60)
+	if s != 250 || e != 310 {
+		t.Fatalf("should skip small gap: [%v,%v]", s, e)
+	}
+	// A 50-unit request fits exactly.
+	s, e = c.Reserve(0, 50)
+	if s != 100 || e != 150 {
+		t.Fatalf("exact gap fit: [%v,%v]", s, e)
+	}
+}
+
+func TestCalendarZeroDuration(t *testing.T) {
+	c := NewCalendar()
+	c.Reserve(0, 100)
+	s, e := c.Reserve(10, 0)
+	if s != 100 || e != 100 {
+		t.Fatalf("zero-length inside busy should start at gap: [%v,%v]", s, e)
+	}
+	if c.BusyUntil() != 100 {
+		t.Fatal("zero-length must not occupy the calendar")
+	}
+	s, e = c.Reserve(5, -7)
+	if s != e {
+		t.Fatal("negative duration should clamp to zero")
+	}
+}
+
+func TestCalendarReset(t *testing.T) {
+	c := NewCalendar()
+	c.Reserve(0, 500)
+	c.Reset()
+	if s, _ := c.Reserve(0, 10); s != 0 {
+		t.Fatalf("after reset: %v", s)
+	}
+}
+
+// Property: no two reservations overlap, each starts at or after its
+// ready time, and the total booked time equals the sum of durations.
+func TestCalendarNoOverlapProperty(t *testing.T) {
+	type iv struct{ s, e Time }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCalendar()
+		var got []iv
+		var total Duration
+		for i := 0; i < 100; i++ {
+			ready := Time(rng.Intn(2000))
+			d := Duration(1 + rng.Intn(50))
+			s, e := c.Reserve(ready, d)
+			if s < ready || e != s.Add(d) {
+				return false
+			}
+			got = append(got, iv{s, e})
+			total += d
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].s < got[j].s })
+		for i := 1; i < len(got); i++ {
+			if got[i].s < got[i-1].e {
+				return false // overlap
+			}
+		}
+		return true && total > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarConcurrentSafety(t *testing.T) {
+	c := NewCalendar()
+	var wg sync.WaitGroup
+	const workers = 32
+	results := make([][2]Time, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, e := c.Reserve(Time(i%4)*25, 10)
+			results[i] = [2]Time{s, e}
+		}(i)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i][0] < results[j][0] })
+	for i := 1; i < workers; i++ {
+		if results[i][0] < results[i-1][1] {
+			t.Fatalf("concurrent reservations overlap: %v and %v", results[i-1], results[i])
+		}
+	}
+	if c.BusyUntil() < Time(workers*10) {
+		t.Fatalf("total booked time too small: %v", c.BusyUntil())
+	}
+}
+
+func TestCalendarMergeAdjacent(t *testing.T) {
+	c := NewCalendar()
+	c.Reserve(0, 10)
+	c.Reserve(10, 10) // touches predecessor
+	c.Reserve(20, 10) // touches again
+	// Internally merged: a request ready at 0 goes after 30.
+	if s, _ := c.Reserve(0, 1); s != 30 {
+		t.Fatalf("merge failed: %v", s)
+	}
+}

@@ -1,0 +1,173 @@
+// Package simtime provides the virtual-time primitives used by the GPU
+// cluster simulation. All latencies in the repository are expressed in
+// simulated nanoseconds; nothing in the simulation reads the wall clock,
+// which keeps every experiment deterministic and independent of the host
+// machine's speed.
+package simtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Time is an absolute instant on the simulation clock, in nanoseconds
+// since the start of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Microseconds reports d as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e3 }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e6 }
+
+// String formats the duration with an adaptive unit, e.g. "12.5us".
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4fs", d.Seconds())
+	}
+}
+
+// String formats the instant as a duration since time zero.
+func (t Time) String() string { return Duration(t).String() }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxDuration returns the longer of a and b.
+func MaxDuration(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FromSeconds converts floating-point seconds to a Duration.
+func FromSeconds(s float64) Duration { return Duration(s * 1e9) }
+
+// FromMicroseconds converts floating-point microseconds to a Duration.
+func FromMicroseconds(us float64) Duration { return Duration(us * 1e3) }
+
+// TransferTime returns the serialization time for n bytes over a link of
+// bwGBps gigabytes per second (1 GB = 1e9 bytes). A non-positive bandwidth
+// yields zero, which callers use for "infinitely fast" test fabrics.
+func TransferTime(n int, bwGBps float64) Duration {
+	if bwGBps <= 0 || n <= 0 {
+		return 0
+	}
+	return Duration(float64(n) / (bwGBps * 1e9) * 1e9)
+}
+
+// ThroughputTime returns the execution time to process n bytes at a rate of
+// gbps gigaBITS per second. Compressor throughputs in the paper's Table III
+// are reported in Gb/s, so this helper keeps the unit conversion in one spot.
+func ThroughputTime(n int, gbps float64) Duration {
+	if gbps <= 0 || n <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	return Duration(bits / (gbps * 1e9) * 1e9)
+}
+
+// Clock is a monotonically advancing logical clock. It is the per-rank
+// notion of "now". Clock is not safe for concurrent use; each rank owns one.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at t.
+func NewClock(t Time) *Clock { return &Clock{now: t} }
+
+// Now reports the current instant.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative d is ignored so that cost
+// models returning zero/negative durations cannot move time backwards.
+func (c *Clock) Advance(d Duration) Time {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is in the future.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Timeline models a resource that serves work sequentially: a GPU stream,
+// a DMA engine, or a network link. Reservations serialize; a reservation
+// placed while the resource is busy starts when the resource frees up.
+// Timeline is safe for concurrent use.
+type Timeline struct {
+	mu        sync.Mutex
+	busyUntil Time
+}
+
+// NewTimeline returns a timeline that is free from time zero.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Reserve books the resource for duration d at the earliest instant not
+// before ready. It returns the actual start and end of the reservation.
+func (tl *Timeline) Reserve(ready Time, d Duration) (start, end Time) {
+	if d < 0 {
+		d = 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	start = Max(ready, tl.busyUntil)
+	end = start.Add(d)
+	tl.busyUntil = end
+	return start, end
+}
+
+// BusyUntil reports the instant at which the resource next becomes free.
+func (tl *Timeline) BusyUntil() Time {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.busyUntil
+}
+
+// Reset makes the timeline free again from time zero. Used between
+// benchmark repetitions.
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.busyUntil = 0
+}

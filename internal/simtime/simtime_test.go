@@ -1,0 +1,157 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{-500, "-500ns"},
+		{12_500, "12.50us"},
+		{3_456_000, "3.456ms"},
+		{2_500_000_000, "2.5000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String()=%q want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if FromMicroseconds(2.5) != 2500 {
+		t.Fatalf("FromMicroseconds: %d", FromMicroseconds(2.5))
+	}
+	if FromSeconds(0.001) != Millisecond {
+		t.Fatalf("FromSeconds: %d", FromSeconds(0.001))
+	}
+	if d := Duration(1_500_000); d.Milliseconds() != 1.5 {
+		t.Fatalf("Milliseconds: %v", d.Milliseconds())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 GB at 1 GB/s = 1 s.
+	if got := TransferTime(1e9, 1); got != Second {
+		t.Fatalf("TransferTime: %v", got)
+	}
+	// 12.5 GB/s (IB EDR) moving 32 MB: ~2.68 ms.
+	got := TransferTime(32<<20, 12.5)
+	if got < 2_600_000 || got > 2_750_000 {
+		t.Fatalf("EDR 32MB transfer: %v", got)
+	}
+	if TransferTime(0, 10) != 0 || TransferTime(100, 0) != 0 {
+		t.Fatal("degenerate transfers should be zero")
+	}
+}
+
+func TestThroughputTime(t *testing.T) {
+	// 200 Gb/s over 32 MB = 32*2^20*8 / 200e9 s ~ 1.342 ms.
+	got := ThroughputTime(32<<20, 200)
+	if got < 1_300_000 || got > 1_400_000 {
+		t.Fatalf("ThroughputTime: %v", got)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(100)
+	c.Advance(-50) // ignored
+	if c.Now() != 100 {
+		t.Fatalf("clock: %v", c.Now())
+	}
+	c.AdvanceTo(80) // ignored, in the past
+	if c.Now() != 100 {
+		t.Fatalf("clock after past AdvanceTo: %v", c.Now())
+	}
+	c.AdvanceTo(300)
+	if c.Now() != 300 {
+		t.Fatalf("clock after future AdvanceTo: %v", c.Now())
+	}
+}
+
+func TestTimelineSerializes(t *testing.T) {
+	tl := NewTimeline()
+	s1, e1 := tl.Reserve(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first: %v %v", s1, e1)
+	}
+	// Second reservation while busy starts after the first.
+	s2, e2 := tl.Reserve(50, 100)
+	if s2 != 100 || e2 != 200 {
+		t.Fatalf("second: %v %v", s2, e2)
+	}
+	// Reservation after idle period starts at ready time.
+	s3, e3 := tl.Reserve(500, 10)
+	if s3 != 500 || e3 != 510 {
+		t.Fatalf("third: %v %v", s3, e3)
+	}
+	if tl.BusyUntil() != 510 {
+		t.Fatalf("busyUntil: %v", tl.BusyUntil())
+	}
+	tl.Reset()
+	if tl.BusyUntil() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTimelineNegativeDuration(t *testing.T) {
+	tl := NewTimeline()
+	s, e := tl.Reserve(10, -5)
+	if s != 10 || e != 10 {
+		t.Fatalf("negative duration should clamp to zero: %v %v", s, e)
+	}
+}
+
+func TestTimelineConcurrentTotalTime(t *testing.T) {
+	// N concurrent reservations of d each must serialize to exactly N*d.
+	tl := NewTimeline()
+	const n, d = 64, 10
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl.Reserve(0, d)
+		}()
+	}
+	wg.Wait()
+	if got := tl.BusyUntil(); got != n*d {
+		t.Fatalf("serialized end: got %v want %v", got, n*d)
+	}
+}
+
+func TestMaxHelpers(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max broken")
+	}
+	if MaxDuration(3, 5) != 5 || MaxDuration(5, 3) != 5 {
+		t.Fatal("MaxDuration broken")
+	}
+}
+
+// Property: Reserve never overlaps and never starts before ready.
+func TestReserveProperty(t *testing.T) {
+	f := func(durations []uint16) bool {
+		tl := NewTimeline()
+		var lastEnd Time
+		for i, du := range durations {
+			ready := Time(i * 3)
+			s, e := tl.Reserve(ready, Duration(du))
+			if s < ready || s < lastEnd || e != s.Add(Duration(du)) {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

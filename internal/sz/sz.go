@@ -1,0 +1,424 @@
+// Package sz implements an SZ-style error-bounded lossy floating-point
+// compressor (Di & Cappello, IPDPS 2016; Tao et al.) — the second lossy
+// GPU codec in the paper's Table I comparison. The design follows the SZ
+// 2.x single-precision pipeline:
+//
+//  1. Lorenzo prediction: each value is predicted from the *decompressed*
+//     predecessor, keeping encoder and decoder in lockstep.
+//  2. Linear-scale quantization: the prediction residual is quantized to
+//     an integer code with bin width 2*eb, guaranteeing |v - v'| <= eb
+//     for predictable values.
+//  3. Entropy coding: the quantization codes are Huffman coded
+//     (canonical codes, table carried in the stream).
+//  4. Unpredictable values (residual outside the code range) are stored
+//     verbatim and flagged with a reserved symbol — exact, not lossy.
+//
+// The guarantee tested by the property suite: every reconstructed value
+// differs from its original by at most the error bound.
+package sz
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mpicomp/internal/bitstream"
+)
+
+// DefaultBins is the quantization code range (SZ's default interval
+// capacity). The reserved symbol DefaultBins marks unpredictable values.
+const DefaultBins = 1 << 16
+
+var (
+	// ErrBadBound reports a non-positive error bound.
+	ErrBadBound = errors.New("sz: error bound must be positive")
+	// ErrCorrupt reports an undecodable stream.
+	ErrCorrupt = errors.New("sz: corrupt compressed data")
+)
+
+// Compress compresses src with the given absolute error bound, appending
+// to dst.
+func Compress(dst []byte, src []float32, eb float64) ([]byte, error) {
+	if !(eb > 0) {
+		return dst, ErrBadBound
+	}
+	const bins = DefaultBins
+	const marker = bins // reserved symbol
+	half := bins / 2
+
+	codes := make([]int, 0, len(src))
+	var exact []float32
+	prev := 0.0 // decompressed predecessor
+	for i, v := range src {
+		pred := prev
+		if i == 0 {
+			pred = 0
+		}
+		q := math.Round((float64(v) - pred) / (2 * eb))
+		// The decoder reconstructs in float64 and stores float32, so the
+		// encoder must track the identical rounded value — otherwise the
+		// histories diverge and the bound silently erodes.
+		recon := float64(float32(pred + q*2*eb))
+		if q >= float64(-half) && q < float64(half) &&
+			math.Abs(recon-float64(v)) <= eb &&
+			!math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+			codes = append(codes, int(q)+half)
+			prev = recon
+		} else {
+			codes = append(codes, marker)
+			exact = append(exact, v)
+			prev = float64(v)
+		}
+	}
+
+	// Huffman-code the symbol stream.
+	table := buildHuffman(codes)
+	w := bitstream.NewWriter()
+	for _, c := range codes {
+		e := table[c]
+		// Emit MSB-first so canonical decoding works.
+		for b := int(e.length) - 1; b >= 0; b-- {
+			w.WriteBit(uint(e.code>>uint(b)) & 1)
+		}
+	}
+	payload := w.Bytes()
+
+	// Serialize: table, bit length, payload, exact values.
+	out := dst
+	syms := make([]int, 0, len(table))
+	for s := range table {
+		syms = append(syms, s)
+	}
+	sort.Ints(syms)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(syms)))
+	for _, s := range syms {
+		out = binary.LittleEndian.AppendUint32(out, uint32(s))
+		out = append(out, table[s].length)
+	}
+	out = binary.LittleEndian.AppendUint64(out, w.BitLen())
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(exact)))
+	for _, v := range exact {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out, nil
+}
+
+// Decompress reconstructs exactly n values from comp with the error bound
+// used at compression time.
+func Decompress(dst []float32, comp []byte, n int, eb float64) ([]float32, error) {
+	if !(eb > 0) {
+		return dst, ErrBadBound
+	}
+	const bins = DefaultBins
+	const marker = bins
+	half := bins / 2
+
+	pos := 0
+	need := func(k int) error {
+		if pos+k > len(comp) {
+			return fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, pos)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return dst, err
+	}
+	nSyms := int(binary.LittleEndian.Uint32(comp[pos:]))
+	pos += 4
+	if nSyms > bins+1 {
+		return dst, fmt.Errorf("%w: %d symbols", ErrCorrupt, nSyms)
+	}
+	entries := make([]tableEntry, nSyms)
+	for i := range entries {
+		if err := need(5); err != nil {
+			return dst, err
+		}
+		entries[i].symbol = int(binary.LittleEndian.Uint32(comp[pos:]))
+		entries[i].length = comp[pos+4]
+		if entries[i].symbol > marker || entries[i].length == 0 || entries[i].length > 64 {
+			return dst, fmt.Errorf("%w: bad table entry", ErrCorrupt)
+		}
+		pos += 5
+	}
+	if err := need(12); err != nil {
+		return dst, err
+	}
+	bitLen := binary.LittleEndian.Uint64(comp[pos:])
+	pos += 8
+	payloadLen := int(binary.LittleEndian.Uint32(comp[pos:]))
+	pos += 4
+	if err := need(payloadLen); err != nil {
+		return dst, err
+	}
+	payload := comp[pos : pos+payloadLen]
+	pos += payloadLen
+	if err := need(4); err != nil {
+		return dst, err
+	}
+	nExact := int(binary.LittleEndian.Uint32(comp[pos:]))
+	pos += 4
+	if err := need(4 * nExact); err != nil {
+		return dst, err
+	}
+	exact := make([]float32, nExact)
+	for i := range exact {
+		exact[i] = math.Float32frombits(binary.LittleEndian.Uint32(comp[pos:]))
+		pos += 4
+	}
+	if pos != len(comp) {
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-pos)
+	}
+
+	dec, err := newCanonicalDecoder(entries)
+	if err != nil {
+		return dst, err
+	}
+	r := bitstream.NewReader(payload)
+	prev := 0.0
+	exactIdx := 0
+	var readBits uint64
+	for i := 0; i < n; i++ {
+		sym, used, err := dec.decode(r, bitLen-readBits)
+		if err != nil {
+			return dst, err
+		}
+		readBits += used
+		if sym == marker {
+			if exactIdx >= len(exact) {
+				return dst, fmt.Errorf("%w: missing exact value", ErrCorrupt)
+			}
+			v := exact[exactIdx]
+			exactIdx++
+			dst = append(dst, v)
+			prev = float64(v)
+			continue
+		}
+		recon := prev + float64(sym-half)*2*eb
+		dst = append(dst, float32(recon))
+		prev = float64(float32(recon))
+	}
+	return dst, nil
+}
+
+// Ratio reports original/compressed size of src at the given bound.
+func Ratio(src []float32, eb float64) (float64, error) {
+	comp, err := Compress(nil, src, eb)
+	if err != nil {
+		return 0, err
+	}
+	if len(comp) == 0 {
+		return 1, nil
+	}
+	return float64(len(src)*4) / float64(len(comp)), nil
+}
+
+// --- Huffman machinery ---
+
+type huffEntry struct {
+	code   uint64
+	length byte
+}
+
+type tableEntry struct {
+	symbol int
+	length byte
+}
+
+type hNode struct {
+	freq        int
+	symbol      int // -1 for internal
+	left, right *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildHuffman computes canonical Huffman codes for the symbols in codes.
+func buildHuffman(codes []int) map[int]huffEntry {
+	freq := map[int]int{}
+	for _, c := range codes {
+		freq[c]++
+	}
+	if len(freq) == 0 {
+		return map[int]huffEntry{}
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[int]huffEntry{s: {code: 0, length: 1}}
+		}
+	}
+	h := make(hHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &hNode{freq: f, symbol: s})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hNode)
+		b := heap.Pop(&h).(*hNode)
+		heap.Push(&h, &hNode{freq: a.freq + b.freq, symbol: -1, left: a, right: b})
+	}
+	// Extract code lengths.
+	lengths := map[int]byte{}
+	var walk func(n *hNode, depth byte)
+	walk = func(n *hNode, depth byte) {
+		if n.symbol >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h[0], 0)
+	return canonicalCodes(lengths)
+}
+
+// canonicalCodes assigns canonical codes given lengths (sorted by
+// (length, symbol)).
+func canonicalCodes(lengths map[int]byte) map[int]huffEntry {
+	type sl struct {
+		symbol int
+		length byte
+	}
+	items := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		items = append(items, sl{s, l})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].length != items[j].length {
+			return items[i].length < items[j].length
+		}
+		return items[i].symbol < items[j].symbol
+	})
+	out := make(map[int]huffEntry, len(items))
+	code := uint64(0)
+	prevLen := byte(0)
+	for _, it := range items {
+		if prevLen != 0 {
+			code = (code + 1) << (it.length - prevLen)
+		}
+		out[it.symbol] = huffEntry{code: code, length: it.length}
+		prevLen = it.length
+	}
+	return out
+}
+
+// canonicalDecoder decodes canonical Huffman bit-by-bit using first-code
+// tables per length.
+type canonicalDecoder struct {
+	// perLength[l] = (firstCode, firstIndex) for codes of length l.
+	firstCode  [65]uint64
+	firstIndex [65]int
+	count      [65]int
+	symbols    []int // sorted by (length, symbol)
+	maxLen     byte
+}
+
+func newCanonicalDecoder(entries []tableEntry) (*canonicalDecoder, error) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].length != entries[j].length {
+			return entries[i].length < entries[j].length
+		}
+		return entries[i].symbol < entries[j].symbol
+	})
+	d := &canonicalDecoder{}
+	for _, e := range entries {
+		d.count[e.length]++
+		d.symbols = append(d.symbols, e.symbol)
+		if e.length > d.maxLen {
+			d.maxLen = e.length
+		}
+	}
+	// Canonical progression, mirroring the encoder: the first code of
+	// each populated length is (last code of previous length + 1)
+	// shifted left by the length difference.
+	code := uint64(0)
+	prevLen := byte(0)
+	idx := 0
+	for l := byte(1); l <= d.maxLen; l++ {
+		if d.count[l] == 0 {
+			continue
+		}
+		if prevLen != 0 {
+			code = (code + 1) << (l - prevLen)
+		}
+		d.firstCode[l] = code
+		d.firstIndex[l] = idx
+		code += uint64(d.count[l]) - 1
+		idx += d.count[l]
+		prevLen = l
+	}
+	return d, nil
+}
+
+// decode reads one symbol, returning it and the number of bits consumed.
+func (d *canonicalDecoder) decode(r *bitstream.Reader, budget uint64) (int, uint64, error) {
+	var code uint64
+	var used uint64
+	for l := byte(1); l <= d.maxLen; l++ {
+		if used >= budget {
+			return 0, used, fmt.Errorf("%w: bit budget exhausted", ErrCorrupt)
+		}
+		code = code<<1 | uint64(r.ReadBit())
+		used++
+		if d.count[l] == 0 {
+			continue
+		}
+		offset := int64(code) - int64(d.firstCode[l])
+		if offset >= 0 && offset < int64(d.count[l]) {
+			return d.symbols[d.firstIndex[l]+int(offset)], used, nil
+		}
+	}
+	return 0, used, fmt.Errorf("%w: invalid code", ErrCorrupt)
+}
+
+// CompressRel compresses with a value-range-relative error bound, SZ's
+// REL mode: the absolute bound is rel times the sample's value range.
+// The derived absolute bound is returned — the decompressor needs it.
+func CompressRel(dst []byte, src []float32, rel float64) ([]byte, float64, error) {
+	if !(rel > 0) {
+		return dst, 0, ErrBadBound
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range src {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	eb := rel * (hi - lo)
+	if !(eb > 0) {
+		eb = rel // constant or empty data: any positive bound works
+	}
+	out, err := Compress(dst, src, eb)
+	return out, eb, err
+}

@@ -1,0 +1,257 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkBound(t *testing.T, src, got []float32, eb float64) {
+	t.Helper()
+	if len(got) != len(src) {
+		t.Fatalf("length %d want %d", len(got), len(src))
+	}
+	for i := range src {
+		if math.IsNaN(float64(src[i])) || math.IsInf(float64(src[i]), 0) {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				t.Fatalf("non-finite value %d must round-trip exactly", i)
+			}
+			continue
+		}
+		// Allow one float32 ULP of slack on top of the bound for the
+		// final float64->float32 rounding.
+		slack := math.Abs(float64(src[i])) * 1.2e-7
+		if e := math.Abs(float64(got[i]) - float64(src[i])); e > eb+slack {
+			t.Fatalf("value %d: error %g exceeds bound %g (%v -> %v)", i, e, eb, src[i], got[i])
+		}
+	}
+}
+
+func roundTrip(t *testing.T, src []float32, eb float64) []byte {
+	t.Helper()
+	comp, err := Compress(nil, src, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(nil, comp, len(src), eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, src, got, eb)
+	return comp
+}
+
+func TestRoundTripShapes(t *testing.T) {
+	roundTrip(t, nil, 1e-3)
+	roundTrip(t, []float32{42}, 1e-3)
+	roundTrip(t, make([]float32, 1000), 1e-3) // zeros
+	vals := make([]float32, 500)
+	for i := range vals {
+		vals[i] = float32(i) * 0.25
+	}
+	roundTrip(t, vals, 1e-2)
+}
+
+func TestErrorBoundHonored(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 10000)
+	v := float32(0)
+	for i := range src {
+		v += float32(rng.NormFloat64())
+		src[i] = v
+	}
+	for _, eb := range []float64{1e-1, 1e-2, 1e-4} {
+		roundTrip(t, src, eb)
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]float32, 1<<16)
+	v := 100.0
+	for i := range src {
+		v += rng.NormFloat64() * 1e-4
+		src[i] = float32(v)
+	}
+	r, err := Ratio(src, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residuals fit in a handful of quantization bins: high ratio.
+	if r < 4 {
+		t.Fatalf("smooth data should compress > 4x at loose bound: %.2f", r)
+	}
+	// Tighter bound -> lower ratio.
+	rTight, _ := Ratio(src, 1e-6)
+	if rTight >= r {
+		t.Fatalf("tighter bound should compress less: %.2f vs %.2f", rTight, r)
+	}
+}
+
+func TestUnpredictableValuesExact(t *testing.T) {
+	// Wild jumps exceed the quantization range and must be stored
+	// verbatim (bit-exact).
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float32, 2000)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64()) * 1e20
+	}
+	comp, err := Compress(nil, src, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(nil, comp, len(src), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("unpredictable value %d must be exact", i)
+		}
+	}
+}
+
+func TestNonFiniteHandled(t *testing.T) {
+	src := []float32{1, float32(math.Inf(1)), 2, float32(math.Inf(-1)), 3}
+	roundTrip(t, src, 1e-3)
+}
+
+func TestBadBound(t *testing.T) {
+	if _, err := Compress(nil, []float32{1}, 0); err == nil {
+		t.Fatal("zero bound should fail")
+	}
+	if _, err := Decompress(nil, nil, 1, -1); err == nil {
+		t.Fatal("negative bound should fail")
+	}
+}
+
+func TestCorruptRejected(t *testing.T) {
+	src := make([]float32, 256)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	comp, _ := Compress(nil, src, 1e-3)
+	if _, err := Decompress(nil, comp[:len(comp)-2], 256, 1e-3); err == nil {
+		t.Fatal("truncated should fail")
+	}
+	if _, err := Decompress(nil, append(comp, 1), 256, 1e-3); err == nil {
+		t.Fatal("trailing should fail")
+	}
+	if _, err := Decompress(nil, comp[:3], 256, 1e-3); err == nil {
+		t.Fatal("tiny buffer should fail")
+	}
+	// Corrupt the symbol table length.
+	bad := append([]byte(nil), comp...)
+	bad[0] = 0xff
+	bad[1] = 0xff
+	bad[2] = 0xff
+	bad[3] = 0xff
+	if _, err := Decompress(nil, bad, 256, 1e-3); err == nil {
+		t.Fatal("absurd symbol count should fail")
+	}
+}
+
+// Property: the bound holds for arbitrary finite data and bounds.
+func TestBoundProperty(t *testing.T) {
+	f := func(seed int64, ebRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := math.Pow(10, -float64(ebRaw%6)) // 1 .. 1e-5
+		n := 1 + rng.Intn(300)
+		src := make([]float32, n)
+		v := 0.0
+		for i := range src {
+			switch rng.Intn(4) {
+			case 0:
+				v = rng.NormFloat64() * 1000
+			default:
+				v += rng.NormFloat64() * eb * 10
+			}
+			src[i] = float32(v)
+		}
+		comp, err := Compress(nil, src, eb)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(nil, comp, n, eb)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			slack := math.Abs(float64(src[i])) * 1.2e-7
+			if math.Abs(float64(got[i])-float64(src[i])) > eb+slack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	// Constant data yields a single-symbol alphabet.
+	src := make([]float32, 100)
+	for i := range src {
+		src[i] = 5
+	}
+	comp := roundTrip(t, src, 1e-3)
+	// 100 values in ~1 bit each plus table: tiny.
+	if len(comp) > 64 {
+		t.Fatalf("constant data should compress to a few bytes: %d", len(comp))
+	}
+}
+
+func BenchmarkCompress1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 1<<18)
+	v := 0.0
+	for i := range src {
+		v += rng.NormFloat64() * 0.001
+		src[i] = float32(v)
+	}
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(nil, src, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompressRel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src := make([]float32, 5000)
+	v := 0.0
+	for i := range src {
+		v += rng.NormFloat64() * 3
+		src[i] = float32(v)
+	}
+	comp, eb, err := CompressRel(nil, src, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb <= 0 {
+		t.Fatalf("derived bound: %g", eb)
+	}
+	got, err := Decompress(nil, comp, len(src), eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, src, got, eb)
+	// Constant data still works (fallback bound).
+	flat := make([]float32, 100)
+	comp2, eb2, err := CompressRel(nil, flat, 1e-3)
+	if err != nil || eb2 <= 0 {
+		t.Fatalf("flat data: %v %g", err, eb2)
+	}
+	got2, err := Decompress(nil, comp2, 100, eb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, flat, got2, eb2)
+	if _, _, err := CompressRel(nil, src, 0); err == nil {
+		t.Fatal("zero relative bound should fail")
+	}
+}

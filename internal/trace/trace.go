@@ -1,0 +1,123 @@
+// Package trace records simulated-time event intervals (compression
+// kernels, protocol phases, network transfers) and exports them in the
+// Chrome trace-event format, so a run of the simulator can be inspected
+// on a timeline (chrome://tracing or https://ui.perfetto.dev).
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"mpicomp/internal/simtime"
+)
+
+// Event is one interval on a track.
+type Event struct {
+	// Track groups events into a timeline row (e.g. "rank 3").
+	Track string
+	// Name labels the interval (e.g. "Compression Kernel").
+	Name string
+	// Start and End are simulated instants.
+	Start, End simtime.Time
+}
+
+// Collector accumulates events; safe for concurrent use. The zero value
+// is ready.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Add records one interval. Nil collectors ignore the call, so callers
+// can trace unconditionally.
+func (c *Collector) Add(track, name string, start, end simtime.Time) {
+	if c == nil {
+		return
+	}
+	if end < start {
+		start, end = end, start
+	}
+	c.mu.Lock()
+	c.events = append(c.events, Event{Track: track, Name: name, Start: start, End: end})
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	out := append([]Event(nil), c.events...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len reports the number of recorded events.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset discards all events.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}
+
+// chromeEvent is the trace-event JSON schema ("X" = complete event).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace serializes the events as a Chrome trace JSON array.
+// Each track becomes a thread with a metadata name record.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	events := c.Events()
+	tracks := map[string]int{}
+	var records []interface{}
+	for _, e := range events {
+		tid, ok := tracks[e.Track]
+		if !ok {
+			tid = len(tracks)
+			tracks[e.Track] = tid
+			records = append(records, chromeMeta{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]string{"name": e.Track},
+			})
+		}
+		records = append(records, chromeEvent{
+			Name: e.Name, Ph: "X", Cat: "sim",
+			Ts:  float64(e.Start) / 1e3,
+			Dur: float64(e.End-e.Start) / 1e3,
+			Pid: 1, Tid: tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(records)
+}

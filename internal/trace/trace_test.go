@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestCollectAndSort(t *testing.T) {
+	c := New()
+	c.Add("rank 1", "b", 200, 300)
+	c.Add("rank 0", "a", 100, 150)
+	c.Add("rank 0", "swapped", 500, 400) // reversed interval normalizes
+	evs := c.Events()
+	if len(evs) != 3 || c.Len() != 3 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	if evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("not sorted by start: %+v", evs)
+	}
+	if evs[2].Start != 400 || evs[2].End != 500 {
+		t.Fatalf("reversed interval not normalized: %+v", evs[2])
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.Add("x", "y", 0, 1) // must not panic
+	if c.Len() != 0 {
+		t.Fatal("nil collector should be empty")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	c := New()
+	c.Add("rank 0", "Compression Kernel", 1000, 3000)
+	c.Add("rank 1", "Decompression Kernel", 4000, 9000)
+	c.Add("rank 0", "Comm & Other", 3000, 4000)
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 3 events + 2 thread-name metadata records.
+	if len(records) != 5 {
+		t.Fatalf("records: %d", len(records))
+	}
+	var metas, events int
+	for _, r := range records {
+		switch r["ph"] {
+		case "M":
+			metas++
+		case "X":
+			events++
+			if r["ts"] == nil || r["dur"] == nil {
+				t.Fatalf("event missing timing: %v", r)
+			}
+		}
+	}
+	if metas != 2 || events != 3 {
+		t.Fatalf("metas=%d events=%d", metas, events)
+	}
+}

@@ -1,0 +1,48 @@
+package zfp_test
+
+import (
+	"fmt"
+
+	"mpicomp/internal/zfp"
+)
+
+// Fixed-rate compression: the output size is exactly predictable from the
+// element count and rate — the property that lets the MPI framework skip
+// the compressed-size readback for ZFP.
+func ExampleCompressedSize() {
+	n := 1 << 20 // 1M float32 values = 4 MB
+	for _, rate := range []int{4, 8, 16} {
+		size, _ := zfp.CompressedSize(n, rate)
+		fmt.Printf("rate %2d: %d bytes (ratio %.0fx)\n", rate, size, zfp.Ratio(rate))
+	}
+	// Output:
+	// rate  4: 524288 bytes (ratio 8x)
+	// rate  8: 1048576 bytes (ratio 4x)
+	// rate 16: 2097152 bytes (ratio 2x)
+}
+
+// Lossy round trip: reconstruction error is bounded by the rate.
+func ExampleCompress() {
+	data := make([]float32, 64)
+	for i := range data {
+		data[i] = float32(i) * 0.5
+	}
+	comp, _ := zfp.Compress(nil, data, 16)
+	restored, _ := zfp.Decompress(nil, comp, len(data), 16)
+
+	var maxErr float64
+	for i := range data {
+		e := float64(restored[i] - data[i])
+		if e < 0 {
+			e = -e
+		}
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Println("error below 0.01:", maxErr < 0.01)
+	fmt.Println("half the size:", len(comp) == len(data)*2)
+	// Output:
+	// error below 0.01: true
+	// half the size: true
+}

@@ -1,0 +1,410 @@
+// Package zfp implements the fixed-rate, 1-D, single-precision mode of the
+// ZFP compressed floating-point array format (Lindstrom, IEEE TVCG 2014) —
+// the exact configuration the IPDPS'21 paper uses ("the 1D array type with
+// the number of total floating-point values as dimension size", CUDA
+// fixed-rate mode).
+//
+// Each block of 4 consecutive values is coded independently in exactly
+// maxbits = 4*rate bits (rate = compressed bits per value), so the
+// compressed size of n values is ceil(n/4)*4*rate bits — fully predictable,
+// which is why the framework never needs to read the compressed size back
+// from the GPU for ZFP (Section III-A of the paper).
+//
+// The per-block pipeline is the real ZFP algorithm:
+//
+//  1. Block-floating-point: align all 4 values to the block-wide maximum
+//     exponent and convert to Q1.30 two's-complement integers.
+//  2. Decorrelating lifting transform (the non-orthogonal 4-point
+//     transform from the zfp codec).
+//  3. Negabinary mapping so magnitude ordering matches bit-plane ordering.
+//  4. Embedded bit-plane coding with group testing (zfp's encode_ints):
+//     planes are emitted most-significant first; within a plane, bits for
+//     values already "active" are emitted verbatim and the remainder is
+//     unary run-length coded. The stream is truncated/padded to maxbits.
+//
+// Decompression inverts each stage; with rate 16 the typical relative
+// error is ~1e-4, and reconstruction error decreases monotonically with
+// rate, which the tests verify.
+package zfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mpicomp/internal/bitstream"
+)
+
+// BlockValues is the number of values per 1-D block (4^1).
+const BlockValues = 4
+
+// ebits is the number of bits used to encode the common block exponent:
+// 8 exponent bits + 1 marker bit, as in zfp for float32.
+const ebits = 9
+
+// ebias is the float32 exponent bias.
+const ebias = 127
+
+// intprec is the precision of the block-integer representation.
+const intprec = 32
+
+// nbmask is the negabinary conversion mask for 32-bit integers.
+const nbmask uint32 = 0xaaaaaaaa
+
+// MinRate and MaxRate bound the supported fixed rates (bits per value).
+// MinRate is 3 because a block must at least hold its 9-bit exponent field
+// within the 4*rate-bit budget.
+const (
+	MinRate = 3
+	MaxRate = 32
+)
+
+var (
+	// ErrBadRate reports a rate outside [MinRate, MaxRate].
+	ErrBadRate = errors.New("zfp: rate out of range")
+	// ErrShortBuffer reports a compressed buffer too small for the
+	// stated element count and rate.
+	ErrShortBuffer = errors.New("zfp: compressed buffer too short")
+)
+
+func checkRate(rate int) error {
+	if rate < MinRate || rate > MaxRate {
+		return fmt.Errorf("%w: %d (want %d..%d)", ErrBadRate, rate, MinRate, MaxRate)
+	}
+	return nil
+}
+
+// CompressedSize returns the exact compressed size in bytes of n float32
+// values at the given rate. This is the property that lets the framework
+// skip the device-to-host size readback for ZFP.
+func CompressedSize(n, rate int) (int, error) {
+	if err := checkRate(rate); err != nil {
+		return 0, err
+	}
+	blocks := (n + BlockValues - 1) / BlockValues
+	bits := uint64(blocks) * uint64(BlockValues*rate)
+	return int((bits + 7) / 8), nil
+}
+
+// Ratio returns the fixed compression ratio at the given rate (original
+// bits per value / rate).
+func Ratio(rate int) float64 { return 32.0 / float64(rate) }
+
+// fwdLift is zfp's forward non-orthogonal decorrelating transform:
+//
+//	       ( 4  4  4  4) (x)
+//	1/16 * ( 5  1 -1 -5) (y)
+//	       (-4  4  4 -4) (z)
+//	       (-2  6 -6  2) (w)
+func fwdLift(p *[4]int32) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+// invLift is the matching inverse transform:
+//
+//	      ( 4  6 -4 -1) (x)
+//	1/4 * ( 4  2  4  5) (y)
+//	      ( 4 -2  4 -5) (z)
+//	      ( 4 -6 -4  1) (w)
+func invLift(p *[4]int32) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+// Compile-time note: fwdLift/invLift are exact structural inverses of the
+// zfp codec's fwd_lift/inv_lift; the lossy >>1 steps pair with <<1 steps in
+// the inverse so that inv(fwd(v)) differs from v by at most a few ULPs,
+// which TestLiftInverse verifies.
+
+// int2nb maps a two's-complement integer to negabinary.
+func int2nb(v int32) uint32 { return (uint32(v) + nbmask) ^ nbmask }
+
+// nb2int maps negabinary back to two's complement.
+func nb2int(v uint32) int32 { return int32((v ^ nbmask) - nbmask) }
+
+// exponent extracts the unbiased binary exponent of |f|, with the zfp
+// convention that 0 maps to the minimum exponent.
+func exponent(f float32) int {
+	if f == 0 {
+		return -ebias
+	}
+	_, e := math.Frexp(float64(f))
+	// Frexp normalizes to [0.5, 1): f = frac * 2^e. zfp uses the same
+	// convention (FREXP then no adjustment) for its block exponent.
+	return e
+}
+
+// blockExponent returns the maximum exponent over the block, considering
+// only finite values.
+func blockExponent(b *[4]float32) int {
+	emax := -ebias
+	for _, f := range b {
+		if f != 0 {
+			if e := exponent(float32(math.Abs(float64(f)))); e > emax {
+				emax = e
+			}
+		}
+	}
+	return emax
+}
+
+// fwdCast converts the block to Q1.30 fixed point relative to emax.
+func fwdCast(dst *[4]int32, src *[4]float32, emax int) {
+	scale := math.Ldexp(1, intprec-2-emax)
+	for i, f := range src {
+		dst[i] = int32(float64(f) * scale)
+	}
+}
+
+// invCast converts Q1.30 fixed point back to float32. Quantization can
+// overshoot by a fraction of an ULP at the extreme of the exponent range,
+// so the result is clamped to the finite float32 domain.
+func invCast(dst *[4]float32, src *[4]int32, emax int) {
+	scale := math.Ldexp(1, emax-(intprec-2))
+	for i, v := range src {
+		f := float64(v) * scale
+		if f > math.MaxFloat32 {
+			f = math.MaxFloat32
+		} else if f < -math.MaxFloat32 {
+			f = -math.MaxFloat32
+		}
+		dst[i] = float32(f)
+	}
+}
+
+// encodeInts is zfp's embedded group-testing bit-plane coder (a literal
+// translation of encode_ints from the zfp codec, specialized to 4-value
+// blocks). It writes at most maxbits bits of the 4 negabinary integers to
+// w, most significant plane first, and returns the number of bits written.
+//
+// n persists across planes: it counts the values whose significance has
+// been established, and those values' plane bits are emitted verbatim while
+// the rest of each plane is unary run-length coded (group testing).
+func encodeInts(w *bitstream.Writer, maxbits uint, data *[4]uint32) uint {
+	const size = BlockValues
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits != 0 && k > 0; {
+		k--
+		// Step 1: extract bit plane k to x (bit i of x = bit k of data[i]).
+		var x uint64
+		for i := 0; i < size; i++ {
+			x += uint64((data[i]>>uint(k))&1) << uint(i)
+		}
+		// Step 2: encode the first n bits of the plane verbatim.
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x = w.WriteBits(x, m)
+		// Step 3: unary run-length encode the remainder of the plane.
+		for n < size && bits != 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0) // group test: nothing significant remains
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits != 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			// Skip past the 1 bit just coded (or implied, when the
+			// scan reached the final value).
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+// decodeInts inverts encodeInts, reading at most maxbits bits.
+func decodeInts(r *bitstream.Reader, maxbits uint, data *[4]uint32) {
+	const size = BlockValues
+	for i := range data {
+		data[i] = 0
+	}
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits != 0 && k > 0; {
+		k--
+		// Step 1: decode the verbatim prefix of the plane.
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x := r.ReadBits(m)
+		// Step 2: unary run-length decode the remainder.
+		for n < size && bits != 0 {
+			bits--
+			if r.ReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits != 0 {
+				bits--
+				if r.ReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			x += uint64(1) << n
+			n++
+		}
+		// Step 3: deposit bit plane k.
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			data[i] += uint32(x&1) << uint(k)
+		}
+	}
+}
+
+// encodeBlock writes one block in exactly maxbits bits.
+func encodeBlock(w *bitstream.Writer, maxbits uint, block *[4]float32) {
+	startBits := w.BitLen()
+	emax := blockExponent(block)
+	// Blocks that are all zero — or all denormal-tiny, whose biased
+	// exponent would underflow the 8-bit field — are coded as a single
+	// 0 bit plus padding and reconstruct to exact zeros.
+	if emax+ebias < 1 {
+		w.WriteBit(0)
+	} else {
+		e := uint64(emax + ebias)
+		w.WriteBits(2*e+1, ebits)
+		var iblock [4]int32
+		fwdCast(&iblock, block, emax)
+		fwdLift(&iblock)
+		var ublock [4]uint32
+		for i, v := range iblock {
+			ublock[i] = int2nb(v)
+		}
+		budget := maxbits - ebits
+		encodeInts(w, budget, &ublock)
+	}
+	w.PadToBit(startBits + uint64(maxbits))
+}
+
+// decodeBlock reads one block of exactly maxbits bits.
+func decodeBlock(r *bitstream.Reader, maxbits uint, block *[4]float32) {
+	startBits := r.BitPos()
+	first := r.ReadBit()
+	if first == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+	} else {
+		// Re-read the full exponent field: the first bit we consumed
+		// is the LSB of 2*e+1 (always 1).
+		rest := r.ReadBits(ebits - 1)
+		e := rest // (2*e+1)>>1 == e
+		emax := int(e) - ebias
+		var ublock [4]uint32
+		decodeInts(r, maxbits-ebits, &ublock)
+		var iblock [4]int32
+		for i, v := range ublock {
+			iblock[i] = nb2int(v)
+		}
+		invLift(&iblock)
+		invCast(block, &iblock, emax)
+	}
+	r.SkipToBit(startBits + uint64(maxbits))
+}
+
+// Compress compresses src at the given fixed rate, appending the encoded
+// stream to dst. A final partial block is padded with the block's last
+// value (standard zfp edge extension for partial blocks).
+func Compress(dst []byte, src []float32, rate int) ([]byte, error) {
+	if err := checkRate(rate); err != nil {
+		return dst, err
+	}
+	maxbits := uint(BlockValues * rate)
+	w := bitstream.NewWriter()
+	var block [4]float32
+	n := len(src)
+	for base := 0; base < n; base += BlockValues {
+		for i := 0; i < BlockValues; i++ {
+			if base+i < n {
+				block[i] = src[base+i]
+			} else if base+i > 0 {
+				block[i] = block[i-1]
+			} else {
+				block[i] = 0
+			}
+		}
+		encodeBlock(w, maxbits, &block)
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// Decompress reconstructs exactly n values from comp at the given rate,
+// appending to dst.
+func Decompress(dst []float32, comp []byte, n, rate int) ([]float32, error) {
+	if err := checkRate(rate); err != nil {
+		return dst, err
+	}
+	want, _ := CompressedSize(n, rate)
+	if len(comp) < want {
+		return dst, fmt.Errorf("%w: have %d bytes, want %d", ErrShortBuffer, len(comp), want)
+	}
+	maxbits := uint(BlockValues * rate)
+	r := bitstream.NewReader(comp)
+	var block [4]float32
+	for base := 0; base < n; base += BlockValues {
+		decodeBlock(r, maxbits, &block)
+		for i := 0; i < BlockValues && base+i < n; i++ {
+			dst = append(dst, block[i])
+		}
+	}
+	return dst, nil
+}
+
+// MaxError returns an upper bound estimate of the absolute reconstruction
+// error for values with magnitude <= 2^emax at the given rate. It follows
+// the fixed-rate error model: roughly one ULP at the truncated bit plane.
+func MaxError(emax, rate int) float64 {
+	if rate >= 32 {
+		rate = 30
+	}
+	// ebits bits go to the exponent; the rest cover bit planes from
+	// intprec-1 downward across 4 values.
+	planes := (BlockValues*rate - ebits) / BlockValues
+	if planes < 0 {
+		planes = 0
+	}
+	return math.Ldexp(1, emax-planes+2)
+}

@@ -1,0 +1,288 @@
+package zfp
+
+import (
+	"fmt"
+	"math"
+
+	"mpicomp/internal/bitstream"
+)
+
+// Two-dimensional fixed-rate ZFP (float32). Blocks are 4x4 = 16 values;
+// the decorrelating transform is applied separably (rows then columns),
+// exactly as in the zfp format. 2-D blocks exploit smoothness along both
+// axes, which is why Table I lists multidimensional support as a feature
+// of ZFP-class codecs. Partial edge blocks are padded by replicating the
+// last row/column.
+
+// Block2DValues is the number of values per 2-D block (4^2).
+const Block2DValues = 16
+
+// MinRate2D is the smallest 2-D rate: the 9-bit exponent plus one plane
+// bit must fit in 16*rate bits, so even rate 1 works.
+const MinRate2D = 1
+
+func checkRate2D(rate int) error {
+	if rate < MinRate2D || rate > MaxRate {
+		return fmt.Errorf("%w: %d (want %d..%d)", ErrBadRate, rate, MinRate2D, MaxRate)
+	}
+	return nil
+}
+
+// CompressedSize2D returns the exact compressed size in bytes of an
+// nx-by-ny float32 array at the given rate.
+func CompressedSize2D(nx, ny, rate int) (int, error) {
+	if err := checkRate2D(rate); err != nil {
+		return 0, err
+	}
+	if nx < 0 || ny < 0 {
+		return 0, fmt.Errorf("zfp: negative dimensions %dx%d", nx, ny)
+	}
+	bx := (nx + 3) / 4
+	by := (ny + 3) / 4
+	bits := uint64(bx) * uint64(by) * uint64(Block2DValues*rate)
+	return int((bits + 7) / 8), nil
+}
+
+// fwdLift2D applies the 4-point lifting transform along both axes of a
+// 4x4 block stored row-major.
+func fwdLift2D(b *[16]int32) {
+	var v [4]int32
+	// Rows.
+	for r := 0; r < 4; r++ {
+		copy(v[:], b[4*r:4*r+4])
+		fwdLift(&v)
+		copy(b[4*r:4*r+4], v[:])
+	}
+	// Columns.
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			v[r] = b[4*r+c]
+		}
+		fwdLift(&v)
+		for r := 0; r < 4; r++ {
+			b[4*r+c] = v[r]
+		}
+	}
+}
+
+// invLift2D inverts fwdLift2D (columns then rows).
+func invLift2D(b *[16]int32) {
+	var v [4]int32
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			v[r] = b[4*r+c]
+		}
+		invLift(&v)
+		for r := 0; r < 4; r++ {
+			b[4*r+c] = v[r]
+		}
+	}
+	for r := 0; r < 4; r++ {
+		copy(v[:], b[4*r:4*r+4])
+		invLift(&v)
+		copy(b[4*r:4*r+4], v[:])
+	}
+}
+
+// encodeInts16 is the embedded group-testing coder over 16-value planes.
+func encodeInts16(w *bitstream.Writer, maxbits uint, data *[16]uint32) uint {
+	const size = Block2DValues
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits != 0 && k > 0; {
+		k--
+		var x uint64
+		for i := 0; i < size; i++ {
+			x += uint64((data[i]>>uint(k))&1) << uint(i)
+		}
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x = w.WriteBits(x, m)
+		for n < size && bits != 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits != 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+func decodeInts16(r *bitstream.Reader, maxbits uint, data *[16]uint32) {
+	const size = Block2DValues
+	for i := range data {
+		data[i] = 0
+	}
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits != 0 && k > 0; {
+		k--
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x := r.ReadBits(m)
+		for n < size && bits != 0 {
+			bits--
+			if r.ReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits != 0 {
+				bits--
+				if r.ReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			x += uint64(1) << n
+			n++
+		}
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			data[i] += uint32(x&1) << uint(k)
+		}
+	}
+}
+
+func encodeBlock2D(w *bitstream.Writer, maxbits uint, block *[16]float32) {
+	startBits := w.BitLen()
+	emax := -ebias
+	for _, f := range block {
+		if f != 0 {
+			a := f
+			if a < 0 {
+				a = -a
+			}
+			if e := exponent(a); e > emax {
+				emax = e
+			}
+		}
+	}
+	if emax+ebias < 1 {
+		w.WriteBit(0)
+	} else {
+		e := uint64(emax + ebias)
+		w.WriteBits(2*e+1, ebits)
+		var iblock [16]int32
+		scale := math.Ldexp(1, intprec-2-emax)
+		for i, f := range block {
+			iblock[i] = int32(float64(f) * scale)
+		}
+		fwdLift2D(&iblock)
+		var ublock [16]uint32
+		for i, v := range iblock {
+			ublock[i] = int2nb(v)
+		}
+		encodeInts16(w, maxbits-ebits, &ublock)
+	}
+	w.PadToBit(startBits + uint64(maxbits))
+}
+
+func decodeBlock2D(r *bitstream.Reader, maxbits uint, block *[16]float32) {
+	startBits := r.BitPos()
+	if r.ReadBit() == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+	} else {
+		e := r.ReadBits(ebits - 1)
+		emax := int(e) - ebias
+		var ublock [16]uint32
+		decodeInts16(r, maxbits-ebits, &ublock)
+		var iblock [16]int32
+		for i, v := range ublock {
+			iblock[i] = nb2int(v)
+		}
+		invLift2D(&iblock)
+		scale := math.Ldexp(1, emax-(intprec-2))
+		for i, v := range iblock {
+			f := float64(v) * scale
+			if f > math.MaxFloat32 {
+				f = math.MaxFloat32
+			} else if f < -math.MaxFloat32 {
+				f = -math.MaxFloat32
+			}
+			block[i] = float32(f)
+		}
+	}
+	r.SkipToBit(startBits + uint64(maxbits))
+}
+
+// Compress2D compresses an nx-by-ny row-major float32 array at the given
+// fixed rate, appending to dst.
+func Compress2D(dst []byte, src []float32, nx, ny, rate int) ([]byte, error) {
+	if err := checkRate2D(rate); err != nil {
+		return dst, err
+	}
+	if nx*ny != len(src) {
+		return dst, fmt.Errorf("zfp: %dx%d does not match %d values", nx, ny, len(src))
+	}
+	maxbits := uint(Block2DValues * rate)
+	w := bitstream.NewWriter()
+	var block [16]float32
+	for by := 0; by < ny; by += 4 {
+		for bx := 0; bx < nx; bx += 4 {
+			for j := 0; j < 4; j++ {
+				y := by + j
+				if y >= ny {
+					y = ny - 1
+				}
+				for i := 0; i < 4; i++ {
+					x := bx + i
+					if x >= nx {
+						x = nx - 1
+					}
+					block[4*j+i] = src[y*nx+x]
+				}
+			}
+			encodeBlock2D(w, maxbits, &block)
+		}
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// Decompress2D reconstructs an nx-by-ny array from comp.
+func Decompress2D(dst []float32, comp []byte, nx, ny, rate int) ([]float32, error) {
+	if err := checkRate2D(rate); err != nil {
+		return dst, err
+	}
+	want, err := CompressedSize2D(nx, ny, rate)
+	if err != nil {
+		return dst, err
+	}
+	if len(comp) < want {
+		return dst, fmt.Errorf("%w: have %d bytes, want %d", ErrShortBuffer, len(comp), want)
+	}
+	out := make([]float32, nx*ny)
+	maxbits := uint(Block2DValues * rate)
+	r := bitstream.NewReader(comp)
+	var block [16]float32
+	for by := 0; by < ny; by += 4 {
+		for bx := 0; bx < nx; bx += 4 {
+			decodeBlock2D(r, maxbits, &block)
+			for j := 0; j < 4 && by+j < ny; j++ {
+				for i := 0; i < 4 && bx+i < nx; i++ {
+					out[(by+j)*nx+bx+i] = block[4*j+i]
+				}
+			}
+		}
+	}
+	return append(dst, out...), nil
+}

@@ -1,0 +1,331 @@
+package zfp
+
+import (
+	"fmt"
+	"math"
+
+	"mpicomp/internal/bitstream"
+)
+
+// Three-dimensional fixed-rate ZFP (float32): 4x4x4 = 64-value blocks
+// with the separable lifting transform applied along x, then y, then z.
+// This is the natural mode for volumetric fields like the AWP-ODC wave
+// state; the paper's integration uses the 1-D mode, so 3-D is an
+// extension for completeness of the format.
+
+// Block3DValues is the number of values per 3-D block (4^3).
+const Block3DValues = 64
+
+// MinRate3D is the smallest 3-D rate (the exponent field always fits).
+const MinRate3D = 1
+
+func checkRate3D(rate int) error {
+	if rate < MinRate3D || rate > MaxRate {
+		return fmt.Errorf("%w: %d (want %d..%d)", ErrBadRate, rate, MinRate3D, MaxRate)
+	}
+	return nil
+}
+
+// CompressedSize3D returns the exact compressed size in bytes of an
+// nx-by-ny-by-nz float32 volume at the given rate.
+func CompressedSize3D(nx, ny, nz, rate int) (int, error) {
+	if err := checkRate3D(rate); err != nil {
+		return 0, err
+	}
+	if nx < 0 || ny < 0 || nz < 0 {
+		return 0, fmt.Errorf("zfp: negative dimensions %dx%dx%d", nx, ny, nz)
+	}
+	bx := (nx + 3) / 4
+	by := (ny + 3) / 4
+	bz := (nz + 3) / 4
+	bits := uint64(bx) * uint64(by) * uint64(bz) * uint64(Block3DValues*rate)
+	return int((bits + 7) / 8), nil
+}
+
+// fwdLift3D applies the 4-point transform along all three axes of a
+// 4x4x4 block stored x-fastest.
+func fwdLift3D(b *[64]int32) {
+	var v [4]int32
+	// X lines.
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			base := 16*z + 4*y
+			copy(v[:], b[base:base+4])
+			fwdLift(&v)
+			copy(b[base:base+4], v[:])
+		}
+	}
+	// Y lines.
+	for z := 0; z < 4; z++ {
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				v[y] = b[16*z+4*y+x]
+			}
+			fwdLift(&v)
+			for y := 0; y < 4; y++ {
+				b[16*z+4*y+x] = v[y]
+			}
+		}
+	}
+	// Z lines.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			for z := 0; z < 4; z++ {
+				v[z] = b[16*z+4*y+x]
+			}
+			fwdLift(&v)
+			for z := 0; z < 4; z++ {
+				b[16*z+4*y+x] = v[z]
+			}
+		}
+	}
+}
+
+// invLift3D inverts fwdLift3D (z, then y, then x).
+func invLift3D(b *[64]int32) {
+	var v [4]int32
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			for z := 0; z < 4; z++ {
+				v[z] = b[16*z+4*y+x]
+			}
+			invLift(&v)
+			for z := 0; z < 4; z++ {
+				b[16*z+4*y+x] = v[z]
+			}
+		}
+	}
+	for z := 0; z < 4; z++ {
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				v[y] = b[16*z+4*y+x]
+			}
+			invLift(&v)
+			for y := 0; y < 4; y++ {
+				b[16*z+4*y+x] = v[y]
+			}
+		}
+	}
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			base := 16*z + 4*y
+			copy(v[:], b[base:base+4])
+			invLift(&v)
+			copy(b[base:base+4], v[:])
+		}
+	}
+}
+
+// encodeInts64Planes is the group-testing coder over 64-value planes
+// (plane words are 64 bits wide here).
+func encodeInts64Planes(w *bitstream.Writer, maxbits uint, data *[64]uint32) uint {
+	const size = Block3DValues
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits != 0 && k > 0; {
+		k--
+		var x uint64
+		for i := 0; i < size; i++ {
+			x += uint64((data[i]>>uint(k))&1) << uint(i)
+		}
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x = w.WriteBits(x, m)
+		for n < size && bits != 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits != 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+func decodeInts64Planes(r *bitstream.Reader, maxbits uint, data *[64]uint32) {
+	const size = Block3DValues
+	for i := range data {
+		data[i] = 0
+	}
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits != 0 && k > 0; {
+		k--
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x := r.ReadBits(m)
+		for n < size && bits != 0 {
+			bits--
+			if r.ReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits != 0 {
+				bits--
+				if r.ReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			x += uint64(1) << n
+			n++
+		}
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			data[i] += uint32(x&1) << uint(k)
+		}
+	}
+}
+
+func encodeBlock3D(w *bitstream.Writer, maxbits uint, block *[64]float32) {
+	startBits := w.BitLen()
+	emax := -ebias
+	for _, f := range block {
+		if f != 0 {
+			a := f
+			if a < 0 {
+				a = -a
+			}
+			if e := exponent(a); e > emax {
+				emax = e
+			}
+		}
+	}
+	if emax+ebias < 1 {
+		w.WriteBit(0)
+	} else {
+		e := uint64(emax + ebias)
+		w.WriteBits(2*e+1, ebits)
+		var iblock [64]int32
+		scale := math.Ldexp(1, intprec-2-emax)
+		for i, f := range block {
+			iblock[i] = int32(float64(f) * scale)
+		}
+		fwdLift3D(&iblock)
+		var ublock [64]uint32
+		for i, v := range iblock {
+			ublock[i] = int2nb(v)
+		}
+		encodeInts64Planes(w, maxbits-ebits, &ublock)
+	}
+	w.PadToBit(startBits + uint64(maxbits))
+}
+
+func decodeBlock3D(r *bitstream.Reader, maxbits uint, block *[64]float32) {
+	startBits := r.BitPos()
+	if r.ReadBit() == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+	} else {
+		e := r.ReadBits(ebits - 1)
+		emax := int(e) - ebias
+		var ublock [64]uint32
+		decodeInts64Planes(r, maxbits-ebits, &ublock)
+		var iblock [64]int32
+		for i, v := range ublock {
+			iblock[i] = nb2int(v)
+		}
+		invLift3D(&iblock)
+		scale := math.Ldexp(1, emax-(intprec-2))
+		for i, v := range iblock {
+			f := float64(v) * scale
+			if f > math.MaxFloat32 {
+				f = math.MaxFloat32
+			} else if f < -math.MaxFloat32 {
+				f = -math.MaxFloat32
+			}
+			block[i] = float32(f)
+		}
+	}
+	r.SkipToBit(startBits + uint64(maxbits))
+}
+
+// Compress3D compresses an nx-by-ny-by-nz volume (x fastest) at the given
+// fixed rate, appending to dst.
+func Compress3D(dst []byte, src []float32, nx, ny, nz, rate int) ([]byte, error) {
+	if err := checkRate3D(rate); err != nil {
+		return dst, err
+	}
+	if nx*ny*nz != len(src) {
+		return dst, fmt.Errorf("zfp: %dx%dx%d does not match %d values", nx, ny, nz, len(src))
+	}
+	maxbits := uint(Block3DValues * rate)
+	w := bitstream.NewWriter()
+	var block [64]float32
+	for bz := 0; bz < nz; bz += 4 {
+		for by := 0; by < ny; by += 4 {
+			for bx := 0; bx < nx; bx += 4 {
+				for k := 0; k < 4; k++ {
+					z := clampIdx(bz+k, nz)
+					for j := 0; j < 4; j++ {
+						y := clampIdx(by+j, ny)
+						for i := 0; i < 4; i++ {
+							x := clampIdx(bx+i, nx)
+							block[16*k+4*j+i] = src[(z*ny+y)*nx+x]
+						}
+					}
+				}
+				encodeBlock3D(w, maxbits, &block)
+			}
+		}
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// Decompress3D reconstructs an nx-by-ny-by-nz volume from comp.
+func Decompress3D(dst []float32, comp []byte, nx, ny, nz, rate int) ([]float32, error) {
+	if err := checkRate3D(rate); err != nil {
+		return dst, err
+	}
+	want, err := CompressedSize3D(nx, ny, nz, rate)
+	if err != nil {
+		return dst, err
+	}
+	if len(comp) < want {
+		return dst, fmt.Errorf("%w: have %d bytes, want %d", ErrShortBuffer, len(comp), want)
+	}
+	out := make([]float32, nx*ny*nz)
+	maxbits := uint(Block3DValues * rate)
+	r := bitstream.NewReader(comp)
+	var block [64]float32
+	for bz := 0; bz < nz; bz += 4 {
+		for by := 0; by < ny; by += 4 {
+			for bx := 0; bx < nx; bx += 4 {
+				decodeBlock3D(r, maxbits, &block)
+				for k := 0; k < 4 && bz+k < nz; k++ {
+					for j := 0; j < 4 && by+j < ny; j++ {
+						for i := 0; i < 4 && bx+i < nx; i++ {
+							out[((bz+k)*ny+by+j)*nx+bx+i] = block[16*k+4*j+i]
+						}
+					}
+				}
+			}
+		}
+	}
+	return append(dst, out...), nil
+}
+
+func clampIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

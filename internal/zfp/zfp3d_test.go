@@ -1,0 +1,126 @@
+package zfp
+
+import (
+	"math"
+	"testing"
+)
+
+// field3D is a smooth volume (superposed plane waves).
+func field3D(nx, ny, nz int) []float32 {
+	out := make([]float32, nx*ny*nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				out[(z*ny+y)*nx+x] = float32(
+					math.Sin(float64(x)*0.05) + math.Cos(float64(y)*0.07) + math.Sin(float64(z)*0.06))
+			}
+		}
+	}
+	return out
+}
+
+func TestCompressedSize3DExact(t *testing.T) {
+	cases := []struct{ nx, ny, nz, rate, want int }{
+		{4, 4, 4, 16, 128},   // 1 block x 1024 bits
+		{8, 4, 4, 16, 256},   // 2 blocks
+		{5, 5, 5, 8, 8 * 64}, // 2x2x2 blocks x 512 bits
+		{0, 0, 0, 8, 0},
+	}
+	for _, c := range cases {
+		got, err := CompressedSize3D(c.nx, c.ny, c.nz, c.rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("CompressedSize3D(%d,%d,%d,%d)=%d want %d", c.nx, c.ny, c.nz, c.rate, got, c.want)
+		}
+	}
+	if _, err := CompressedSize3D(-1, 4, 4, 8); err == nil {
+		t.Fatal("negative dims should fail")
+	}
+}
+
+func TestRoundTrip3DAccuracy(t *testing.T) {
+	for _, dims := range [][3]int{{16, 16, 16}, {13, 9, 21}, {4, 4, 4}, {32, 8, 16}} {
+		nx, ny, nz := dims[0], dims[1], dims[2]
+		src := field3D(nx, ny, nz)
+		comp, err := Compress3D(nil, src, nx, ny, nz, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := CompressedSize3D(nx, ny, nz, 16)
+		if len(comp) != want {
+			t.Fatalf("%v: size %d want %d", dims, len(comp), want)
+		}
+		got, err := Decompress3D(nil, comp, nx, ny, nz, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxErr float64
+		for i := range src {
+			if e := math.Abs(float64(got[i] - src[i])); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 2e-3 {
+			t.Fatalf("%v: max error %g", dims, maxErr)
+		}
+	}
+}
+
+func Test3DBeats1DOnSmoothVolumes(t *testing.T) {
+	const nx, ny, nz, rate = 32, 32, 32, 4
+	src := field3D(nx, ny, nz)
+	c3, err := Compress3D(nil, src, nx, ny, nz, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := Decompress3D(nil, c3, nx, ny, nz, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := Compress(nil, src, rate)
+	g1, _ := Decompress(nil, c1, len(src), rate)
+	var e1, e3 float64
+	for i := range src {
+		if d := math.Abs(float64(g1[i] - src[i])); d > e1 {
+			e1 = d
+		}
+		if d := math.Abs(float64(g3[i] - src[i])); d > e3 {
+			e3 = d
+		}
+	}
+	if e3 >= e1 {
+		t.Fatalf("3-D (err %g) should beat 1-D (err %g) at rate %d", e3, e1, rate)
+	}
+}
+
+func TestLift3DInversePair(t *testing.T) {
+	var b, orig [64]int32
+	seed := int32(12345)
+	for i := range b {
+		seed = seed*1103515245 + 12347
+		b[i] = seed >> 2
+	}
+	orig = b
+	fwdLift3D(&b)
+	invLift3D(&b)
+	for i := range b {
+		d := int64(orig[i]) - int64(b[i])
+		if d < -512 || d > 512 {
+			t.Fatalf("3-D lift pair diverges at %d: %d", i, d)
+		}
+	}
+}
+
+func TestCompress3DValidation(t *testing.T) {
+	if _, err := Compress3D(nil, make([]float32, 10), 2, 2, 2, 8); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	if _, err := Compress3D(nil, nil, 0, 0, 0, 99); err == nil {
+		t.Fatal("bad rate should fail")
+	}
+	if _, err := Decompress3D(nil, []byte{1}, 4, 4, 4, 16); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+}

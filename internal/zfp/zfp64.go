@@ -1,0 +1,297 @@
+package zfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mpicomp/internal/bitstream"
+)
+
+// Double-precision fixed-rate ZFP (1-D). The pipeline matches the float32
+// path with the double-precision parameters of the zfp format: 64-bit
+// block integers (Q3.60), an 11-bit exponent plus marker bit, and 64 bit
+// planes.
+
+const (
+	ebits64   = 12   // 11 exponent bits + 1 marker bit
+	ebias64   = 1023 // float64 exponent bias
+	intprec64 = 64
+)
+
+const nbmask64 uint64 = 0xaaaaaaaaaaaaaaaa
+
+// MinRate64 is the smallest double-precision rate: a block must hold its
+// 12-bit exponent field within 4*rate bits.
+const MinRate64 = 4
+
+// MaxRate64 caps the double-precision rate at full precision.
+const MaxRate64 = 64
+
+// ErrBadRate64 reports a double-precision rate outside the valid range.
+var ErrBadRate64 = errors.New("zfp: float64 rate out of range")
+
+func checkRate64(rate int) error {
+	if rate < MinRate64 || rate > MaxRate64 {
+		return fmt.Errorf("%w: %d (want %d..%d)", ErrBadRate64, rate, MinRate64, MaxRate64)
+	}
+	return nil
+}
+
+// CompressedSize64 returns the exact compressed size in bytes of n float64
+// values at the given rate.
+func CompressedSize64(n, rate int) (int, error) {
+	if err := checkRate64(rate); err != nil {
+		return 0, err
+	}
+	blocks := (n + BlockValues - 1) / BlockValues
+	bits := uint64(blocks) * uint64(BlockValues*rate)
+	return int((bits + 7) / 8), nil
+}
+
+// Ratio64 returns the fixed double-precision compression ratio.
+func Ratio64(rate int) float64 { return 64.0 / float64(rate) }
+
+func fwdLift64(p *[4]int64) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+func invLift64(p *[4]int64) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+func int2nb64(v int64) uint64 { return (uint64(v) + nbmask64) ^ nbmask64 }
+func nb2int64(v uint64) int64 { return int64((v ^ nbmask64) - nbmask64) }
+func exponent64(f float64) int {
+	if f == 0 {
+		return -ebias64
+	}
+	_, e := math.Frexp(f)
+	return e
+}
+
+func blockExponent64(b *[4]float64) int {
+	emax := -ebias64
+	for _, f := range b {
+		if f != 0 {
+			if e := exponent64(math.Abs(f)); e > emax {
+				emax = e
+			}
+		}
+	}
+	return emax
+}
+
+func fwdCast64(dst *[4]int64, src *[4]float64, emax int) {
+	scale := math.Ldexp(1, intprec64-2-emax)
+	for i, f := range src {
+		dst[i] = int64(f * scale)
+	}
+}
+
+func invCast64(dst *[4]float64, src *[4]int64, emax int) {
+	scale := math.Ldexp(1, emax-(intprec64-2))
+	for i, v := range src {
+		f := float64(v) * scale
+		if f > math.MaxFloat64 {
+			f = math.MaxFloat64
+		} else if f < -math.MaxFloat64 {
+			f = -math.MaxFloat64
+		}
+		dst[i] = f
+	}
+}
+
+// encodeInts64 is the embedded group-testing coder over 64 bit planes.
+func encodeInts64(w *bitstream.Writer, maxbits uint, data *[4]uint64) uint {
+	const size = BlockValues
+	bits := maxbits
+	n := uint(0)
+	for k := intprec64; bits != 0 && k > 0; {
+		k--
+		var x uint64
+		for i := 0; i < size; i++ {
+			x += ((data[i] >> uint(k)) & 1) << uint(i)
+		}
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x = w.WriteBits(x, m)
+		for n < size && bits != 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits != 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+func decodeInts64(r *bitstream.Reader, maxbits uint, data *[4]uint64) {
+	const size = BlockValues
+	for i := range data {
+		data[i] = 0
+	}
+	bits := maxbits
+	n := uint(0)
+	for k := intprec64; bits != 0 && k > 0; {
+		k--
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x := r.ReadBits(m)
+		for n < size && bits != 0 {
+			bits--
+			if r.ReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits != 0 {
+				bits--
+				if r.ReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			x += uint64(1) << n
+			n++
+		}
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			data[i] += (x & 1) << uint(k)
+		}
+	}
+}
+
+func encodeBlock64(w *bitstream.Writer, maxbits uint, block *[4]float64) {
+	startBits := w.BitLen()
+	emax := blockExponent64(block)
+	if emax+ebias64 < 1 {
+		w.WriteBit(0)
+	} else {
+		e := uint64(emax + ebias64)
+		w.WriteBits(2*e+1, ebits64)
+		var iblock [4]int64
+		fwdCast64(&iblock, block, emax)
+		fwdLift64(&iblock)
+		var ublock [4]uint64
+		for i, v := range iblock {
+			ublock[i] = int2nb64(v)
+		}
+		encodeInts64(w, maxbits-ebits64, &ublock)
+	}
+	w.PadToBit(startBits + uint64(maxbits))
+}
+
+func decodeBlock64(r *bitstream.Reader, maxbits uint, block *[4]float64) {
+	startBits := r.BitPos()
+	if r.ReadBit() == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+	} else {
+		e := r.ReadBits(ebits64 - 1) // (2e+1)>>1
+		emax := int(e) - ebias64
+		var ublock [4]uint64
+		decodeInts64(r, maxbits-ebits64, &ublock)
+		var iblock [4]int64
+		for i, v := range ublock {
+			iblock[i] = nb2int64(v)
+		}
+		invLift64(&iblock)
+		invCast64(block, &iblock, emax)
+	}
+	r.SkipToBit(startBits + uint64(maxbits))
+}
+
+// Compress64 compresses double-precision data at the given fixed rate
+// (bits per value), appending to dst.
+func Compress64(dst []byte, src []float64, rate int) ([]byte, error) {
+	if err := checkRate64(rate); err != nil {
+		return dst, err
+	}
+	maxbits := uint(BlockValues * rate)
+	w := bitstream.NewWriter()
+	var block [4]float64
+	n := len(src)
+	for base := 0; base < n; base += BlockValues {
+		for i := 0; i < BlockValues; i++ {
+			if base+i < n {
+				block[i] = src[base+i]
+			} else if base+i > 0 {
+				block[i] = block[i-1]
+			} else {
+				block[i] = 0
+			}
+		}
+		encodeBlock64(w, maxbits, &block)
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// Decompress64 reconstructs exactly n float64 values from comp.
+func Decompress64(dst []float64, comp []byte, n, rate int) ([]float64, error) {
+	if err := checkRate64(rate); err != nil {
+		return dst, err
+	}
+	want, _ := CompressedSize64(n, rate)
+	if len(comp) < want {
+		return dst, fmt.Errorf("%w: have %d bytes, want %d", ErrShortBuffer, len(comp), want)
+	}
+	maxbits := uint(BlockValues * rate)
+	r := bitstream.NewReader(comp)
+	var block [4]float64
+	for base := 0; base < n; base += BlockValues {
+		decodeBlock64(r, maxbits, &block)
+		for i := 0; i < BlockValues && base+i < n; i++ {
+			dst = append(dst, block[i])
+		}
+	}
+	return dst, nil
+}

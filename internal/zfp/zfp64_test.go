@@ -1,0 +1,190 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smooth64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := 1.0
+	for i := range out {
+		v += rng.NormFloat64() * 0.01
+		out[i] = v
+	}
+	return out
+}
+
+func TestCompressedSize64Exact(t *testing.T) {
+	cases := []struct{ n, rate, want int }{
+		{0, 16, 0},
+		{4, 16, 8},  // 1 block x 64 bits
+		{5, 32, 32}, // 2 blocks x 128 bits
+		{1024, 8, 1024},
+		{1024, 64, 8192},
+	}
+	for _, c := range cases {
+		got, err := CompressedSize64(c.n, c.rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("CompressedSize64(%d,%d)=%d want %d", c.n, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestCompress64MatchesSize(t *testing.T) {
+	for _, rate := range []int{4, 8, 16, 32, 64} {
+		for _, n := range []int{0, 1, 5, 100, 1023} {
+			src := smooth64(n, int64(n+rate))
+			comp, err := Compress64(nil, src, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := CompressedSize64(n, rate)
+			if len(comp) != want {
+				t.Fatalf("n=%d rate=%d: len=%d want %d", n, rate, len(comp), want)
+			}
+		}
+	}
+}
+
+func TestRate32Float64Error(t *testing.T) {
+	src := smooth64(4096, 3)
+	comp, err := Compress64(nil, src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress64(nil, comp, len(src), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxRel float64
+	for i := range src {
+		rel := math.Abs(got[i]-src[i]) / math.Abs(src[i])
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	// 32 bits/value on doubles ~ rate 16 on floats: small relative error.
+	if maxRel > 1e-6 {
+		t.Fatalf("rate 32 relative error too large: %g", maxRel)
+	}
+}
+
+func TestFloat64ErrorDecreasesWithRate(t *testing.T) {
+	src := smooth64(2048, 9)
+	prev := math.Inf(1)
+	for _, rate := range []int{8, 16, 32, 64} {
+		comp, _ := Compress64(nil, src, rate)
+		got, _ := Decompress64(nil, comp, len(src), rate)
+		var e float64
+		for i := range src {
+			if d := math.Abs(got[i] - src[i]); d > e {
+				e = d
+			}
+		}
+		if e > prev*1.2 {
+			t.Fatalf("error at rate %d (%g) regressed vs previous (%g)", rate, e, prev)
+		}
+		prev = e
+	}
+	if prev > 1e-12 {
+		t.Fatalf("rate 64 should be near-lossless, max err %g", prev)
+	}
+}
+
+func TestZeroBlocks64(t *testing.T) {
+	src := make([]float64, 64)
+	comp, _ := Compress64(nil, src, 8)
+	got, _ := Decompress64(nil, comp, len(src), 8)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero block corrupted at %d: %v", i, v)
+		}
+	}
+}
+
+func TestBadRate64(t *testing.T) {
+	if _, err := Compress64(nil, []float64{1}, 2); err == nil {
+		t.Fatal("rate 2 should fail for doubles")
+	}
+	if _, err := Compress64(nil, []float64{1}, 65); err == nil {
+		t.Fatal("rate 65 should fail")
+	}
+	if _, err := Decompress64(nil, nil, 4, 8); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	if Ratio64(16) != 4 || Ratio64(32) != 2 {
+		t.Fatal("Ratio64 wrong")
+	}
+}
+
+func TestLift64Inverse(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		in := [4]int64{a >> 2, b >> 2, c >> 2, d >> 2}
+		blk := in
+		fwdLift64(&blk)
+		invLift64(&blk)
+		for i := range in {
+			diff := in[i] - blk[i]
+			if diff < -8 || diff > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegabinary64Inverse(t *testing.T) {
+	f := func(v int64) bool { return nb2int64(int2nb64(v)) == v }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: block-relative error bounded at rate 32 for finite doubles.
+func TestBlock64ErrorBoundProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			if v != 0 && math.Abs(v) < 1e-300 {
+				return true // denormal-tiny rounds to zero by design
+			}
+		}
+		src := []float64{a, b, c, d}
+		comp, err := Compress64(nil, src, 32)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress64(nil, comp, 4, 32)
+		if err != nil {
+			return false
+		}
+		var blockMax, blockErr float64
+		for i := range src {
+			if m := math.Abs(src[i]); m > blockMax {
+				blockMax = m
+			}
+			if e := math.Abs(src[i] - got[i]); e > blockErr {
+				blockErr = e
+			}
+		}
+		if blockMax == 0 {
+			return blockErr == 0
+		}
+		return blockErr/blockMax <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
