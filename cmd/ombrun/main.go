@@ -29,6 +29,8 @@ func main() {
 	window := flag.Int("window", 16, "osu_bw window size")
 	dataset := flag.String("dataset", "", "Table III dataset to transmit (default: dummy data)")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the last measurement to this file")
+	faultsFlag := flag.String("faults", "", "fault injection spec, e.g. seed=7,drop=0.01,corrupt=0.005,degrade=0.1 (empty = off)")
+	retries := flag.Int("retries", 0, "retransmission budget per protocol stage (0 = default, negative = retries off)")
 	eng := cli.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -37,6 +39,8 @@ func main() {
 	c, err := cli.ClusterByName(*cluster)
 	cli.Fatal(err)
 	sizes, err := cli.ParseSizes(*sizesFlag)
+	cli.Fatal(err)
+	faultCfg, err := cli.ParseFaults(*faultsFlag)
 	cli.Fatal(err)
 
 	var gen omb.DataGen
@@ -49,11 +53,17 @@ func main() {
 	if *traceOut != "" {
 		tracer = trace.New()
 	}
-	w, err := mpi.NewWorld(mpi.Options{Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg, Tracer: tracer})
+	w, err := mpi.NewWorld(mpi.Options{
+		Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg, Tracer: tracer,
+		Faults: faultCfg, Retry: mpi.RetryPolicy{Limit: *retries},
+	})
 	cli.Fatal(err)
 
 	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s\n",
 		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo)
+	if w.FaultsEnabled() {
+		fmt.Printf("# fault injection on: %s\n", *faultsFlag)
+	}
 
 	switch *bench {
 	case "latency":
@@ -88,6 +98,12 @@ func main() {
 		t.Write(os.Stdout)
 	default:
 		cli.Fatal(fmt.Errorf("unknown -bench %q", *bench))
+	}
+
+	if w.FaultsEnabled() {
+		st := w.FaultStats()
+		fmt.Printf("# faults injected: drops=%d corruptions=%d (bits=%d) degraded-windows=%d\n",
+			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades)
 	}
 
 	if tracer != nil {

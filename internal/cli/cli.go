@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/faults"
 	"mpicomp/internal/hw"
 )
 
@@ -98,6 +99,54 @@ func ParseSizes(s string) ([]int, error) {
 		return nil, fmt.Errorf("empty size list")
 	}
 	return out, nil
+}
+
+// ParseFaults parses a fault-injection spec of the form
+// "seed=7,drop=0.01,corrupt=0.005,degrade=0.1,factor=0.25" into a
+// faults.Config. Rates are probabilities in [0,1]; omitted keys stay zero.
+// An empty string yields nil (fault injection off).
+func ParseFaults(s string) (*faults.Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	cfg := &faults.Config{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad fault option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault seed %q: %w", val, err)
+			}
+			cfg.Seed = n
+		case "drop", "corrupt", "degrade", "factor":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("fault option %s=%q must be a probability in [0,1]", key, val)
+			}
+			switch key {
+			case "drop":
+				cfg.DropRate = f
+			case "corrupt":
+				cfg.CorruptRate = f
+			case "degrade":
+				cfg.DegradeRate = f
+			case "factor":
+				cfg.DegradeFactor = f
+			}
+		default:
+			return nil, fmt.Errorf("unknown fault option %q (want seed, drop, corrupt, degrade, factor)", key)
+		}
+	}
+	return cfg, nil
 }
 
 // FormatBytes renders a byte count with a binary suffix ("32M", "256K").

@@ -129,3 +129,25 @@ func TestTableRendering(t *testing.T) {
 func TestFatalNilIsNoop(t *testing.T) {
 	Fatal(nil) // must not exit
 }
+
+func TestParseFaults(t *testing.T) {
+	if cfg, err := ParseFaults(""); err != nil || cfg != nil {
+		t.Fatalf("empty spec: cfg=%v err=%v", cfg, err)
+	}
+	cfg, err := ParseFaults("seed=7, drop=0.01, corrupt=0.005, degrade=0.1, factor=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.DropRate != 0.01 || cfg.CorruptRate != 0.005 ||
+		cfg.DegradeRate != 0.1 || cfg.DegradeFactor != 0.25 {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config should be enabled")
+	}
+	for _, bad := range []string{"drop=2", "drop=-0.1", "bogus=1", "drop", "seed=x"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}

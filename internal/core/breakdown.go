@@ -31,6 +31,10 @@ const (
 	// PhaseGridQuery is ZFP's get_max_grid_dims
 	// (cudaGetDeviceProperties before ZFP-OPT, cached attribute after).
 	PhaseGridQuery
+	// PhaseChecksum is the end-to-end payload integrity pass: the
+	// CRC32-C kernel over the wire payload on the send side and the
+	// verification pass on the receive side.
+	PhaseChecksum
 	// PhaseComm is network transfer plus everything else
 	// ("Comm & Other" in the figures). Filled in by the MPI layer.
 	PhaseComm
@@ -54,6 +58,8 @@ func (p Phase) String() string {
 		return "zfp_stream/field creation"
 	case PhaseGridQuery:
 		return "get_max_grid_dims"
+	case PhaseChecksum:
+		return "Payload checksum"
 	case PhaseComm:
 		return "Comm & Other"
 	default:

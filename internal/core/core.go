@@ -163,6 +163,12 @@ type Header struct {
 	// PartBytes holds the compressed byte count of each MPC partition
 	// (Algorithm 3's [B1..BN]); len(PartBytes) is the partition count.
 	PartBytes []int
+	// Checksum is the CRC32-C of the wire payload, computed on the send
+	// side during Compress and verified end-to-end by every receiver
+	// before decompression. Because it rides in the header, collectives
+	// that relay raw compressed payloads forward it unchanged and each
+	// hop can verify integrity without recompressing.
+	Checksum uint32
 }
 
 // Ratio reports the achieved compression ratio of the message.
@@ -174,8 +180,8 @@ func (h Header) Ratio() float64 {
 }
 
 // wireSize is the serialized header size in bytes; it rides in the RTS
-// control packet. 24 fixed bytes plus 4 per partition.
-func (h Header) wireSize() int { return 24 + 4*len(h.PartBytes) }
+// control packet. 28 fixed bytes plus 4 per partition.
+func (h Header) wireSize() int { return 28 + 4*len(h.PartBytes) }
 
 // Encode serializes the header (little-endian) for transport or storage.
 func (h Header) Encode() []byte {
@@ -183,6 +189,7 @@ func (h Header) Encode() []byte {
 	buf = append(buf, byte(h.Algo), b2u8(h.Compressed), byte(h.Rate), byte(h.Dim))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.OrigBytes))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.CompBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, h.Checksum)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.PartBytes)))
 	for _, p := range h.PartBytes {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
@@ -190,9 +197,11 @@ func (h Header) Encode() []byte {
 	return buf
 }
 
-// DecodeHeader parses a header serialized by Encode.
+// DecodeHeader parses a header serialized by Encode, rejecting any header
+// whose fields could not have been produced by a well-formed sender
+// (negative sizes, absurd partition counts, truncated partition tables).
 func DecodeHeader(buf []byte) (Header, error) {
-	if len(buf) < 24 {
+	if len(buf) < 28 {
 		return Header{}, fmt.Errorf("core: header too short (%d bytes)", len(buf))
 	}
 	var h Header
@@ -202,12 +211,20 @@ func DecodeHeader(buf []byte) (Header, error) {
 	h.Dim = int(buf[3])
 	h.OrigBytes = int(binary.LittleEndian.Uint64(buf[4:]))
 	h.CompBytes = int(binary.LittleEndian.Uint64(buf[12:]))
-	nParts := int(binary.LittleEndian.Uint32(buf[20:]))
-	if nParts > 1024 || len(buf) < 24+4*nParts {
+	h.Checksum = binary.LittleEndian.Uint32(buf[20:])
+	if h.OrigBytes < 0 || h.CompBytes < 0 {
+		return Header{}, fmt.Errorf("core: corrupt header (orig=%d comp=%d)", h.OrigBytes, h.CompBytes)
+	}
+	nParts := int(binary.LittleEndian.Uint32(buf[24:]))
+	if nParts < 0 || nParts > 1024 || len(buf) < 28+4*nParts {
 		return Header{}, fmt.Errorf("core: corrupt header (nParts=%d, len=%d)", nParts, len(buf))
 	}
 	for i := 0; i < nParts; i++ {
-		h.PartBytes = append(h.PartBytes, int(binary.LittleEndian.Uint32(buf[24+4*i:])))
+		pb := int(binary.LittleEndian.Uint32(buf[28+4*i:]))
+		if pb < 0 {
+			return Header{}, fmt.Errorf("core: corrupt header (partition %d has %d bytes)", i, pb)
+		}
+		h.PartBytes = append(h.PartBytes, pb)
 	}
 	return h, nil
 }

@@ -36,10 +36,15 @@ func TestHeaderDecodeRejectsGarbage(t *testing.T) {
 	}
 	h := Header{Algo: AlgoZFP, Compressed: true, OrigBytes: 8, CompBytes: 4}
 	enc := h.Encode()
-	enc[20] = 0xff // absurd partition count
-	enc[21] = 0xff
+	enc[24] = 0xff // absurd partition count
+	enc[25] = 0xff
 	if _, err := DecodeHeader(enc); err == nil {
 		t.Fatal("corrupt partition count should fail")
+	}
+	enc2 := h.Encode()
+	enc2[11] = 0x80 // negative original size
+	if _, err := DecodeHeader(enc2); err == nil {
+		t.Fatal("negative original size should fail")
 	}
 }
 

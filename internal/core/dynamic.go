@@ -175,9 +175,9 @@ func (e *Engine) CompressForLink(clk *simtime.Clock, buf *gpusim.Buffer, bwGBps 
 		if !probe || !e.PredictBenefit(buf.Len(), bwGBps) {
 			e.mu.Lock()
 			e.Bypasses++
-			payload := append([]byte(nil), buf.Data...)
+			payload, hdr := e.bypassLocked(clk, buf)
 			e.mu.Unlock()
-			return payload, Header{Algo: AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()}
+			return payload, hdr
 		}
 	}
 	return e.Compress(clk, buf)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"mpicomp/internal/gpusim"
@@ -10,6 +12,20 @@ import (
 	"mpicomp/internal/trace"
 	"mpicomp/internal/zfp"
 )
+
+// ErrChecksum reports an end-to-end integrity failure: the payload's
+// CRC32-C does not match the checksum its sender stamped into the header.
+var ErrChecksum = errors.New("core: payload checksum mismatch")
+
+// crcTable is the Castagnoli (CRC32-C) polynomial table — the checksum
+// InfiniBand and iSCSI use for payload integrity, hardware-accelerated on
+// modern CPUs and GPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32-C of a wire payload. It is the pure
+// computation; engine paths charge its kernel cost to the virtual clock
+// via checksumPayload / VerifyPayload.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, crcTable) }
 
 // Engine is one process's on-the-fly compression engine. It owns the
 // pre-allocated buffer pools (ModeOpt), the cached device attributes, and
@@ -38,6 +54,14 @@ type Engine struct {
 	Compressions   int
 	Decompressions int
 	Bypasses       int
+	// PoolFallbacks counts messages that bypassed compression because
+	// the staging pool was exhausted: rather than blocking on (or
+	// growing) the pool mid-message, the engine degrades to the
+	// uncompressed path and the runtime stays live.
+	PoolFallbacks int
+	// ChecksumFailures counts end-to-end integrity verification failures
+	// observed by VerifyPayload.
+	ChecksumFailures int
 	// BytesIn / BytesOut accumulate original and compressed bytes over
 	// all compressions, giving the achieved compression ratio.
 	BytesIn  int64
@@ -70,6 +94,7 @@ func (e *Engine) ResetCounters() {
 	defer e.mu.Unlock()
 	e.Stats.Reset()
 	e.Compressions, e.Decompressions, e.Bypasses = 0, 0, 0
+	e.PoolFallbacks, e.ChecksumFailures = 0, 0
 	e.BytesIn, e.BytesOut = 0, 0
 }
 
@@ -110,18 +135,25 @@ func (e *Engine) ShouldCompress(buf *gpusim.Buffer) bool {
 // the compression kernel(s), performs the size readback, and returns the
 // payload to put on the wire plus the header to piggyback on the RTS.
 // If the message is not eligible the raw bytes are returned with an
-// uncompressed header (the baseline path).
+// uncompressed header (the baseline path). Every returned header carries
+// the CRC32-C of the wire payload, computed here and charged to the
+// virtual clock like any other kernel, so receivers can verify integrity
+// end-to-end regardless of whether the payload was compressed.
 func (e *Engine) Compress(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.ShouldCompress(buf) {
-		if e != nil {
-			e.Bypasses++
-		}
-		// Snapshot the payload: the transport owns it from here on, so a
-		// sender reusing its buffer after local completion cannot corrupt
-		// an in-flight message.
-		return append([]byte(nil), buf.Data...), Header{Algo: AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()}
+		e.Bypasses++
+		return e.bypassLocked(clk, buf)
+	}
+	// Graceful degradation: if the ModeOpt staging pool has no free
+	// buffer, send uncompressed instead of blocking on the pool (or
+	// paying a mid-message cudaMalloc). A transient burst of in-flight
+	// receives can drain the shared pool; the uncompressed path keeps
+	// the runtime live and the pool recovers as receives complete.
+	if e.poolExhaustedLocked() {
+		e.PoolFallbacks++
+		return e.bypassLocked(clk, buf)
 	}
 	e.Compressions++
 	var payload []byte
@@ -134,10 +166,67 @@ func (e *Engine) Compress(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Heade
 	default:
 		panic("core: unreachable algorithm")
 	}
+	hdr.Checksum = e.checksumLocked(clk, payload)
 	e.BytesIn += int64(hdr.OrigBytes)
 	e.BytesOut += int64(hdr.CompBytes)
 	e.observeRatio(hdr.Ratio())
 	return payload, hdr
+}
+
+// bypassLocked snapshots buf as an uncompressed wire payload with a
+// checksummed AlgoNone header. The snapshot matters: the transport owns
+// the payload from here on, so a sender reusing its buffer after local
+// completion cannot corrupt an in-flight message.
+func (e *Engine) bypassLocked(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
+	payload := append([]byte(nil), buf.Data...)
+	hdr := Header{Algo: AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()}
+	hdr.Checksum = e.checksumLocked(clk, payload)
+	return payload, hdr
+}
+
+// poolExhaustedLocked reports whether the ModeOpt staging pool cannot
+// serve a compression without growing.
+func (e *Engine) poolExhaustedLocked() bool {
+	if e.pool == nil {
+		return false
+	}
+	if e.pool.FreeCount() == 0 {
+		return true
+	}
+	return e.cfg.Algorithm == AlgoMPC && e.offPool.FreeCount() == 0
+}
+
+// checksumLocked computes the payload's CRC32-C, charging the cost of one
+// memory-bound GPU pass over the payload (the checksum kernel reads each
+// byte once; HBM bandwidth bounds it).
+func (e *Engine) checksumLocked(clk *simtime.Clock, payload []byte) uint32 {
+	t := startTimer(clk)
+	clk.Advance(simtime.ThroughputTime(len(payload), e.dev.Spec.MemBWGBps*8))
+	e.charge(t, PhaseChecksum)
+	return Checksum(payload)
+}
+
+// ChecksumWire computes and charges the checksum of a wire payload that
+// does not flow through Compress (the eager protocol sends the user bytes
+// directly, with no compression header builder of its own).
+func (e *Engine) ChecksumWire(clk *simtime.Clock, payload []byte) uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checksumLocked(clk, payload)
+}
+
+// VerifyPayload checks a received payload against the checksum in its
+// header, charging the verification pass to the receiver's clock. It
+// returns ErrChecksum (wrapped) on mismatch.
+func (e *Engine) VerifyPayload(clk *simtime.Clock, hdr Header, payload []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if got := e.checksumLocked(clk, payload); got != hdr.Checksum {
+		e.ChecksumFailures++
+		return fmt.Errorf("%w: got %08x, header says %08x (%d payload bytes)",
+			ErrChecksum, got, hdr.Checksum, len(payload))
+	}
+	return nil
 }
 
 // compressMPC implements both the naive MPC path and MPC-OPT.
@@ -362,9 +451,19 @@ func (e *Engine) ReleaseRecv(clk *simtime.Clock, staged *gpusim.Buffer) {
 // Decompress runs the receive-side framework (Algorithm 2): given the RTS
 // header and the received payload, it launches the decompression kernel(s)
 // and writes the restored data into dst.
+//
+// A truncated, padded, or otherwise malformed (header, payload) pair —
+// whatever a faulty fabric or a corrupted RTS could produce — yields an
+// error, never a panic and never silently short output.
 func (e *Engine) Decompress(clk *simtime.Clock, hdr Header, payload []byte, dst *gpusim.Buffer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if hdr.OrigBytes < 0 || hdr.CompBytes < 0 {
+		return fmt.Errorf("core: corrupt header (orig=%d comp=%d)", hdr.OrigBytes, hdr.CompBytes)
+	}
+	if len(payload) != hdr.CompBytes {
+		return fmt.Errorf("core: payload is %d bytes, header says %d", len(payload), hdr.CompBytes)
+	}
 	if !hdr.Compressed {
 		n := copy(dst.Data, payload)
 		if n != hdr.OrigBytes {
@@ -374,6 +473,9 @@ func (e *Engine) Decompress(clk *simtime.Clock, hdr Header, payload []byte, dst 
 	}
 	if dst.Len() < hdr.OrigBytes {
 		return fmt.Errorf("core: dst %d bytes < original %d", dst.Len(), hdr.OrigBytes)
+	}
+	if hdr.OrigBytes%4 != 0 {
+		return fmt.Errorf("core: compressed message of %d bytes is not word-aligned", hdr.OrigBytes)
 	}
 	e.Decompressions++
 	switch hdr.Algo {
@@ -392,6 +494,19 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 	parts := len(hdr.PartBytes)
 	if parts == 0 {
 		return fmt.Errorf("core: MPC header missing partition sizes")
+	}
+	if parts > 1024 {
+		return fmt.Errorf("core: MPC header has absurd partition count %d", parts)
+	}
+	sum := 0
+	for i, pb := range hdr.PartBytes {
+		if pb < 0 {
+			return fmt.Errorf("core: MPC partition %d has negative size %d", i, pb)
+		}
+		sum += pb
+	}
+	if sum != len(payload) {
+		return fmt.Errorf("core: MPC partitions sum to %d bytes, payload is %d", sum, len(payload))
 	}
 	ranges := splitWords(nWords, parts)
 

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/simtime"
+)
+
+// These tests mirror internal/mpc/fuzz_test.go one layer up: whatever a
+// faulty fabric hands the receive-side framework — truncated payloads,
+// flipped bits, corrupted headers — Engine.Decompress must return an
+// error or correct output, never panic and never write silently short
+// output into the destination buffer.
+
+func fuzzEngine(algo Algorithm) (*Engine, *gpusim.GPUDevice, *simtime.Clock) {
+	dev := gpusim.NewDevice(hw.TeslaV100(), 8)
+	clk := simtime.NewClock(0)
+	cfg := Config{Mode: ModeOpt, Algorithm: algo, Threshold: 1 << 10, PoolBufBytes: 1 << 20}
+	return NewEngine(clk, dev, cfg), dev, clk
+}
+
+// compressSample produces a genuine compressed (payload, header) pair to
+// seed the fuzzers with realistic corpora.
+func compressSample(e *Engine, dev *gpusim.GPUDevice, clk *simtime.Clock, n int) ([]byte, Header) {
+	vals := smooth(n, 42)
+	return e.Compress(clk, deviceBufferWith(dev, vals))
+}
+
+// tryDecompress runs one decode attempt and reports whether the output is
+// either an error or a full-size write — the invariant the fuzzers check.
+func tryDecompress(t *testing.T, e *Engine, clk *simtime.Clock, hdr Header, payload []byte) {
+	t.Helper()
+	if hdr.OrigBytes < 0 || hdr.OrigBytes > 1<<24 {
+		return
+	}
+	dst := &gpusim.Buffer{Data: make([]byte, maxInt(hdr.OrigBytes, 0)), Loc: gpusim.Device, Dev: e.Device()}
+	// Any outcome but a panic is acceptable; corrupted streams that
+	// happen to decode are caught one layer up by the CRC check.
+	_ = e.Decompress(clk, hdr, payload, dst)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func FuzzDecompressMPC(f *testing.F) {
+	e, dev, clk := fuzzEngine(AlgoMPC)
+	payload, hdr := compressSample(e, dev, clk, 4096)
+	f.Add(payload, hdr.OrigBytes, len(hdr.PartBytes), hdr.Dim)
+	f.Add([]byte{}, 0, 1, 1)
+	f.Add([]byte{1, 2, 3}, 128, 2, 5)
+	f.Fuzz(func(t *testing.T, comp []byte, origBytes, parts, dim int) {
+		if parts < 0 || parts > 64 {
+			return
+		}
+		h := Header{
+			Algo: AlgoMPC, Compressed: true,
+			OrigBytes: origBytes, CompBytes: len(comp), Dim: dim,
+		}
+		per := 0
+		if parts > 0 {
+			per = len(comp) / parts
+		}
+		for i := 0; i < parts; i++ {
+			pb := per
+			if i == parts-1 {
+				pb = len(comp) - per*(parts-1)
+			}
+			h.PartBytes = append(h.PartBytes, pb)
+		}
+		tryDecompress(t, e, clk, h, comp)
+	})
+}
+
+func FuzzDecompressZFP(f *testing.F) {
+	e, dev, clk := fuzzEngine(AlgoZFP)
+	payload, hdr := compressSample(e, dev, clk, 4096)
+	f.Add(payload, hdr.OrigBytes, hdr.Rate)
+	f.Add([]byte{}, 0, 16)
+	f.Add([]byte{0xff, 0x01}, 64, 4)
+	f.Fuzz(func(t *testing.T, comp []byte, origBytes, rate int) {
+		h := Header{
+			Algo: AlgoZFP, Compressed: true,
+			OrigBytes: origBytes, CompBytes: len(comp), Rate: rate,
+		}
+		tryDecompress(t, e, clk, h, comp)
+	})
+}
+
+// FuzzDecodeHeaderDecompress drives the full receive path a corrupted RTS
+// exercises: parse arbitrary header bytes, then decode an arbitrary
+// payload under whatever header survived parsing.
+func FuzzDecodeHeaderDecompress(f *testing.F) {
+	e, dev, clk := fuzzEngine(AlgoMPC)
+	payload, hdr := compressSample(e, dev, clk, 2048)
+	f.Add(hdr.Encode(), payload)
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, enc, comp []byte) {
+		h, err := DecodeHeader(enc)
+		if err != nil {
+			return
+		}
+		tryDecompress(t, e, clk, h, comp)
+	})
+}
+
+// TestDecompressCorruptedStreams exercises the fuzz property on every
+// `go test` run: real compressed streams, then truncated and bit-flipped
+// variants, for both codecs.
+func TestDecompressCorruptedStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, algo := range []Algorithm{AlgoMPC, AlgoZFP} {
+		e, dev, clk := fuzzEngine(algo)
+		payload, hdr := compressSample(e, dev, clk, 8192)
+		dst := &gpusim.Buffer{Data: make([]byte, hdr.OrigBytes), Loc: gpusim.Device, Dev: dev}
+
+		// The intact stream must decode.
+		if err := e.Decompress(clk, hdr, payload, dst); err != nil {
+			t.Fatalf("%v: intact stream failed: %v", algo, err)
+		}
+
+		// Truncations at every kind of boundary must error (the header
+		// still claims the full compressed size).
+		for _, cut := range []int{0, 1, len(payload) / 3, len(payload) - 1} {
+			if err := e.Decompress(clk, hdr, payload[:cut], dst); err == nil {
+				t.Errorf("%v: truncation to %d bytes decoded silently", algo, cut)
+			}
+		}
+
+		// A header that also lies about CompBytes (so lengths agree) must
+		// still yield an error, not a panic or short output.
+		for _, cut := range []int{0, 1, len(payload) / 2} {
+			short := hdr
+			short.CompBytes = cut
+			if algo == AlgoMPC {
+				// Keep the partition table consistent with the lie.
+				short.PartBytes = []int{cut}
+			}
+			_ = e.Decompress(clk, short, payload[:cut], dst)
+		}
+
+		// Bit flips: must never panic; errors or garbage output are both
+		// legal here (the CRC layer rejects garbage end to end).
+		for trial := 0; trial < 200; trial++ {
+			wire := append([]byte(nil), payload...)
+			for f := 0; f < 1+rng.Intn(4); f++ {
+				bit := rng.Intn(len(wire) * 8)
+				wire[bit/8] ^= 1 << (bit % 8)
+			}
+			_ = e.Decompress(clk, hdr, wire, dst)
+		}
+
+		// Corrupt headers over an intact payload.
+		for trial := 0; trial < 200; trial++ {
+			h := hdr
+			switch trial % 5 {
+			case 0:
+				h.Dim = rng.Intn(64) - 8
+			case 1:
+				h.Rate = rng.Intn(64) - 8
+			case 2:
+				h.OrigBytes = rng.Intn(1 << 20)
+			case 3:
+				if len(h.PartBytes) > 0 {
+					h.PartBytes = append([]int(nil), h.PartBytes...)
+					h.PartBytes[0] = rng.Intn(1<<16) - 100
+				}
+			case 4:
+				h.Algo = Algorithm(rng.Intn(8))
+			}
+			_ = e.Decompress(clk, h, payload, dst)
+		}
+	}
+}
+
+// TestCompressStampsVerifiableChecksum: the header checksum produced by
+// every Compress path must verify against the payload, and corruption of
+// payload or checksum must be detected.
+func TestCompressStampsVerifiableChecksum(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		vals []float32
+	}{
+		{"mpc-compressed", Config{Mode: ModeOpt, Algorithm: AlgoMPC, Threshold: 1 << 10, PoolBufBytes: 1 << 20}, smooth(8192, 1)},
+		{"zfp-compressed", Config{Mode: ModeOpt, Algorithm: AlgoZFP, Threshold: 1 << 10, PoolBufBytes: 1 << 20}, smooth(8192, 2)},
+		{"bypass-small", Config{Mode: ModeOpt, Algorithm: AlgoMPC, Threshold: 1 << 30, PoolBufBytes: 1 << 20}, smooth(64, 3)},
+		{"mode-off", Config{Mode: ModeOff}, smooth(64, 4)},
+	}
+	for _, tc := range cases {
+		dev := gpusim.NewDevice(hw.TeslaV100(), 8)
+		clk := simtime.NewClock(0)
+		e := NewEngine(clk, dev, tc.cfg)
+		before := clk.Now()
+		payload, hdr := e.Compress(clk, deviceBufferWith(dev, tc.vals))
+		if hdr.Checksum != Checksum(payload) {
+			t.Errorf("%s: header checksum does not match payload", tc.name)
+		}
+		// For payloads big enough that one HBM pass costs a visible
+		// number of integer nanoseconds, the cost must hit the clock.
+		if len(payload) >= 1<<13 && clk.Now() == before {
+			t.Errorf("%s: checksum cost was not charged to the clock", tc.name)
+		}
+		if err := e.VerifyPayload(clk, hdr, payload); err != nil {
+			t.Errorf("%s: intact payload failed verification: %v", tc.name, err)
+		}
+		if len(payload) > 0 {
+			bad := append([]byte(nil), payload...)
+			bad[len(bad)/2] ^= 0x10
+			if err := e.VerifyPayload(clk, hdr, bad); err == nil {
+				t.Errorf("%s: corrupted payload passed verification", tc.name)
+			}
+		}
+		if e.ChecksumFailures == 0 && len(payload) > 0 {
+			t.Errorf("%s: checksum failure not counted", tc.name)
+		}
+	}
+}
+
+// TestCompressPoolExhaustionFallsBack: with every pool buffer checked out,
+// Compress must degrade to the uncompressed path instead of growing the
+// pool or blocking.
+func TestCompressPoolExhaustionFallsBack(t *testing.T) {
+	dev := gpusim.NewDevice(hw.TeslaV100(), 8)
+	clk := simtime.NewClock(0)
+	e := NewEngine(clk, dev, Config{
+		Mode: ModeOpt, Algorithm: AlgoMPC,
+		Threshold: 1 << 10, PoolBuffers: 2, PoolBufBytes: 1 << 20,
+	})
+	vals := smooth(4096, 9)
+
+	// Drain the staging pool as in-flight receives would.
+	h := Header{Algo: AlgoMPC, Compressed: true, OrigBytes: 1 << 12, CompBytes: 1 << 12}
+	s1 := e.StageRecv(clk, h)
+	s2 := e.StageRecv(clk, h)
+
+	mallocs := dev.MallocCount
+	payload, hdr := e.Compress(clk, deviceBufferWith(dev, vals))
+	if hdr.Compressed {
+		t.Fatal("compression proceeded with an exhausted pool")
+	}
+	if e.PoolFallbacks != 1 {
+		t.Fatalf("PoolFallbacks = %d, want 1", e.PoolFallbacks)
+	}
+	if dev.MallocCount != mallocs {
+		t.Fatal("fallback path touched the allocator")
+	}
+	if hdr.Checksum != Checksum(payload) {
+		t.Fatal("fallback payload is not checksummed")
+	}
+
+	// Returning the staging buffers restores compression.
+	e.ReleaseRecv(clk, s1)
+	e.ReleaseRecv(clk, s2)
+	_, hdr = e.Compress(clk, deviceBufferWith(dev, vals))
+	if !hdr.Compressed {
+		t.Fatal("compression did not recover after pool refill")
+	}
+}

@@ -1,0 +1,257 @@
+// Package faults is the deterministic fault-injection fabric for the
+// simulated cluster. A real deployment of the paper's library rides on
+// InfiniBand retransmission and MVAPICH2's progress engine for reliability;
+// the simulation has neither, so this package supplies the adversary those
+// layers defend against: dropped control/data messages, bit flips on wire
+// payloads, and transient link-bandwidth degradation.
+//
+// Every decision is a pure function of (seed, event identity) — a hash of
+// the message kind, endpoints, per-sender sequence number, and transmission
+// attempt — never a draw from a shared sequential RNG. Rank goroutines
+// reach the injector in arbitrary wall-clock order, so sequential draws
+// would make fault placement depend on the host scheduler; hashing keeps
+// every run bit-for-bit reproducible from the seed alone, which is what
+// lets the chaos soak tests assert exact outcomes.
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mpicomp/internal/simtime"
+)
+
+// Kind identifies the class of wire event a decision applies to. Distinct
+// kinds hash independently, so (for example) an RTS and the data transfer
+// of the same message attempt see independent fates.
+type Kind uint8
+
+const (
+	// KindRTS is the rendezvous ready-to-send control packet.
+	KindRTS Kind = iota + 1
+	// KindCTS is the rendezvous clear-to-send control packet.
+	KindCTS
+	// KindData is the rendezvous payload transfer.
+	KindData
+	// KindEager is an eager-protocol message (header + payload in one).
+	KindEager
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRTS:
+		return "RTS"
+	case KindCTS:
+		return "CTS"
+	case KindData:
+		return "data"
+	case KindEager:
+		return "eager"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DefaultDegradeFactor is the bandwidth multiplier applied during a
+// degraded window when Config.DegradeFactor is zero.
+const DefaultDegradeFactor = 0.25
+
+// DefaultDegradeWindow is the duration of one degrade decision window when
+// Config.DegradeWindow is zero: the link's fate is re-rolled per window.
+const DefaultDegradeWindow = simtime.Millisecond
+
+// DefaultMaxFlips bounds the bit flips applied to one corrupted payload
+// when Config.MaxFlips is zero.
+const DefaultMaxFlips = 4
+
+// Config describes the fault model of one run. The zero value injects
+// nothing (Enabled reports false).
+type Config struct {
+	// Seed drives every decision; two runs with equal seeds and equal
+	// communication plans see identical faults.
+	Seed int64
+	// CorruptRate is the per-attempt probability that a payload transfer
+	// (rendezvous data or eager message) arrives with flipped bits.
+	CorruptRate float64
+	// DropRate is the per-attempt probability that a message (RTS, CTS,
+	// data, or eager) is lost on the wire.
+	DropRate float64
+	// DegradeRate is the per-window probability that a node pair's link
+	// runs at DegradeFactor of its nominal bandwidth.
+	DegradeRate float64
+	// DegradeFactor is the bandwidth multiplier inside a degraded window
+	// (0 means DefaultDegradeFactor).
+	DegradeFactor float64
+	// DegradeWindow is the granularity of degrade decisions on the
+	// virtual clock (0 means DefaultDegradeWindow).
+	DegradeWindow simtime.Duration
+	// MaxFlips bounds the bit flips per corrupted payload (0 means
+	// DefaultMaxFlips).
+	MaxFlips int
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.CorruptRate > 0 || c.DropRate > 0 || c.DegradeRate > 0
+}
+
+func (c Config) withDefaults() Config {
+	if c.DegradeFactor <= 0 || c.DegradeFactor > 1 {
+		c.DegradeFactor = DefaultDegradeFactor
+	}
+	if c.DegradeWindow <= 0 {
+		c.DegradeWindow = DefaultDegradeWindow
+	}
+	if c.MaxFlips <= 0 {
+		c.MaxFlips = DefaultMaxFlips
+	}
+	return c
+}
+
+// Stats is a snapshot of injected-fault counters.
+type Stats struct {
+	// Drops / Corruptions / Degrades count injected faults by class.
+	Drops       int64
+	Corruptions int64
+	Degrades    int64
+	// BitsFlipped totals the flipped bits over all corruptions.
+	BitsFlipped int64
+}
+
+// Injector makes the per-event fault decisions. All methods are safe for
+// concurrent use and are nil-safe: a nil *Injector injects nothing, so
+// call sites need no guards.
+type Injector struct {
+	cfg Config
+
+	drops       atomic.Int64
+	corruptions atomic.Int64
+	degrades    atomic.Int64
+	bitsFlipped atomic.Int64
+}
+
+// New builds an injector for cfg. It returns nil when cfg injects nothing,
+// which callers treat as "fault injection off".
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration (zero value for nil).
+func (i *Injector) Config() Config {
+	if i == nil {
+		return Config{}
+	}
+	return i.cfg
+}
+
+// Stats snapshots the fault counters (zero for nil).
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return Stats{
+		Drops:       i.drops.Load(),
+		Corruptions: i.corruptions.Load(),
+		Degrades:    i.degrades.Load(),
+		BitsFlipped: i.bitsFlipped.Load(),
+	}
+}
+
+// ResetStats zeroes the fault counters (between benchmark repetitions).
+// Decisions are stateless, so resetting counters does not change outcomes.
+func (i *Injector) ResetStats() {
+	if i == nil {
+		return
+	}
+	i.drops.Store(0)
+	i.corruptions.Store(0)
+	i.degrades.Store(0)
+	i.bitsFlipped.Store(0)
+}
+
+// ShouldDrop decides whether transmission attempt `attempt` of message
+// (kind, src rank, dst rank, seq) is lost, counting the drop when it is.
+func (i *Injector) ShouldDrop(kind Kind, src, dst int, seq uint64, attempt int) bool {
+	if i == nil || i.cfg.DropRate <= 0 {
+		return false
+	}
+	if i.uniform(eventKey(uint64(kind), 0x7d0b, src, dst, seq, attempt)) < i.cfg.DropRate {
+		i.drops.Add(1)
+		return true
+	}
+	return false
+}
+
+// Corrupt decides whether attempt `attempt` of the payload transfer
+// (src, dst, seq) is corrupted; when it is, it returns a copy of payload
+// with 1..MaxFlips deterministic bit flips and true. Otherwise it returns
+// payload unchanged and false. The original slice is never modified — the
+// intact bytes must survive for the retransmission.
+func (i *Injector) Corrupt(payload []byte, src, dst int, seq uint64, attempt int) ([]byte, bool) {
+	if i == nil || i.cfg.CorruptRate <= 0 || len(payload) == 0 {
+		return payload, false
+	}
+	key := eventKey(0xc0, 0x1232, src, dst, seq, attempt)
+	if i.uniform(key) >= i.cfg.CorruptRate {
+		return payload, false
+	}
+	wire := append([]byte(nil), payload...)
+	h := splitmix64(uint64(i.cfg.Seed) ^ key ^ 0x9e3779b97f4a7c15)
+	flips := 1 + int(h%uint64(i.cfg.MaxFlips))
+	for f := 0; f < flips; f++ {
+		h = splitmix64(h)
+		bit := h % uint64(len(wire)*8)
+		wire[bit/8] ^= 1 << (bit % 8)
+	}
+	i.corruptions.Add(1)
+	i.bitsFlipped.Add(int64(flips))
+	return wire, true
+}
+
+// BandwidthFactor returns the link-bandwidth multiplier for a transfer
+// between srcNode and dstNode starting at `at`: 1 on a healthy window,
+// Config.DegradeFactor inside a degraded one. Windows are DegradeWindow
+// long on the virtual clock, so degradation is transient and, like every
+// other decision, reproducible from the seed.
+func (i *Injector) BandwidthFactor(srcNode, dstNode int, at simtime.Time) float64 {
+	if i == nil || i.cfg.DegradeRate <= 0 {
+		return 1
+	}
+	window := uint64(at / simtime.Time(i.cfg.DegradeWindow))
+	if i.uniform(eventKey(0xde, 0x6a3d, srcNode, dstNode, window, 0)) < i.cfg.DegradeRate {
+		i.degrades.Add(1)
+		return i.cfg.DegradeFactor
+	}
+	return 1
+}
+
+// uniform maps an event key to [0, 1) under the injector's seed.
+func (i *Injector) uniform(key uint64) float64 {
+	h := splitmix64(uint64(i.cfg.Seed) ^ key)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// eventKey packs an event's identity into one well-mixed 64-bit value.
+func eventKey(kind, salt uint64, src, dst int, seq uint64, attempt int) uint64 {
+	h := splitmix64(kind ^ salt<<8)
+	h = splitmix64(h ^ uint64(uint32(src)))
+	h = splitmix64(h ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ seq)
+	h = splitmix64(h ^ uint64(uint32(attempt)))
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit
+// mixing function (Steele, Lea, Flood — "Fast splittable pseudorandom
+// number generators", OOPSLA 2014).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

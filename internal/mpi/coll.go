@@ -35,7 +35,7 @@ func (r *Rank) Barrier() error {
 	for k := 1; k < size; k <<= 1 {
 		dst := (r.id + k) % size
 		src := (r.id - k + size) % size
-		if err := r.Sendrecv(dst, tagBarrier, token, src, tagBarrier, scratch); err != nil {
+		if err := r.sendrecv(dst, tagBarrier, token, src, tagBarrier, scratch); err != nil {
 			return fmt.Errorf("mpi: barrier: %w", err)
 		}
 	}
@@ -197,7 +197,7 @@ func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 				copy(dst.Data, sendBuf.Data)
 				continue
 			}
-			req, err := r.Irecv(src, tagGather, dst)
+			req, err := r.irecv(src, tagGather, dst)
 			if err != nil {
 				return err
 			}
@@ -205,7 +205,7 @@ func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 		return r.Waitall(reqs...)
 	}
-	return r.Send(root, tagGather, sendBuf)
+	return r.send(root, tagGather, sendBuf)
 }
 
 // Scatter distributes root's sendBuf (rank i's block at offset
@@ -227,7 +227,7 @@ func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 				copy(recvBuf.Data, src.Data)
 				continue
 			}
-			req, err := r.Isend(dst, tagScatter, src)
+			req, err := r.isend(dst, tagScatter, src)
 			if err != nil {
 				return err
 			}
@@ -235,7 +235,7 @@ func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 		return r.Waitall(reqs...)
 	}
-	return r.Recv(root, tagScatter, recvBuf)
+	return r.recv(root, tagScatter, recvBuf)
 }
 
 // ReduceSum computes the element-wise float32 sum of every rank's sendBuf
@@ -254,11 +254,11 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	for mask := 1; mask < size; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := ((vrank &^ mask) + root) % size
-			return r.Send(parent, tagReduce, accBuf)
+			return r.send(parent, tagReduce, accBuf)
 		}
 		if vrank+mask < size {
 			child := (vrank + mask + root) % size
-			if err := r.Recv(child, tagReduce, tmp); err != nil {
+			if err := r.recv(child, tagReduce, tmp); err != nil {
 				return fmt.Errorf("mpi: reduce recv: %w", err)
 			}
 			sumFloat32(r, acc, tmp.Data)
@@ -300,7 +300,7 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 			peer := r.id ^ step
 			sb := sendBuf.Slice(peer*blk, blk)
 			rb := recvBuf.Slice(peer*blk, blk)
-			if err := r.Sendrecv(peer, tagAlltoall, sb, peer, tagAlltoall, rb); err != nil {
+			if err := r.sendrecv(peer, tagAlltoall, sb, peer, tagAlltoall, rb); err != nil {
 				return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
 			}
 			continue
@@ -310,7 +310,7 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 		src := (r.id - step + size) % size
 		sb := sendBuf.Slice(dst*blk, blk)
 		rb := recvBuf.Slice(src*blk, blk)
-		if err := r.Sendrecv(dst, tagAlltoall, sb, src, tagAlltoall, rb); err != nil {
+		if err := r.sendrecv(dst, tagAlltoall, sb, src, tagAlltoall, rb); err != nil {
 			return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
 		}
 	}
@@ -392,11 +392,11 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 	// Stage 0: move the message to the root node's leader if needed.
 	if onRootNode && root != leader {
 		if r.id == root {
-			if err := r.Send(leader, tagBcast, buf); err != nil {
+			if err := r.send(leader, tagBcast, buf); err != nil {
 				return err
 			}
 		} else if r.id == leader {
-			if err := r.Recv(root, tagBcast, buf); err != nil {
+			if err := r.recv(root, tagBcast, buf); err != nil {
 				return err
 			}
 		}
@@ -410,7 +410,7 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 		for mask < nodes {
 			if vnode&mask != 0 {
 				parentNode := ((vnode - mask) + rootNode) % nodes
-				if err := r.Recv(parentNode*ppn, tagBcast, buf); err != nil {
+				if err := r.recv(parentNode*ppn, tagBcast, buf); err != nil {
 					return err
 				}
 				break
@@ -420,7 +420,7 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 		for mask >>= 1; mask > 0; mask >>= 1 {
 			if vnode+mask < nodes {
 				childNode := (vnode + mask + rootNode) % nodes
-				if err := r.Send(childNode*ppn, tagBcast, buf); err != nil {
+				if err := r.send(childNode*ppn, tagBcast, buf); err != nil {
 					return err
 				}
 			}
@@ -433,7 +433,7 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 			if onRootNode && peer == root {
 				continue // the root already has the data
 			}
-			if err := r.Send(peer, tagBcast, buf); err != nil {
+			if err := r.send(peer, tagBcast, buf); err != nil {
 				return err
 			}
 		}
@@ -442,7 +442,7 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 	if onRootNode && r.id == root {
 		return nil
 	}
-	return r.Recv(leader, tagBcast, buf)
+	return r.recv(leader, tagBcast, buf)
 }
 
 // RingAllreduceSum is the bandwidth-optimal allreduce (ring
@@ -476,7 +476,7 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 		sendIdx := (r.id - step + size) % size
 		recvIdx := (r.id - step - 1 + size) % size
 		sb := recvBuf.Slice(sendIdx*blk, blk)
-		if err := r.Sendrecv(right, tagAllreduce, sb, left, tagAllreduce, scratch); err != nil {
+		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, scratch); err != nil {
 			return fmt.Errorf("mpi: ring reduce-scatter step %d: %w", step, err)
 		}
 		sumFloat32(r, recvBuf.Slice(recvIdx*blk, blk).Data, scratch.Data)
@@ -487,7 +487,7 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 		recvIdx := (r.id - step + size) % size
 		sb := recvBuf.Slice(sendIdx*blk, blk)
 		rb := recvBuf.Slice(recvIdx*blk, blk)
-		if err := r.Sendrecv(right, tagAllreduce, sb, left, tagAllreduce, rb); err != nil {
+		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, rb); err != nil {
 			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
 		}
 	}

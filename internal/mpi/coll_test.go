@@ -280,9 +280,10 @@ func TestCollectiveValidation(t *testing.T) {
 			if err := r.Gather(0, emptyDevBuf(r, 4), emptyDevBuf(r, 4)); err == nil {
 				t.Error("gather recv size mismatch should fail at root")
 			}
-			// Unblock peer's send.
+			// Unblock peer's send (internal tag namespace, so the
+			// unexported variant).
 			buf := emptyDevBuf(r, 4)
-			return r.Recv(1, internalTagBase-3 /* tagGather */, buf)
+			return r.recv(1, internalTagBase-3 /* tagGather */, buf)
 		}
 		return r.Gather(0, emptyDevBuf(r, 4), nil)
 	})

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/faults"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/hw"
 	"mpicomp/internal/netsim"
@@ -37,6 +38,60 @@ const internalTagBase = -1 << 20
 // size use RTS/CTS, below it they are sent eagerly.
 const DefaultEagerLimit = 16 << 10
 
+// DefaultRetryLimit is the per-protocol-stage retransmission budget when
+// RetryPolicy.Limit is zero: each RTS, CTS, data transfer, or eager
+// message makes at most 1 + DefaultRetryLimit attempts.
+const DefaultRetryLimit = 8
+
+// DefaultRetryBackoff is the delay before the first retransmission when
+// RetryPolicy.Backoff is zero. It doubles per attempt (exponential
+// backoff on the virtual clock), capped at maxRetryBackoff.
+const DefaultRetryBackoff = 20 * simtime.Microsecond
+
+// maxRetryBackoff caps the exponential backoff so a deep retry chain
+// cannot push the virtual timeline absurdly far out.
+const maxRetryBackoff = 10 * simtime.Millisecond
+
+// RetryPolicy bounds the transport's retransmission behavior under
+// injected faults. The zero value means defaults.
+type RetryPolicy struct {
+	// Limit is the maximum retransmissions per protocol stage of one
+	// message. Zero selects DefaultRetryLimit; any negative value
+	// disables retries entirely (a single lost or corrupted attempt
+	// surfaces ErrDeliveryFailed from Wait).
+	Limit int
+	// Backoff is the delay before the first retransmission, doubling
+	// with each subsequent one. Zero selects DefaultRetryBackoff.
+	Backoff simtime.Duration
+}
+
+// limit returns the effective retransmission budget.
+func (p RetryPolicy) limit() int {
+	if p.Limit < 0 {
+		return 0
+	}
+	if p.Limit == 0 {
+		return DefaultRetryLimit
+	}
+	return p.Limit
+}
+
+// delay returns the backoff before retransmission attempt+1 (attempt is
+// the zero-based attempt that just failed).
+func (p RetryPolicy) delay(attempt int) simtime.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		d = DefaultRetryBackoff
+	}
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
 // Options configures a World.
 type Options struct {
 	// Cluster selects the hardware model (default: hw.Longhorn()).
@@ -56,6 +111,14 @@ type Options struct {
 	// Tracer, when non-nil, records every engine phase and network
 	// transfer for timeline inspection (trace.WriteChromeTrace).
 	Tracer *trace.Collector
+	// Faults, when non-nil and enabled, injects deterministic wire
+	// faults (drops, bit flips, degraded links) into the run; see
+	// package faults. Nil or a zero config runs a perfect fabric.
+	Faults *faults.Config
+	// Retry bounds the transport's retransmission protocol. Only
+	// consulted when faults are injected (a perfect fabric never
+	// retries). The zero value selects the defaults.
+	Retry RetryPolicy
 }
 
 // World is one simulated MPI job.
@@ -67,6 +130,8 @@ type World struct {
 	fabric     *netsim.Fabric
 	ranks      []*Rank
 	tracer     *trace.Collector
+	inj        *faults.Injector
+	retry      RetryPolicy
 }
 
 // NewWorld builds the job: fabric, devices, per-rank engines (paying
@@ -97,6 +162,11 @@ func NewWorld(opt Options) (*World, error) {
 		eagerLimit: eager,
 		fabric:     netsim.NewFabric(opt.Cluster, opt.Nodes),
 		tracer:     opt.Tracer,
+		retry:      opt.Retry,
+	}
+	if opt.Faults != nil {
+		w.inj = faults.New(*opt.Faults) // nil when the config is disabled
+		w.fabric.SetFaults(w.inj)
 	}
 	for id := 0; id < w.size; id++ {
 		dev := gpusim.NewDevice(opt.Cluster.GPU, streams)
@@ -108,12 +178,13 @@ func NewWorld(opt Options) (*World, error) {
 		eng.Tracer = opt.Tracer
 		eng.Track = fmt.Sprintf("rank %d", id)
 		r := &Rank{
-			id:     id,
-			world:  w,
-			Clock:  simtime.NewClock(0),
-			Dev:    dev,
-			Engine: eng,
-			box:    newMailbox(),
+			id:      id,
+			world:   w,
+			Clock:   simtime.NewClock(0),
+			Dev:     dev,
+			Engine:  eng,
+			box:     newMailbox(),
+			sendSeq: make([]uint64, w.size),
 		}
 		w.ranks = append(w.ranks, r)
 	}
@@ -134,6 +205,13 @@ func (w *World) Cluster() hw.Cluster { return w.cluster }
 
 // Fabric exposes the interconnect (for inspection in tests).
 func (w *World) Fabric() *netsim.Fabric { return w.fabric }
+
+// FaultStats snapshots the injected-fault counters (zero when fault
+// injection is off).
+func (w *World) FaultStats() faults.Stats { return w.inj.Stats() }
+
+// FaultsEnabled reports whether this world injects faults.
+func (w *World) FaultsEnabled() bool { return w.inj != nil }
 
 // Rank returns rank id's state (for post-run inspection).
 func (w *World) Rank(id int) *Rank { return w.ranks[id] }
@@ -205,6 +283,18 @@ type Rank struct {
 	// Engine is the rank's on-the-fly compression engine.
 	Engine *core.Engine
 	box    *mailbox
+	// sendSeq[dst] numbers this rank's messages to dst. The counter
+	// advances in the rank goroutine's program order, so a message's
+	// (src, dst, seq) identity — which the fault injector hashes — is
+	// deterministic regardless of host scheduling.
+	sendSeq []uint64
+}
+
+// nextSeq allocates the next per-destination message sequence number.
+func (r *Rank) nextSeq(dst int) uint64 {
+	s := r.sendSeq[dst]
+	r.sendSeq[dst]++
+	return s
 }
 
 // ID returns the rank number.

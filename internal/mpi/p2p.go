@@ -1,13 +1,29 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/faults"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/simtime"
 )
+
+// ErrDeliveryFailed is returned (wrapped) from Wait when a message's
+// retransmission budget runs out: every attempt of some protocol stage —
+// RTS, CTS, data transfer, or eager message — was lost or corrupted.
+// Both endpoints of the failed message observe the error; neither
+// deadlocks.
+var ErrDeliveryFailed = errors.New("mpi: message delivery failed (retry budget exhausted)")
+
+// sendOutcome is the sender-side completion record: the instant the send
+// buffer became reusable, and the delivery error if the transport gave up.
+type sendOutcome struct {
+	t   simtime.Time
+	err error
+}
 
 // envelope is one in-flight message's control state. For eager messages it
 // carries the payload directly; for rendezvous it carries the piggybacked
@@ -19,9 +35,20 @@ import (
 type envelope struct {
 	src, tag int
 	eager    bool
+	// seq is the sender's per-destination message number; together with
+	// (src, dst) it is the identity the fault injector hashes.
+	seq uint64
 
 	payload []byte
 	hdr     core.Header
+	// crc protects eager payloads (rendezvous payloads carry their
+	// checksum in hdr).
+	crc uint32
+
+	// deliveryErr marks a message whose transport gave up (wrapped
+	// ErrDeliveryFailed). The envelope still flows through matching so
+	// the receiver unblocks with the error instead of deadlocking.
+	deliveryErr error
 
 	// rendezvous timeline inputs
 	rtsArrival simtime.Time // RTS packet arrival at the receiver
@@ -31,8 +58,8 @@ type envelope struct {
 	matchTime   simtime.Time   // receive matched + staging done
 	dataArrival simtime.Time   // last byte of payload at the receiver
 	staged      *gpusim.Buffer // receive-side staging buffer
-	// senderDone delivers the sender-side completion instant.
-	senderDone chan simtime.Time
+	// senderDone delivers the sender-side completion outcome.
+	senderDone chan sendOutcome
 
 	// eager timeline
 	arrival simtime.Time
@@ -101,6 +128,64 @@ func (m *mailbox) post(p *recvPost) *envelope {
 	return nil
 }
 
+// controlArrival computes the arrival of a small control packet (RTS/CTS)
+// under the fault model: dropped packets are discovered by the sender's
+// retransmission timeout and resent after exponential backoff on the
+// virtual clock, up to the retry budget. With no injector this is exactly
+// one ControlMessage. src/dst identify the *message* (sender rank,
+// receiver rank) regardless of which direction the packet travels.
+func (w *World) controlArrival(kind faults.Kind, src, dst int, seq uint64, fromNode, toNode int, ready simtime.Time) (simtime.Time, error) {
+	limit := w.retry.limit()
+	for attempt := 0; ; attempt++ {
+		if !w.inj.ShouldDrop(kind, src, dst, seq, attempt) {
+			return w.fabric.ControlMessage(fromNode, toNode, ready), nil
+		}
+		if attempt >= limit {
+			return ready, fmt.Errorf("mpi: %v %d->%d seq %d lost after %d attempts: %w",
+				kind, src, dst, seq, attempt+1, ErrDeliveryFailed)
+		}
+		ready = ready.Add(w.retry.delay(attempt))
+	}
+}
+
+// deliverPayload simulates the bounded-retry transfer of one wire payload:
+// attempts may be dropped (discovered by the sender's timeout) or
+// corrupted (detected by the receiver's checksum pass and NACKed); each
+// retransmission backs off exponentially on the virtual clock. It returns
+// the delivered bytes and the arrival of the final attempt, or a wrapped
+// ErrDeliveryFailed once the retry budget is spent. With no injector this
+// is exactly one fabric Transfer.
+func (w *World) deliverPayload(kind faults.Kind, src, dst int, seq uint64, srcNode, dstNode int, ready simtime.Time, payload []byte, crc uint32) ([]byte, simtime.Time, error) {
+	limit := w.retry.limit()
+	for attempt := 0; ; attempt++ {
+		if w.inj.ShouldDrop(kind, src, dst, seq, attempt) {
+			if attempt >= limit {
+				return nil, ready, fmt.Errorf("mpi: %v %d->%d seq %d lost after %d attempts: %w",
+					kind, src, dst, seq, attempt+1, ErrDeliveryFailed)
+			}
+			ready = ready.Add(w.retry.delay(attempt))
+			continue
+		}
+		wire, corrupted := w.inj.Corrupt(payload, src, dst, seq, attempt)
+		arrival := w.fabric.Transfer(srcNode, dstNode, ready, len(wire))
+		if !corrupted || core.Checksum(wire) == crc {
+			// Intact — or an undetectable checksum collision, which is
+			// exactly how a real CRC fails; the garbage then surfaces (or
+			// not) from the decoder, never as a hang.
+			return wire, arrival, nil
+		}
+		// The receiver's verification pass detects the corruption and
+		// NACKs; the sender retransmits after backoff.
+		verified := arrival.Add(simtime.ThroughputTime(len(wire), w.cluster.GPU.MemBWGBps*8))
+		if attempt >= limit {
+			return nil, verified, fmt.Errorf("mpi: %v %d->%d seq %d corrupted after %d attempts: %w",
+				kind, src, dst, seq, attempt+1, ErrDeliveryFailed)
+		}
+		nack := w.fabric.ControlMessage(dstNode, srcNode, verified)
+		ready = simtime.Max(ready, nack.Add(w.retry.delay(attempt)))
+	}
+}
+
 // completeMatch performs the rendezvous protocol's receiver-side steps
 // (Figure 4, steps 4-5): record the match, stage the temporary device
 // buffer for the compressed payload, send the CTS, and compute the data
@@ -118,19 +203,42 @@ func completeMatch(p *recvPost, env *envelope) {
 	// The receive proceeds once both the RTS has arrived and the receive
 	// is posted (asynchronous progress-thread semantics).
 	match := simtime.Max(p.postTime, env.rtsArrival)
+	if env.deliveryErr != nil {
+		// The RTS never made it; rtsArrival is the sender's give-up
+		// instant and both sides observe the failure from there.
+		env.matchTime = match
+		env.dataArrival = match
+		env.senderDone <- sendOutcome{t: match, err: env.deliveryErr}
+		return
+	}
 	// Stage the receive buffer before clearing the sender to send.
 	stageClk := simtime.NewClock(match)
 	env.staged = r.Engine.StageRecv(stageClk, env.hdr)
 	env.matchTime = stageClk.Now()
 	srcNode := w.nodeOf(env.src)
 	dstNode := w.nodeOf(r.id)
-	cts := w.fabric.ControlMessage(dstNode, srcNode, env.matchTime)
+	cts, err := w.controlArrival(faults.KindCTS, env.src, r.id, env.seq, dstNode, srcNode, env.matchTime)
+	if err != nil {
+		env.deliveryErr = err
+		env.dataArrival = cts
+		env.senderDone <- sendOutcome{t: cts, err: err}
+		return
+	}
 	// The RDMA transfer is posted by the sender's HCA when the CTS
 	// arrives; the sender's CPU is not involved.
 	ready := simtime.Max(env.sendPost, cts)
-	env.dataArrival = w.fabric.Transfer(srcNode, dstNode, ready, len(env.payload))
+	wire, arrival, err := w.deliverPayload(faults.KindData, env.src, r.id, env.seq,
+		srcNode, dstNode, ready, env.payload, env.hdr.Checksum)
+	if err != nil {
+		env.deliveryErr = err
+		env.dataArrival = arrival
+		env.senderDone <- sendOutcome{t: arrival, err: err}
+		return
+	}
+	env.payload = wire
+	env.dataArrival = arrival
 	w.tracer.Add(fmt.Sprintf("net %d->%d", env.src, r.id), "transfer", ready, env.dataArrival)
-	env.senderDone <- env.dataArrival
+	env.senderDone <- sendOutcome{t: env.dataArrival}
 }
 
 // Request is a handle for a nonblocking operation, completed by Wait.
@@ -175,30 +283,44 @@ func (r *Rank) Recv(src, tag int, buf *gpusim.Buffer) error {
 // Isend starts a nonblocking send. Compression (when eligible) happens
 // now, on the caller's clock, exactly as in Figure 4 steps 1-3; the
 // handshake and transfer proceed asynchronously and Wait observes their
-// completion.
+// completion. User tags must be non-negative; the internal (negative) tag
+// namespace is reserved for collectives.
 func (r *Rank) Isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: user tags must be non-negative (got %d)", tag)
+	}
+	return r.isend(dst, tag, buf)
+}
+
+// isend is Isend without tag validation, shared with the collectives'
+// internal tag namespace.
+func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 	if err := r.checkPeer(dst); err != nil {
 		return nil, err
 	}
-	if tag < 0 && tag > internalTagBase {
-		return nil, fmt.Errorf("mpi: user tags must be non-negative (got %d)", tag)
-	}
 	w := r.world
 	dstRank := w.ranks[dst]
+	seq := r.nextSeq(dst)
 
 	if buf.Len() < w.eagerLimit {
-		// Eager protocol: one message carrying the payload.
+		// Eager protocol: one message carrying payload and checksum.
 		payload := append([]byte(nil), buf.Data...)
-		arrival := w.fabric.Transfer(r.Node(), w.nodeOf(dst), r.Clock.Now(), len(payload))
-		env := &envelope{src: r.id, tag: tag, eager: true, payload: payload, arrival: arrival}
-		// The sender's CPU returns as soon as the message is injected.
+		crc := r.Engine.ChecksumWire(r.Clock, payload)
+		wire, arrival, err := w.deliverPayload(faults.KindEager, r.id, dst, seq,
+			r.Node(), w.nodeOf(dst), r.Clock.Now(), payload, crc)
+		env := &envelope{
+			src: r.id, tag: tag, eager: true, seq: seq,
+			payload: wire, crc: crc, arrival: arrival, deliveryErr: err,
+		}
+		// The sender's CPU returns as soon as the message is injected;
+		// a delivery failure surfaces from Wait, as MPI semantics demand.
 		r.Clock.Advance(simtime.FromMicroseconds(0.5))
 		dstRank.box.deliver(env)
-		return &Request{rank: r, isSend: true, done: true}, nil
+		return &Request{rank: r, isSend: true, done: true, err: err}, nil
 	}
 
 	if r.pipelineEligible(buf) {
-		return r.isendPipelined(dst, tag, buf)
+		return r.isendPipelined(dst, tag, buf, seq)
 	}
 
 	// Rendezvous: compress (steps 1-3), then RTS with the piggybacked
@@ -206,21 +328,34 @@ func (r *Rank) Isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 	// so the dynamic-selection extension can gate per message.
 	link := w.fabric.LinkFor(r.Node(), w.nodeOf(dst))
 	payload, hdr := r.Engine.CompressForLink(r.Clock, buf, link.BandwidthGBps)
+	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
+		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
-		src: r.id, tag: tag,
-		payload:    payload,
-		hdr:        hdr,
-		rtsArrival: w.fabric.ControlMessage(r.Node(), w.nodeOf(dst), r.Clock.Now()),
-		sendPost:   r.Clock.Now(),
-		senderDone: make(chan simtime.Time, 1),
+		src: r.id, tag: tag, seq: seq,
+		payload:     payload,
+		hdr:         hdr,
+		rtsArrival:  rtsArrival,
+		sendPost:    r.Clock.Now(),
+		senderDone:  make(chan sendOutcome, 1),
+		deliveryErr: rtsErr,
 	}
 	req := &Request{rank: r, isSend: true, env: env}
 	dstRank.box.deliver(env)
 	return req, nil
 }
 
-// Irecv starts a nonblocking receive into buf.
+// Irecv starts a nonblocking receive into buf. The tag must be
+// non-negative or AnyTag.
 func (r *Rank) Irecv(src, tag int, buf *gpusim.Buffer) (*Request, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("mpi: user tags must be non-negative or AnyTag (got %d)", tag)
+	}
+	return r.irecv(src, tag, buf)
+}
+
+// irecv is Irecv without tag validation, shared with the collectives'
+// internal tag namespace.
+func (r *Rank) irecv(src, tag int, buf *gpusim.Buffer) (*Request, error) {
 	if src != AnySource {
 		if err := r.checkPeer(src); err != nil {
 			return nil, err
@@ -233,9 +368,40 @@ func (r *Rank) Irecv(src, tag int, buf *gpusim.Buffer) (*Request, error) {
 	return req, nil
 }
 
+// send is the internal-tag blocking send.
+func (r *Rank) send(dst, tag int, buf *gpusim.Buffer) error {
+	req, err := r.isend(dst, tag, buf)
+	if err != nil {
+		return err
+	}
+	return r.Wait(req)
+}
+
+// recv is the internal-tag blocking receive.
+func (r *Rank) recv(src, tag int, buf *gpusim.Buffer) error {
+	req, err := r.irecv(src, tag, buf)
+	if err != nil {
+		return err
+	}
+	return r.Wait(req)
+}
+
+// sendrecv is the internal-tag simultaneous exchange.
+func (r *Rank) sendrecv(dst, sendTag int, sendBuf *gpusim.Buffer, src, recvTag int, recvBuf *gpusim.Buffer) error {
+	rreq, err := r.irecv(src, recvTag, recvBuf)
+	if err != nil {
+		return err
+	}
+	sreq, err := r.isend(dst, sendTag, sendBuf)
+	if err != nil {
+		return err
+	}
+	return r.Waitall(sreq, rreq)
+}
+
 // Wait blocks until the request completes, advancing the caller's clock to
 // the completion instant and (for receives) decompressing into the user
-// buffer.
+// buffer. Exhausted retry budgets surface as wrapped ErrDeliveryFailed.
 func (r *Rank) Wait(req *Request) error {
 	if req == nil {
 		return fmt.Errorf("mpi: Wait on nil request")
@@ -246,10 +412,11 @@ func (r *Rank) Wait(req *Request) error {
 	req.done = true
 	if req.isSend {
 		// Local completion: the send buffer is reusable once the
-		// transfer has drained.
-		done := <-req.env.senderDone
-		r.Clock.AdvanceTo(done)
-		return nil
+		// transfer has drained (or the transport gave up).
+		out := <-req.env.senderDone
+		r.Clock.AdvanceTo(out.t)
+		req.err = out.err
+		return out.err
 	}
 	if req.wantRaw {
 		req.err = r.waitRecvRaw(req)
@@ -267,8 +434,15 @@ func (r *Rank) waitRecv(req *Request) error {
 	if env.eager {
 		r.Clock.AdvanceTo(env.arrival)
 		r.Clock.Advance(simtime.FromMicroseconds(0.5)) // unpack
+		if env.deliveryErr != nil {
+			return env.deliveryErr
+		}
 		if len(env.payload) > req.buf.Len() {
 			return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", len(env.payload), req.buf.Len())
+		}
+		// End-to-end integrity: verify the eager payload before unpacking.
+		if err := r.Engine.VerifyPayload(r.Clock, core.Header{Checksum: env.crc}, env.payload); err != nil {
+			return fmt.Errorf("mpi: eager message from rank %d: %w", env.src, err)
 		}
 		copy(req.buf.Data, env.payload)
 		return nil
@@ -280,14 +454,26 @@ func (r *Rank) waitRecv(req *Request) error {
 	// transfer completes (step 5), then the decompression kernel
 	// restores it into the user buffer (steps 6-7).
 	r.Clock.AdvanceTo(simtime.Max(env.matchTime, env.dataArrival))
+	if env.deliveryErr != nil {
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
+		return env.deliveryErr
+	}
 	if env.hdr.OrigBytes > req.buf.Len() {
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
 		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, req.buf.Len())
 	}
 	if env.staged != nil {
 		copy(env.staged.Data, env.payload)
 	}
+	// End-to-end integrity: verify the wire payload against the header
+	// checksum before handing it to the decoder.
+	if err := r.Engine.VerifyPayload(r.Clock, env.hdr, env.payload); err != nil {
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
+		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
+	}
 	if err := r.Engine.Decompress(r.Clock, env.hdr, env.payload, req.buf); err != nil {
-		return err
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
+		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
 	r.Engine.ReleaseRecv(r.Clock, env.staged)
 	return nil
@@ -328,20 +514,26 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendBuf *gpusim.Buffer, src, recvTag i
 // level; they are internal to the collectives.
 
 // isendPayload starts a rendezvous send of an already-prepared payload
-// with its compression header (no engine work on this rank).
+// with its compression header (no engine work on this rank). The header's
+// checksum travels with the payload, so integrity holds hop by hop across
+// a relay chain.
 func (r *Rank) isendPayload(dst, tag int, payload []byte, hdr core.Header) (*Request, error) {
 	if err := r.checkPeer(dst); err != nil {
 		return nil, err
 	}
 	w := r.world
+	seq := r.nextSeq(dst)
 	r.Clock.Advance(simtime.FromMicroseconds(0.3))
+	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
+		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
-		src: r.id, tag: tag,
-		payload:    payload,
-		hdr:        hdr,
-		rtsArrival: w.fabric.ControlMessage(r.Node(), w.nodeOf(dst), r.Clock.Now()),
-		sendPost:   r.Clock.Now(),
-		senderDone: make(chan simtime.Time, 1),
+		src: r.id, tag: tag, seq: seq,
+		payload:     payload,
+		hdr:         hdr,
+		rtsArrival:  rtsArrival,
+		sendPost:    r.Clock.Now(),
+		senderDone:  make(chan sendOutcome, 1),
+		deliveryErr: rtsErr,
 	}
 	req := &Request{rank: r, isSend: true, env: env}
 	w.ranks[dst].box.deliver(env)
@@ -372,7 +564,7 @@ func (r *Rank) irecvRaw(src, tag int) (*Request, error) {
 }
 
 // waitRecvRaw completes a raw receive: the clock advances to payload
-// arrival but no decompression happens.
+// arrival and the payload is verified, but no decompression happens.
 func (r *Rank) waitRecvRaw(req *Request) error {
 	env := req.early
 	if env == nil {
@@ -381,15 +573,31 @@ func (r *Rank) waitRecvRaw(req *Request) error {
 	if env.eager {
 		r.Clock.AdvanceTo(env.arrival)
 		r.Clock.Advance(simtime.FromMicroseconds(0.5))
+		if env.deliveryErr != nil {
+			return env.deliveryErr
+		}
+		if err := r.Engine.VerifyPayload(r.Clock, core.Header{Checksum: env.crc}, env.payload); err != nil {
+			return fmt.Errorf("mpi: eager message from rank %d: %w", env.src, err)
+		}
 		req.raw = rawResult{
 			payload: env.payload,
-			hdr:     core.Header{Algo: core.AlgoNone, OrigBytes: len(env.payload), CompBytes: len(env.payload)},
+			hdr:     core.Header{Algo: core.AlgoNone, OrigBytes: len(env.payload), CompBytes: len(env.payload), Checksum: env.crc},
 		}
 		return nil
 	}
 	r.Clock.AdvanceTo(simtime.Max(env.matchTime, env.dataArrival))
+	if env.deliveryErr != nil {
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
+		return env.deliveryErr
+	}
 	if env.staged != nil {
 		copy(env.staged.Data, env.payload)
+	}
+	// Verify before the payload is relayed onward: a relay chain then
+	// detects corruption at the hop where it happened.
+	if err := r.Engine.VerifyPayload(r.Clock, env.hdr, env.payload); err != nil {
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
+		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
 	req.raw = rawResult{payload: env.payload, hdr: env.hdr, staged: env.staged}
 	return nil

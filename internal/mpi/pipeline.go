@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/faults"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/simtime"
 )
@@ -42,20 +43,23 @@ func (r *Rank) pipelineEligible(buf *gpusim.Buffer) bool {
 // isendPipelined starts a chunked rendezvous send: chunks are compressed
 // in order on the caller's clock, each becoming ready for transfer as its
 // kernel completes.
-func (r *Rank) isendPipelined(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
+func (r *Rank) isendPipelined(dst, tag int, buf *gpusim.Buffer, seq uint64) (*Request, error) {
 	w := r.world
 	chunkBytes := r.Engine.Config().PipelineChunkBytes
 	link := w.fabric.LinkFor(r.Node(), w.nodeOf(dst))
 
 	// The RTS goes out first — the receiver can match, stage, and
 	// return the CTS while the sender is still compressing chunks.
+	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
+		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
-		src: r.id, tag: tag,
-		rtsArrival: w.fabric.ControlMessage(r.Node(), w.nodeOf(dst), r.Clock.Now()),
-		sendPost:   r.Clock.Now(),
-		senderDone: make(chan simtime.Time, 1),
-		hdr:        core.Header{Algo: core.AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()},
-		pipelined:  true,
+		src: r.id, tag: tag, seq: seq,
+		rtsArrival:  rtsArrival,
+		sendPost:    r.Clock.Now(),
+		senderDone:  make(chan sendOutcome, 1),
+		hdr:         core.Header{Algo: core.AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()},
+		pipelined:   true,
+		deliveryErr: rtsErr,
 	}
 	for off := 0; off < buf.Len(); off += chunkBytes {
 		n := chunkBytes
@@ -82,6 +86,12 @@ func completePipelinedMatch(p *recvPost, env *envelope) {
 	r := p.rank
 	w := r.world
 	match := simtime.Max(p.postTime, env.rtsArrival)
+	if env.deliveryErr != nil {
+		env.matchTime = match
+		env.dataArrival = match
+		env.senderDone <- sendOutcome{t: match, err: env.deliveryErr}
+		return
+	}
 	// One staging buffer covers the largest chunk; it is recycled per
 	// chunk on the receive side.
 	biggest := 0
@@ -98,19 +108,40 @@ func completePipelinedMatch(p *recvPost, env *envelope) {
 	env.matchTime = stageClk.Now()
 	srcNode := w.nodeOf(env.src)
 	dstNode := w.nodeOf(r.id)
-	cts := w.fabric.ControlMessage(dstNode, srcNode, env.matchTime)
+	cts, err := w.controlArrival(faults.KindCTS, env.src, r.id, env.seq, dstNode, srcNode, env.matchTime)
+	if err != nil {
+		env.deliveryErr = err
+		env.dataArrival = cts
+		env.senderDone <- sendOutcome{t: cts, err: err}
+		return
+	}
 	last := simtime.Time(0)
 	track := fmt.Sprintf("net %d->%d", env.src, r.id)
 	for i := range env.chunks {
-		ready := simtime.Max(env.chunks[i].ready, cts)
-		env.chunks[i].arrival = w.fabric.Transfer(srcNode, dstNode, ready, len(env.chunks[i].payload))
-		w.tracer.Add(track, fmt.Sprintf("chunk %d", i), ready, env.chunks[i].arrival)
-		if env.chunks[i].arrival > last {
-			last = env.chunks[i].arrival
+		c := &env.chunks[i]
+		ready := simtime.Max(c.ready, cts)
+		// Each chunk gets its own fault identity: the message seq shifted
+		// left with the chunk index mixed in, so chunk fates are
+		// independent and still deterministic.
+		wire, arrival, err := w.deliverPayload(faults.KindData, env.src, r.id,
+			env.seq<<16|uint64(i), srcNode, dstNode, ready, c.payload, c.hdr.Checksum)
+		if err != nil {
+			// One chunk out of budget fails the whole message; later
+			// chunks are not transferred.
+			env.deliveryErr = err
+			env.dataArrival = simtime.Max(last, arrival)
+			env.senderDone <- sendOutcome{t: env.dataArrival, err: err}
+			return
+		}
+		c.payload = wire
+		c.arrival = arrival
+		w.tracer.Add(track, fmt.Sprintf("chunk %d", i), ready, c.arrival)
+		if c.arrival > last {
+			last = c.arrival
 		}
 	}
 	env.dataArrival = last
-	env.senderDone <- last
+	env.senderDone <- sendOutcome{t: last}
 }
 
 // waitRecvPipelined consumes the chunk stream: each chunk is decompressed
@@ -125,6 +156,11 @@ func (r *Rank) waitRecvPipelined(req *Request, env *envelope) error {
 		return fmt.Errorf("mpi: pipelined message of %d bytes truncated into %d-byte buffer", total, req.buf.Len())
 	}
 	r.Clock.AdvanceTo(env.matchTime)
+	if env.deliveryErr != nil {
+		r.Clock.AdvanceTo(env.dataArrival)
+		r.Engine.ReleaseRecv(r.Clock, env.staged)
+		return env.deliveryErr
+	}
 	off := 0
 	for i := range env.chunks {
 		c := &env.chunks[i]
@@ -133,7 +169,13 @@ func (r *Rank) waitRecvPipelined(req *Request, env *envelope) error {
 			copy(env.staged.Data, c.payload)
 		}
 		dst := req.buf.Slice(off, c.origBytes)
+		// Verify, then decode, chunk by chunk.
+		if err := r.Engine.VerifyPayload(r.Clock, c.hdr, c.payload); err != nil {
+			r.Engine.ReleaseRecv(r.Clock, env.staged)
+			return fmt.Errorf("mpi: pipelined chunk %d: %w", i, err)
+		}
 		if err := r.Engine.Decompress(r.Clock, c.hdr, c.payload, dst); err != nil {
+			r.Engine.ReleaseRecv(r.Clock, env.staged)
 			return fmt.Errorf("mpi: pipelined chunk %d: %w", i, err)
 		}
 		off += c.origBytes

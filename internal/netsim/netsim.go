@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"mpicomp/internal/faults"
 	"mpicomp/internal/hw"
 	"mpicomp/internal/simtime"
 )
@@ -19,6 +20,12 @@ import (
 type Fabric struct {
 	cluster hw.Cluster
 	nodes   int
+
+	// inj, when non-nil, injects transient link-bandwidth degradation
+	// into Transfer. Drop/corruption faults are injected one layer up
+	// (the MPI transport), where retransmission lives; the fabric only
+	// models the physical-layer symptom it can express: slow links.
+	inj *faults.Injector
 
 	// Per-node inter-node adapter calendars, one per direction. Egress
 	// and ingress serialize independently (full-duplex HCA); calendar
@@ -53,6 +60,14 @@ func NewFabric(cluster hw.Cluster, nodes int) *Fabric {
 // Cluster returns the hardware description the fabric was built from.
 func (f *Fabric) Cluster() hw.Cluster { return f.cluster }
 
+// SetFaults installs a fault injector (nil disables injection). The
+// injector only affects transfer timing here; payload faults are the
+// transport's concern.
+func (f *Fabric) SetFaults(inj *faults.Injector) { f.inj = inj }
+
+// Faults returns the installed injector (possibly nil).
+func (f *Fabric) Faults() *faults.Injector { return f.inj }
+
 // Nodes returns the node count.
 func (f *Fabric) Nodes() int { return f.nodes }
 
@@ -79,6 +94,11 @@ func (f *Fabric) Transfer(srcNode, dstNode int, ready simtime.Time, n int) simti
 	f.checkNode(dstNode)
 	link := f.LinkFor(srcNode, dstNode)
 	ser := link.TransferTime(n)
+	// Transient degradation stretches serialization: a link running at
+	// factor m of nominal bandwidth takes 1/m as long to drain the bytes.
+	if m := f.inj.BandwidthFactor(srcNode, dstNode, ready); m > 0 && m < 1 {
+		ser = simtime.Duration(float64(ser) / m)
+	}
 	if srcNode == dstNode {
 		// Intra-node: one shared GPU-link reservation.
 		f.intraBytes[srcNode].Add(int64(n))

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"mpicomp/internal/faults"
 	"mpicomp/internal/hw"
 	"mpicomp/internal/simtime"
 )
@@ -177,5 +178,76 @@ func TestCompressionReducesWireTraffic(t *testing.T) {
 	f.Transfer(0, 1, 0, (32<<20)/8) // what a CR-8 payload would ship
 	if f.TotalInterNodeBytes() >= raw {
 		t.Fatal("compressed payload must move fewer bytes")
+	}
+}
+
+func TestResetClearsAllState(t *testing.T) {
+	f := NewFabric(hw.Longhorn(), 3)
+	f.Transfer(0, 1, 0, 1<<20)
+	f.Transfer(1, 2, 0, 2<<20)
+	f.Transfer(2, 2, 0, 1<<20)
+	f.Reset()
+	for i, st := range f.Stats() {
+		for name, ls := range map[string]LinkStats{"egress": st.Egress, "ingress": st.Ingress, "intra": st.Intra} {
+			if ls.Bytes != 0 || ls.Messages != 0 {
+				t.Errorf("node %d %s counters not zeroed: %+v", i, name, ls)
+			}
+			if ls.BusyUntil != 0 {
+				t.Errorf("node %d %s BusyUntil not cleared: %v", i, name, ls.BusyUntil)
+			}
+		}
+	}
+	if f.TotalInterNodeBytes() != 0 {
+		t.Errorf("inter-node total not zeroed: %d", f.TotalInterNodeBytes())
+	}
+}
+
+func TestStatsConsistentAfterConcurrentTransfers(t *testing.T) {
+	f := NewFabric(hw.Longhorn(), 2)
+	const inter, intra = 16, 8
+	const n = 1 << 16
+	var wg sync.WaitGroup
+	for i := 0; i < inter; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); f.Transfer(0, 1, 0, n) }()
+	}
+	for i := 0; i < intra; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); f.Transfer(1, 1, 0, n) }()
+	}
+	wg.Wait()
+	st := f.Stats()
+	if st[0].Egress.Bytes != inter*n || st[0].Egress.Messages != inter {
+		t.Fatalf("egress accounting lost updates under concurrency: %+v", st[0].Egress)
+	}
+	// Every byte that left node 0 arrived at node 1.
+	if st[1].Ingress.Bytes != st[0].Egress.Bytes || st[1].Ingress.Messages != st[0].Egress.Messages {
+		t.Fatalf("egress/ingress mismatch: %+v vs %+v", st[0].Egress, st[1].Ingress)
+	}
+	if st[1].Intra.Bytes != intra*n || st[1].Intra.Messages != intra {
+		t.Fatalf("intra accounting lost updates under concurrency: %+v", st[1].Intra)
+	}
+	// The adapters must have been busy at least as long as the
+	// serialized sum of their traffic.
+	minInter := simtime.Duration(inter) * simtime.TransferTime(n, 12.5)
+	if simtime.Duration(st[0].Egress.BusyUntil) < minInter {
+		t.Fatalf("egress BusyUntil %v < serialized minimum %v", st[0].Egress.BusyUntil, minInter)
+	}
+}
+
+func TestDegradedLinkStretchesTransfers(t *testing.T) {
+	healthy := NewFabric(hw.Longhorn(), 2)
+	degraded := NewFabric(hw.Longhorn(), 2)
+	degraded.SetFaults(faults.New(faults.Config{Seed: 1, DegradeRate: 1, DegradeFactor: 0.25}))
+	n := 8 << 20
+	a := healthy.Transfer(0, 1, 0, n)
+	b := degraded.Transfer(0, 1, 0, n)
+	// At factor 0.25 serialization takes 4x as long; overheads dilute
+	// the ratio slightly, so check for >3x.
+	if simtime.Duration(b) < 3*simtime.Duration(a) {
+		t.Fatalf("fully degraded link should be ~4x slower: healthy %v, degraded %v", a, b)
+	}
+	if degraded.Faults().Stats().Degrades == 0 {
+		t.Fatal("degrade decisions not counted")
 	}
 }
