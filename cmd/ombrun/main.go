@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mpicomp/internal/cli"
+	"mpicomp/internal/core"
 	"mpicomp/internal/mpi"
 	"mpicomp/internal/omb"
 	"mpicomp/internal/trace"
@@ -59,12 +61,13 @@ func main() {
 	})
 	cli.Fatal(err)
 
-	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s\n",
-		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo)
+	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s, codec workers=%d\n",
+		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo, w.Rank(0).Engine.CodecWorkers())
 	if w.FaultsEnabled() {
 		fmt.Printf("# fault injection on: %s\n", *faultsFlag)
 	}
 
+	start := time.Now()
 	switch *bench {
 	case "latency":
 		res, err := omb.Latency(w, sizes, *warmup, *iters, gen)
@@ -99,6 +102,17 @@ func main() {
 	default:
 		cli.Fatal(fmt.Errorf("unknown -bench %q", *bench))
 	}
+	wall := time.Since(start)
+
+	// Wall-clock is real (non-deterministic) time, so it goes to stderr:
+	// stdout stays byte-identical across same-seed runs.
+	var host core.HostStats
+	for r := 0; r < w.Size(); r++ {
+		host.Add(w.Rank(r).Engine.HostSnapshot())
+	}
+	fmt.Fprintf(os.Stderr, "# wall-clock: run=%v codec=%v (%d batches across %d workers)\n",
+		wall.Round(time.Microsecond), host.CodecWall.Round(time.Microsecond),
+		host.CodecRuns, w.Rank(0).Engine.CodecWorkers())
 
 	if w.FaultsEnabled() {
 		st := w.FaultStats()

@@ -20,6 +20,33 @@ type Writer struct {
 // NewWriter returns an empty bit writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset re-initializes the writer to append bits after the existing
+// contents of buf (commonly buf[:0] of a reusable scratch slice). It lets
+// callers keep a Writer as a stack value and encode into caller-provided
+// storage with no internal allocation — the zero-copy entry the codecs'
+// Append variants are built on.
+func (w *Writer) Reset(buf []byte) {
+	w.buf = buf
+	w.accum = 0
+	w.nbits = 0
+	w.nwrote = 0
+}
+
+// Final flushes any partial trailing word to a byte boundary (zero
+// padded) and returns the backing buffer. Unlike Bytes it does not copy;
+// the writer must be Reset before further use.
+func (w *Writer) Final() []byte {
+	if w.nbits > 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w.accum)
+		n := (w.nbits + 7) / 8
+		w.buf = append(w.buf, b[:n]...)
+		w.accum = 0
+		w.nbits = 0
+	}
+	return w.buf
+}
+
 // WriteBit appends a single bit (the low bit of b).
 func (w *Writer) WriteBit(b uint) {
 	w.accum |= uint64(b&1) << w.nbits
@@ -110,6 +137,16 @@ type Reader struct {
 
 // NewReader returns a reader over buf. The reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset re-initializes the reader over buf, allowing a stack-allocated
+// Reader to be reused without going through NewReader.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.accum = 0
+	r.nbits = 0
+	r.nread = 0
+}
 
 func (r *Reader) fill() {
 	for r.nbits <= 56 && r.pos < len(r.buf) {

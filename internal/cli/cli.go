@@ -23,9 +23,10 @@ type EngineFlags struct {
 	Rate    *int
 	Dim     *int
 	Dynamic *bool
+	Workers *int
 }
 
-// AddEngineFlags registers -mode/-algo/-rate/-mpcdim/-dynamic on fs.
+// AddEngineFlags registers -mode/-algo/-rate/-mpcdim/-dynamic/-workers on fs.
 func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	return &EngineFlags{
 		Mode:    fs.String("mode", "opt", "compression integration: off | naive | opt"),
@@ -33,12 +34,13 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		Rate:    fs.Int("rate", 16, "ZFP fixed rate in bits/value (4, 8, 16, ...)"),
 		Dim:     fs.Int("mpcdim", 1, "MPC dimensionality"),
 		Dynamic: fs.Bool("dynamic", false, "enable cost-model-driven per-message selection"),
+		Workers: fs.Int("workers", 0, "host codec worker pool size (0 = GOMAXPROCS, 1 = serial; cannot affect results)"),
 	}
 }
 
 // Config materializes the engine configuration from the parsed flags.
 func (e *EngineFlags) Config() (core.Config, error) {
-	cfg := core.Config{ZFPRate: *e.Rate, MPCDim: *e.Dim, Dynamic: *e.Dynamic}
+	cfg := core.Config{ZFPRate: *e.Rate, MPCDim: *e.Dim, Dynamic: *e.Dynamic, Workers: *e.Workers}
 	switch strings.ToLower(*e.Mode) {
 	case "off":
 		cfg.Mode = core.ModeOff

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mpicomp/internal/simtime"
 )
@@ -148,6 +149,24 @@ func (b *Breakdown) String() string {
 		fmt.Fprintf(&sb, "%s=%s (%.1f%%)", it.p, it.d, pct)
 	}
 	return sb.String()
+}
+
+// HostStats records real wall-clock spent executing host-side codec
+// work, as opposed to the simulated durations in Breakdown. The two
+// never mix: Breakdown drives the figures, HostStats drives performance
+// tracking of the reproduction itself (BENCH_codec.json, ombrun output).
+type HostStats struct {
+	// CodecWall is the total wall-clock spent inside codec worker-pool
+	// batches (compress + decompress, both algorithms).
+	CodecWall time.Duration
+	// CodecRuns counts the batches submitted.
+	CodecRuns int
+}
+
+// Add merges other into h.
+func (h *HostStats) Add(other HostStats) {
+	h.CodecWall += other.CodecWall
+	h.CodecRuns += other.CodecRuns
 }
 
 // timer is a tiny helper that charges elapsed clock time to a phase.

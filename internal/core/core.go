@@ -107,6 +107,13 @@ type Config struct {
 	// means the defaults.
 	PoolBuffers  int
 	PoolBufBytes int
+	// Workers sets the host codec worker pool size for the real
+	// (wall-clock) codec work. Zero selects the process-wide shared pool
+	// sized to GOMAXPROCS; 1 forces serial execution on the caller's
+	// goroutine (the reference path). The setting cannot affect results:
+	// simulated time, payload bytes, and checksums are identical for any
+	// value (see DESIGN.md §8).
+	Workers int
 	// Dynamic enables per-message compression selection driven by the
 	// Section II-A cost model (the paper's future-work extension): a
 	// message is compressed only when the model predicts a latency win

@@ -140,7 +140,8 @@ func (e *Engine) probeRatio(clk *simtime.Clock, buf *gpusim.Buffer) {
 	if n > buf.Len() {
 		n = buf.Len()
 	}
-	words := BytesToWords(buf.Data[:n])
+	words := e.ar.wordsFor(n / 4)
+	bytesToWordsAt(words, buf.Data[:n])
 	cs, err := mpc.CompressedSize(words, e.cfg.MPCDim)
 	if err != nil || cs == 0 {
 		return

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
+	"mpicomp/internal/codecpool"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/mpc"
 	"mpicomp/internal/simtime"
@@ -45,6 +47,23 @@ type Engine struct {
 	// synchronization arrays (Section IV-B optimizations 1 and 2).
 	pool    *gpusim.BufferPool
 	offPool *gpusim.BufferPool
+
+	// codec runs the real host-side codec work of both directions across
+	// worker goroutines (wall-clock only; simulated time stays on the
+	// caller — see internal/codecpool and hostpar.go). ar and the four
+	// persistent job structs are the per-message scratch that makes
+	// steady-state operation allocation-free.
+	codec *codecpool.Pool
+	ar    arena
+	mpcC  mpcCompressJob
+	mpcD  mpcDecompressJob
+	zfpC  zfpCompressJob
+	zfpD  zfpDecompressJob
+
+	// Host accumulates the real wall-clock spent executing host codec
+	// work, independent of the virtual clock; ombrun surfaces it so perf
+	// regressions are visible from the CLI.
+	Host HostStats
 
 	// Stats accumulates the per-phase latency of all operations since
 	// the last Reset; the microbenchmarks turn it into Figures 6/8/10.
@@ -96,12 +115,34 @@ func (e *Engine) ResetCounters() {
 	e.Compressions, e.Decompressions, e.Bypasses = 0, 0, 0
 	e.PoolFallbacks, e.ChecksumFailures = 0, 0
 	e.BytesIn, e.BytesOut = 0, 0
+	e.Host = HostStats{}
+}
+
+// HostSnapshot returns the accumulated host codec wall-clock stats.
+func (e *Engine) HostSnapshot() HostStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Host
+}
+
+// CodecWorkers reports the size of the worker pool this engine's real
+// codec work runs on.
+func (e *Engine) CodecWorkers() int { return e.codec.Workers() }
+
+// runCodec executes a job's parts on the worker pool, accounting the
+// real elapsed wall-clock to Host. Called with e.mu held.
+func (e *Engine) runCodec(n int, job codecpool.Job) {
+	start := time.Now()
+	e.codec.Run(n, job)
+	e.Host.CodecWall += time.Since(start)
+	e.Host.CodecRuns++
 }
 
 // NewEngine builds an engine at initialization time (MPI_Init): ModeOpt
 // allocates its buffer pools now, off the critical communication path.
 func NewEngine(clk *simtime.Clock, dev *gpusim.GPUDevice, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), dev: dev}
+	e.codec = codecpool.Sized(e.cfg.Workers)
 	if e.cfg.Mode == ModeOpt && e.cfg.Algorithm != AlgoNone {
 		e.pool = gpusim.NewBufferPool(clk, dev, e.cfg.PoolBuffers, e.cfg.PoolBufBytes)
 		e.offPool = gpusim.NewBufferPool(clk, dev, e.cfg.PoolBuffers, 4*dev.Spec.SMs)
@@ -142,9 +183,39 @@ func (e *Engine) ShouldCompress(buf *gpusim.Buffer) bool {
 func (e *Engine) Compress(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	view, hdr := e.compressLocked(clk, buf)
+	// Snapshot for transport ownership: the view aliases the engine arena
+	// (or the user buffer, on bypass), both of which outlive this call
+	// and get reused, while the wire payload and the header's partition
+	// table may sit in flight indefinitely (envelopes and collective
+	// relays retain them).
+	payload := append([]byte(nil), view...)
+	if hdr.PartBytes != nil {
+		hdr.PartBytes = append([]int(nil), hdr.PartBytes...)
+	}
+	return payload, hdr
+}
+
+// CompressAppend is the scratch-reuse variant of Compress: the wire
+// payload is appended to dst (zero heap allocations once dst has
+// capacity), and the returned header's PartBytes table aliases engine
+// scratch that is valid only until the engine's next compression.
+// Callers that retain the payload or header beyond that — anything that
+// hands them to the transport — must use Compress.
+func (e *Engine) CompressAppend(clk *simtime.Clock, buf *gpusim.Buffer, dst []byte) ([]byte, Header) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	view, hdr := e.compressLocked(clk, buf)
+	return append(dst, view...), hdr
+}
+
+// compressLocked runs the send-side framework and returns a payload view
+// that aliases engine-owned scratch (or buf.Data on bypass); callers
+// materialize it according to their ownership contract.
+func (e *Engine) compressLocked(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
 	if !e.ShouldCompress(buf) {
 		e.Bypasses++
-		return e.bypassLocked(clk, buf)
+		return e.bypassViewLocked(clk, buf)
 	}
 	// Graceful degradation: if the ModeOpt staging pool has no free
 	// buffer, send uncompressed instead of blocking on the pool (or
@@ -153,7 +224,7 @@ func (e *Engine) Compress(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Heade
 	// the runtime live and the pool recovers as receives complete.
 	if e.poolExhaustedLocked() {
 		e.PoolFallbacks++
-		return e.bypassLocked(clk, buf)
+		return e.bypassViewLocked(clk, buf)
 	}
 	e.Compressions++
 	var payload []byte
@@ -173,15 +244,21 @@ func (e *Engine) Compress(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Heade
 	return payload, hdr
 }
 
+// bypassViewLocked returns buf's bytes as an uncompressed wire payload
+// view with a checksummed AlgoNone header; callers snapshot as needed.
+func (e *Engine) bypassViewLocked(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
+	hdr := Header{Algo: AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()}
+	hdr.Checksum = e.checksumLocked(clk, buf.Data)
+	return buf.Data, hdr
+}
+
 // bypassLocked snapshots buf as an uncompressed wire payload with a
 // checksummed AlgoNone header. The snapshot matters: the transport owns
 // the payload from here on, so a sender reusing its buffer after local
 // completion cannot corrupt an in-flight message.
 func (e *Engine) bypassLocked(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
-	payload := append([]byte(nil), buf.Data...)
-	hdr := Header{Algo: AlgoNone, OrigBytes: buf.Len(), CompBytes: buf.Len()}
-	hdr.Checksum = e.checksumLocked(clk, payload)
-	return payload, hdr
+	view, hdr := e.bypassViewLocked(clk, buf)
+	return append([]byte(nil), view...), hdr
 }
 
 // poolExhaustedLocked reports whether the ModeOpt staging pool cannot
@@ -229,15 +306,16 @@ func (e *Engine) VerifyPayload(clk *simtime.Clock, hdr Header, payload []byte) e
 	return nil
 }
 
-// compressMPC implements both the naive MPC path and MPC-OPT.
+// compressMPC implements both the naive MPC path and MPC-OPT. The
+// returned payload aliases the engine arena.
 func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
-	words := BytesToWords(buf.Data)
+	nWords := buf.Len() / 4
 	opt := e.cfg.Mode == ModeOpt
 
 	// --- temporary device buffers (compressed output + d_off) ---
 	t := startTimer(clk)
 	var tmp, dOff *gpusim.Buffer
-	bound := mpc.Bound(len(words))
+	bound := mpc.Bound(nWords)
 	if opt {
 		tmp = e.pool.Get(clk, bound)
 		dOff = e.offPool.Get(clk, 4*e.dev.Spec.SMs)
@@ -255,10 +333,9 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	if opt {
 		parts = DefaultPartitions(buf.Len(), e.cfg.MaxPartitions)
 	}
-	ranges := splitWords(len(words), parts)
+	ranges := e.ar.rangesFor(nWords, parts)
 
 	t = startTimer(clk)
-	partPayloads := make([][]byte, len(ranges))
 	if parts == 1 {
 		// MPC by design launches one block per SM and busy-waits for
 		// inter-block synchronization.
@@ -288,19 +365,31 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 			e.dev.StreamSync(clk, e.dev.Stream(i))
 		}
 	}
-	// The real compression work (data content is exact).
+	// The real compression work (data content is exact): partitions are
+	// independent streams, so they encode concurrently, each into a
+	// bound-sized region of the arena. Partition boundaries are 32-word
+	// aligned, so the per-partition bounds tile mpc.Bound(nWords) exactly.
+	comp := e.ar.compFor(bound)
+	outs := e.ar.outsFor(parts)
+	off := 0
 	for i, rg := range ranges {
-		p, err := mpc.CompressWords(nil, words[rg[0]:rg[1]], e.cfg.MPCDim)
-		if err != nil {
-			panic(fmt.Sprintf("core: mpc compress: %v", err))
-		}
-		partPayloads[i] = p
+		b := mpc.Bound(rg[1] - rg[0])
+		outs[i] = comp[off : off : off+b]
+		off += b
+	}
+	e.mpcC = mpcCompressJob{
+		src: buf.Data, ranges: ranges, dim: e.cfg.MPCDim,
+		outs: outs, errs: e.ar.errsFor(parts),
+	}
+	e.runCodec(parts, &e.mpcC)
+	if i, err := firstErr(e.mpcC.errs); err != nil {
+		panic(fmt.Sprintf("core: mpc compress partition %d: %v", i, err))
 	}
 	e.charge(t, PhaseCompressKernel)
 
 	// --- size readback (the "B" header field, Figure 4 step 3) ---
 	t = startTimer(clk)
-	sizeWord := make([]byte, 4)
+	sizeWord := e.ar.sizeWord[:]
 	for range ranges {
 		if opt {
 			e.dev.GDRCopyD2HSmall(clk, sizeWord, sizeWord)
@@ -315,26 +404,31 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 		Algo: AlgoMPC, Compressed: true,
 		OrigBytes: buf.Len(), Dim: e.cfg.MPCDim,
 	}
+	hdr.PartBytes = e.ar.partBytesFor(parts)
 	var payload []byte
 	if parts == 1 {
-		payload = partPayloads[0]
-		hdr.PartBytes = []int{len(payload)}
+		payload = outs[0]
+		hdr.PartBytes[0] = len(payload)
 	} else {
 		t = startTimer(clk)
 		total := 0
-		for _, p := range partPayloads {
+		for _, p := range outs {
 			total += len(p)
 		}
-		payload = make([]byte, 0, total)
-		for i, p := range partPayloads {
+		if cap(e.ar.payload) < total {
+			e.ar.payload = make([]byte, 0, total)
+		}
+		payload = e.ar.payload[:0]
+		for i, p := range outs {
 			// Combine copies follow a fixed order; partition 0 is
 			// already in place, later ones are moved D2D.
 			if i > 0 {
 				e.dev.MemcpyD2D(clk, e.dev.Stream(0), tmp.Data[:len(p)], p)
 			}
 			payload = append(payload, p...)
-			hdr.PartBytes = append(hdr.PartBytes, len(p))
+			hdr.PartBytes[i] = len(p)
 		}
+		e.ar.payload = payload
 		e.dev.StreamSync(clk, e.dev.Stream(0))
 		e.charge(t, PhaseCombine)
 	}
@@ -354,9 +448,10 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	return payload, hdr
 }
 
-// compressZFP implements the naive ZFP path and ZFP-OPT.
+// compressZFP implements the naive ZFP path and ZFP-OPT. The returned
+// payload aliases the engine arena.
 func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
-	floats := BytesToFloats(buf.Data)
+	nVals := buf.Len() / 4
 	opt := e.cfg.Mode == ModeOpt
 
 	// --- zfp_stream / zfp_field construction (CPU-side) ---
@@ -371,7 +466,7 @@ func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 
 	// --- temporary device buffer for the compressed stream ---
 	t = startTimer(clk)
-	compSize, err := zfp.CompressedSize(len(floats), e.cfg.ZFPRate)
+	compSize, err := zfp.CompressedSize(nVals, e.cfg.ZFPRate)
 	if err != nil {
 		panic(fmt.Sprintf("core: zfp size: %v", err))
 	}
@@ -391,9 +486,19 @@ func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 		ThroughputGbps: zfpKernelGbps(e.dev.Spec.ZFPCompressGbps, e.cfg.ZFPRate),
 	})
 	e.dev.StreamSync(clk, e.dev.Stream(0))
-	payload, err := zfp.Compress(make([]byte, 0, compSize), floats, e.cfg.ZFPRate)
-	if err != nil {
-		panic(fmt.Sprintf("core: zfp compress: %v", err))
+	// The real compression work: independent byte-aligned chunk rows
+	// encode concurrently, each directly into its exact region of the
+	// output (blocks are position-fixed, so chunking cannot change the
+	// bytes; see hostpar.go).
+	nChunks := (nVals + zfpChunkValues - 1) / zfpChunkValues
+	payload := e.ar.compFor(compSize)
+	e.zfpC = zfpCompressJob{
+		src: buf.Data, out: payload, rate: e.cfg.ZFPRate,
+		nVals: nVals, errs: e.ar.errsFor(nChunks),
+	}
+	e.runCodec(nChunks, &e.zfpC)
+	if i, err := firstErr(e.zfpC.errs); err != nil {
+		panic(fmt.Sprintf("core: zfp compress chunk %d: %v", i, err))
 	}
 	e.charge(t, PhaseCompressKernel)
 
@@ -498,17 +603,20 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 	if parts > 1024 {
 		return fmt.Errorf("core: MPC header has absurd partition count %d", parts)
 	}
+	offs := e.ar.offsFor(parts + 1)
 	sum := 0
 	for i, pb := range hdr.PartBytes {
 		if pb < 0 {
 			return fmt.Errorf("core: MPC partition %d has negative size %d", i, pb)
 		}
+		offs[i] = sum
 		sum += pb
 	}
+	offs[parts] = sum
 	if sum != len(payload) {
 		return fmt.Errorf("core: MPC partitions sum to %d bytes, payload is %d", sum, len(payload))
 	}
-	ranges := splitWords(nWords, parts)
+	ranges := e.ar.rangesFor(nWords, parts)
 
 	// d_off buffer for the decompression kernel.
 	t := startTimer(clk)
@@ -549,22 +657,18 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 			e.dev.StreamSync(clk, e.dev.Stream(i))
 		}
 	}
-	// Real decompression into dst.
-	out := make([]uint32, 0, nWords)
-	off := 0
-	for i, rg := range ranges {
-		pb := hdr.PartBytes[i]
-		if off+pb > len(payload) {
-			return fmt.Errorf("core: MPC payload truncated (partition %d)", i)
-		}
-		var err error
-		out, err = mpc.DecompressWords(out, payload[off:off+pb], rg[1]-rg[0], hdr.Dim)
-		if err != nil {
-			return fmt.Errorf("core: mpc decompress partition %d: %w", i, err)
-		}
-		off += pb
+	// Real decompression into dst: partitions decode concurrently into
+	// disjoint word ranges (the predictor is partition-relative, so each
+	// partition is an independent stream). Every part always runs, so
+	// the first-by-index error is deterministic for any worker count.
+	e.mpcD = mpcDecompressJob{
+		payload: payload, offs: offs, ranges: ranges, dim: hdr.Dim,
+		dst: dst.Data[:hdr.OrigBytes], errs: e.ar.errsFor(parts),
 	}
-	WordsToBytes(dst.Data[:0], out)
+	e.runCodec(parts, &e.mpcD)
+	if i, err := firstErr(e.mpcD.errs); err != nil {
+		return fmt.Errorf("core: mpc decompress partition %d: %w", i, err)
+	}
 	e.charge(t, PhaseDecompressKernel)
 
 	t = startTimer(clk)
@@ -580,6 +684,15 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 func (e *Engine) decompressZFP(clk *simtime.Clock, hdr Header, payload []byte, dst *gpusim.Buffer) error {
 	opt := e.cfg.Mode == ModeOpt
 	n := hdr.OrigBytes / 4
+	// Validate rate and total size up front so the parallel chunks can
+	// slice the payload without bounds surprises.
+	want, err := zfp.CompressedSize(n, hdr.Rate)
+	if err != nil {
+		return fmt.Errorf("core: zfp decompress: %w", err)
+	}
+	if len(payload) < want {
+		return fmt.Errorf("core: zfp decompress: %w: have %d bytes, want %d", zfp.ErrShortBuffer, len(payload), want)
+	}
 
 	t := startTimer(clk)
 	clk.Advance(simtime.FromMicroseconds(4.5))
@@ -596,11 +709,17 @@ func (e *Engine) decompressZFP(clk *simtime.Clock, hdr Header, payload []byte, d
 		ThroughputGbps: zfpKernelGbps(e.dev.Spec.ZFPDecompressGbps, hdr.Rate),
 	})
 	e.dev.StreamSync(clk, e.dev.Stream(0))
-	floats, err := zfp.Decompress(make([]float32, 0, n), payload, n, hdr.Rate)
-	if err != nil {
-		return fmt.Errorf("core: zfp decompress: %w", err)
+	// The real decompression work: the same byte-aligned chunk rows the
+	// sender used decode concurrently into disjoint ranges of dst.
+	nChunks := (n + zfpChunkValues - 1) / zfpChunkValues
+	e.zfpD = zfpDecompressJob{
+		comp: payload, dst: dst.Data[:hdr.OrigBytes], rate: hdr.Rate,
+		nVals: n, errs: e.ar.errsFor(nChunks),
 	}
-	FloatsToBytes(dst.Data[:0], floats)
+	e.runCodec(nChunks, &e.zfpD)
+	if i, err := firstErr(e.zfpD.errs); err != nil {
+		return fmt.Errorf("core: zfp decompress chunk %d: %w", i, err)
+	}
 	e.charge(t, PhaseDecompressKernel)
 	return nil
 }
@@ -609,6 +728,12 @@ func (e *Engine) decompressZFP(clk *simtime.Clock, hdr Header, payload []byte, d
 // 32-word chunk size (identical on sender and receiver so partition
 // boundaries agree). Returned ranges are [start, end) pairs.
 func splitWords(n, parts int) [][2]int {
+	return splitWordsInto(nil, n, parts)
+}
+
+// splitWordsInto is splitWords appending into a caller-provided slice so
+// the engine can reuse its arena.
+func splitWordsInto(dst [][2]int, n, parts int) [][2]int {
 	if parts < 1 {
 		parts = 1
 	}
@@ -616,17 +741,16 @@ func splitWords(n, parts int) [][2]int {
 	if per == 0 {
 		per = mpc.ChunkWords
 	}
-	var out [][2]int
 	start := 0
 	for i := 0; i < parts; i++ {
 		end := start + per
 		if i == parts-1 || end > n {
 			end = n
 		}
-		out = append(out, [2]int{start, end})
+		dst = append(dst, [2]int{start, end})
 		start = end
 	}
-	return out
+	return dst
 }
 
 // zfpKernelGbps adjusts the Table III throughput calibration (measured at

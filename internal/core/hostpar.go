@@ -1,0 +1,265 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mpicomp/internal/codecpool"
+	"mpicomp/internal/mpc"
+	"mpicomp/internal/zfp"
+)
+
+// This file is the host-parallel execution layer under the virtual clock:
+// the engine keeps every kernel launch, stream sync, and copy charge on
+// the caller's goroutine (so simulated time is identical for any worker
+// count), and hands only the *real* codec work — already decomposed into
+// independent units by the algorithms themselves — to the shared
+// codecpool. Each job's parts write exclusively to pre-sliced disjoint
+// regions whose positions depend only on the input, which makes the
+// output bytes independent of scheduling. The persistent job structs and
+// the engine arena exist so that a steady-state compress/decompress
+// performs zero heap allocations (ISSUE 2's scratch-reuse requirement).
+
+// zfpChunkValues is the number of float32 values per parallel ZFP chunk.
+// It must be a multiple of 8 (two 4-value blocks), because every 2-block
+// group codes to exactly 8*rate bits = rate bytes — a byte-aligned
+// boundary for any rate — so each chunk's compressed offset is exactly
+// i*chunkValues*rate/8 and workers can encode directly into place. The
+// encoding of a block depends only on its 4 values, so chunked output is
+// bit-identical to whole-message output (TestAppendCompressChunked).
+const zfpChunkValues = 1 << 16
+
+// arena is the engine's reusable per-message scratch. All fields grow to
+// the high-water mark of the traffic they serve and are then reused
+// allocation-free. Guarded by Engine.mu like everything else in the
+// engine; workers never touch the arena directly, only the disjoint
+// sub-slices their job hands them.
+type arena struct {
+	// sizeWord backs the 4-byte compressed-size readback that used to be
+	// allocated per message.
+	sizeWord [4]byte
+	// comp stages per-part compressed output (MPC: bound-sized regions
+	// per partition; ZFP: the exact-size stream).
+	comp []byte
+	// payload stages the assembled multi-partition MPC wire payload.
+	payload []byte
+	// words stages word conversions for the dynamic-selection probe.
+	words []uint32
+	// ranges, partBytes, offs, outs, errs are the per-part bookkeeping
+	// slices formerly allocated per message.
+	ranges    [][2]int
+	partBytes []int
+	offs      []int
+	outs      [][]byte
+	errs      []error
+}
+
+func (a *arena) compFor(n int) []byte {
+	if cap(a.comp) < n {
+		a.comp = make([]byte, n)
+	}
+	a.comp = a.comp[:n]
+	return a.comp
+}
+
+func (a *arena) wordsFor(n int) []uint32 {
+	if cap(a.words) < n {
+		a.words = make([]uint32, n)
+	}
+	a.words = a.words[:n]
+	return a.words
+}
+
+func (a *arena) rangesFor(n, parts int) [][2]int {
+	a.ranges = splitWordsInto(a.ranges[:0], n, parts)
+	return a.ranges
+}
+
+func (a *arena) partBytesFor(n int) []int {
+	if cap(a.partBytes) < n {
+		a.partBytes = make([]int, n)
+	}
+	a.partBytes = a.partBytes[:n]
+	return a.partBytes
+}
+
+func (a *arena) offsFor(n int) []int {
+	if cap(a.offs) < n {
+		a.offs = make([]int, n)
+	}
+	a.offs = a.offs[:n]
+	return a.offs
+}
+
+func (a *arena) outsFor(n int) [][]byte {
+	if cap(a.outs) < n {
+		a.outs = make([][]byte, n)
+	}
+	a.outs = a.outs[:n]
+	return a.outs
+}
+
+// errsFor returns a cleared length-n error slice (stale results from the
+// previous message must not leak into this one).
+func (a *arena) errsFor(n int) []error {
+	if cap(a.errs) < n {
+		a.errs = make([]error, n)
+	}
+	a.errs = a.errs[:n]
+	for i := range a.errs {
+		a.errs[i] = nil
+	}
+	return a.errs
+}
+
+// firstErr returns the lowest-indexed error, which is deterministic for
+// any worker count because every part always runs.
+func firstErr(errs []error) (int, error) {
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// --- in-place byte/word/float conversions (the *At variants overwrite a
+// pre-sliced destination, so parallel parts can convert disjoint ranges
+// of one buffer) ---
+
+func bytesToWordsAt(dst []uint32, b []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+}
+
+func wordsToBytesAt(dst []byte, w []uint32) {
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(dst[4*i:], v)
+	}
+}
+
+func bytesToFloatsAt(dst []float32, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}
+
+func floatsToBytesAt(dst []byte, f []float32) {
+	for i, v := range f {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+// mpcCompressJob compresses the partition ranges of one message
+// concurrently. Part i converts its own byte range to words in worker
+// scratch and encodes into outs[i], a region of the arena's comp buffer
+// pre-sliced with cap mpc.Bound(partWords) — partitions cannot collide.
+type mpcCompressJob struct {
+	src    []byte
+	ranges [][2]int
+	dim    int
+	outs   [][]byte
+	errs   []error
+}
+
+func (j *mpcCompressJob) RunPart(i int, s *codecpool.Scratch) {
+	rg := j.ranges[i]
+	w := s.Words(rg[1] - rg[0])
+	bytesToWordsAt(w, j.src[4*rg[0]:4*rg[1]])
+	out, err := mpc.AppendCompressWords(j.outs[i][:0], w, j.dim)
+	j.outs[i] = out
+	j.errs[i] = err
+}
+
+// mpcDecompressJob decodes the partitions of one payload concurrently.
+// Part i decodes payload[offs[i]:offs[i+1]] into worker scratch and
+// serializes into its own word range of dst. MPC's predictor is
+// partition-relative (each CompressWords call started a fresh stream),
+// so partitions decode independently.
+type mpcDecompressJob struct {
+	payload []byte
+	offs    []int // len(parts)+1 cumulative payload offsets
+	ranges  [][2]int
+	dim     int
+	dst     []byte
+	errs    []error
+}
+
+func (j *mpcDecompressJob) RunPart(i int, s *codecpool.Scratch) {
+	rg := j.ranges[i]
+	w := s.Words(rg[1] - rg[0])
+	if err := mpc.DecompressWordsInto(w, j.payload[j.offs[i]:j.offs[i+1]], j.dim); err != nil {
+		j.errs[i] = err
+		return
+	}
+	wordsToBytesAt(j.dst[4*rg[0]:4*rg[1]], w)
+}
+
+// zfpCompressJob encodes independent chunk rows of one message
+// concurrently. Chunk i covers values [i*chunkVals, min(n, (i+1)*chunkVals))
+// and writes exactly CompressedSize(chunkLen, rate) bytes at byte offset
+// i*chunkVals*rate/8 of out (see zfpChunkValues for why that offset is
+// always byte-exact).
+type zfpCompressJob struct {
+	src   []byte
+	out   []byte
+	rate  int
+	nVals int
+	errs  []error
+}
+
+func (j *zfpCompressJob) RunPart(i int, s *codecpool.Scratch) {
+	v0 := i * zfpChunkValues
+	v1 := v0 + zfpChunkValues
+	if v1 > j.nVals {
+		v1 = j.nVals
+	}
+	f := s.Floats(v1 - v0)
+	bytesToFloatsAt(f, j.src[4*v0:4*v1])
+	off := i * (zfpChunkValues * j.rate / 8)
+	want, err := zfp.CompressedSize(v1-v0, j.rate)
+	if err != nil {
+		j.errs[i] = err
+		return
+	}
+	out, err := zfp.AppendCompress(j.out[off:off:off+want], f, j.rate)
+	if err != nil {
+		j.errs[i] = err
+		return
+	}
+	if len(out) != want {
+		j.errs[i] = fmt.Errorf("zfp chunk %d: encoded %d bytes, want %d", i, len(out), want)
+	}
+}
+
+// zfpDecompressJob decodes independent chunk rows concurrently, the
+// mirror of zfpCompressJob.
+type zfpDecompressJob struct {
+	comp  []byte
+	dst   []byte
+	rate  int
+	nVals int
+	errs  []error
+}
+
+func (j *zfpDecompressJob) RunPart(i int, s *codecpool.Scratch) {
+	v0 := i * zfpChunkValues
+	v1 := v0 + zfpChunkValues
+	if v1 > j.nVals {
+		v1 = j.nVals
+	}
+	f := s.Floats(v1 - v0)
+	off := i * (zfpChunkValues * j.rate / 8)
+	want, err := zfp.CompressedSize(v1-v0, j.rate)
+	if err != nil {
+		j.errs[i] = err
+		return
+	}
+	if err := zfp.DecompressInto(f, j.comp[off:off+want], j.rate); err != nil {
+		j.errs[i] = err
+		return
+	}
+	floatsToBytesAt(j.dst[4*v0:4*v1], f)
+}

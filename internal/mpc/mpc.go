@@ -133,6 +133,70 @@ func CompressWords(dst []byte, src []uint32, dim int) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendCompressWords is the scratch-reuse entry point for hot paths: it
+// compresses src into dst with no internal temporaries (the transpose
+// chunk lives on the stack), so when the caller passes a reused buffer
+// with cap(dst) >= Bound(len(src)) the call performs zero heap
+// allocations. Output bytes are identical to CompressWords, which shares
+// the implementation.
+func AppendCompressWords(dst []byte, src []uint32, dim int) ([]byte, error) {
+	return CompressWords(dst, src, dim)
+}
+
+// DecompressWordsInto decompresses comp into exactly len(dst) words,
+// overwriting dst in place with no appends and no internal temporaries —
+// the zero-allocation counterpart of DecompressWords for callers that
+// pre-slice their destination (e.g. parallel partition decode writing
+// disjoint ranges of one buffer). dim must match compression time.
+func DecompressWordsInto(dst []uint32, comp []byte, dim int) error {
+	if err := checkDim(dim); err != nil {
+		return err
+	}
+	n := len(dst)
+	var chunk [32]uint32
+	pos := 0
+	full := n / ChunkWords
+	for c := 0; c < full; c++ {
+		if pos+4 > len(comp) {
+			return fmt.Errorf("%w: truncated bitmap at chunk %d", ErrCorrupt, c)
+		}
+		bitmap := binary.LittleEndian.Uint32(comp[pos:])
+		pos += 4
+		for j := 0; j < ChunkWords; j++ {
+			if bitmap&(1<<uint(j)) != 0 {
+				if pos+4 > len(comp) {
+					return fmt.Errorf("%w: truncated plane at chunk %d", ErrCorrupt, c)
+				}
+				chunk[j] = binary.LittleEndian.Uint32(comp[pos:])
+				pos += 4
+			} else {
+				chunk[j] = 0
+			}
+		}
+		transpose32(&chunk)
+		base := c * ChunkWords
+		for i := 0; i < ChunkWords; i++ {
+			idx := base + i
+			var pred uint32
+			if idx >= dim {
+				pred = dst[idx-dim]
+			}
+			dst[idx] = unzigzag(chunk[i]) + pred
+		}
+	}
+	for i := full * ChunkWords; i < n; i++ {
+		if pos+4 > len(comp) {
+			return fmt.Errorf("%w: truncated tail", ErrCorrupt)
+		}
+		dst[i] = binary.LittleEndian.Uint32(comp[pos:])
+		pos += 4
+	}
+	if pos != len(comp) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-pos)
+	}
+	return nil
+}
+
 // DecompressWords decompresses comp into exactly n words, appending to dst.
 // dim must match the value used at compression time.
 func DecompressWords(dst []uint32, comp []byte, n, dim int) ([]uint32, error) {

@@ -1,0 +1,112 @@
+package mpc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func genWords(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	src := make([]uint32, n)
+	acc := uint32(0x12345678)
+	for i := range src {
+		// Smooth-ish data with occasional jumps, so chunks mix dense
+		// and sparse bit planes.
+		if rng.Intn(17) == 0 {
+			acc = rng.Uint32()
+		} else {
+			acc += uint32(rng.Intn(64)) - 32
+		}
+		src[i] = acc
+	}
+	return src
+}
+
+// TestAppendCompressWordsIdentical asserts the scratch-reuse entry point
+// produces byte-identical output to CompressWords.
+func TestAppendCompressWordsIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 31, 32, 33, 64, 1024, 4096 + 7} {
+		for _, dim := range []int{1, 2, 4, 8} {
+			src := genWords(n, int64(n*100+dim))
+			ref, err := CompressWords(nil, src, dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := AppendCompressWords(make([]byte, 0, Bound(n)), src, dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("n=%d dim=%d: AppendCompressWords differs from CompressWords", n, dim)
+			}
+		}
+	}
+}
+
+// TestDecompressWordsIntoIdentical asserts the in-place decoder matches
+// the appending decoder for all sizes including raw tails.
+func TestDecompressWordsIntoIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 31, 32, 33, 64, 1024, 4096 + 7} {
+		for _, dim := range []int{1, 2, 4, 8} {
+			src := genWords(n, int64(n*100+dim))
+			comp, err := CompressWords(nil, src, dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := DecompressWords(nil, comp, n, dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]uint32, n)
+			if err := DecompressWordsInto(got, comp, dim); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("n=%d dim=%d: word %d differs", n, dim, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressWordsIntoCorrupt(t *testing.T) {
+	src := genWords(128, 7)
+	comp, err := CompressWords(nil, src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint32, 128)
+	if err := DecompressWordsInto(dst, comp[:len(comp)-3], 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated input: got %v, want ErrCorrupt", err)
+	}
+	if err := DecompressWordsInto(dst, append(append([]byte(nil), comp...), 0), 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+	if err := DecompressWordsInto(dst, comp, 0); !errors.Is(err, ErrBadDim) {
+		t.Fatalf("bad dim: got %v, want ErrBadDim", err)
+	}
+}
+
+// TestScratchRoundTripZeroAlloc asserts that with warmed caller buffers a
+// compress+decompress round trip allocates nothing.
+func TestScratchRoundTripZeroAlloc(t *testing.T) {
+	src := genWords(4096, 11)
+	comp := make([]byte, 0, Bound(len(src)))
+	dst := make([]uint32, len(src))
+	allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		comp, err = AppendCompressWords(comp[:0], src, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecompressWordsInto(dst, comp, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("round trip allocated %.1f objects, want 0", allocs)
+	}
+}

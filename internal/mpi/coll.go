@@ -42,6 +42,20 @@ func (r *Rank) Barrier() error {
 	return nil
 }
 
+// consumeRaw decompresses a relayed raw payload into dst and releases its
+// staging buffer — the per-hop consume step shared by the
+// compression-aware collectives. The engine fans the real decode work of
+// each hop across the codec worker pool (MPC partitions / ZFP chunk rows
+// run host-parallel), while the simulated kernel accounting stays on this
+// rank's goroutine.
+func (r *Rank) consumeRaw(raw rawResult, dst *gpusim.Buffer) error {
+	if err := r.Engine.Decompress(r.Clock, raw.hdr, raw.payload, dst); err != nil {
+		return err
+	}
+	r.Engine.ReleaseRecv(r.Clock, raw.staged)
+	return nil
+}
+
 // Bcast broadcasts root's buf to every rank using a binomial tree — the
 // algorithm osu_bcast exercises for large messages.
 //
@@ -62,7 +76,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 
 	var payload []byte
 	var hdr core.Header
-	var staged *gpusim.Buffer
+	var raw rawResult
 
 	// Obtain the payload: the root compresses, everyone else receives
 	// the raw compressed bytes from the parent.
@@ -83,7 +97,8 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 				if err := r.Wait(req); err != nil {
 					return fmt.Errorf("mpi: bcast recv: %w", err)
 				}
-				payload, hdr, staged = req.raw.payload, req.raw.hdr, req.raw.staged
+				raw = req.raw
+				payload, hdr = raw.payload, raw.hdr
 				break
 			}
 			mask <<= 1
@@ -104,10 +119,9 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 		}
 	}
 	if vrank != 0 {
-		if err := r.Engine.Decompress(r.Clock, hdr, payload, buf); err != nil {
+		if err := r.consumeRaw(raw, buf); err != nil {
 			return fmt.Errorf("mpi: bcast decompress: %w", err)
 		}
-		r.Engine.ReleaseRecv(r.Clock, staged)
 	}
 	return r.Waitall(sends...)
 }
@@ -159,10 +173,9 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 		// Decompress the previous step's block while this step's
 		// transfers progress.
 		if todo != nil {
-			if err := r.Engine.Decompress(r.Clock, todo.raw.hdr, todo.raw.payload, todo.dst); err != nil {
+			if err := r.consumeRaw(todo.raw, todo.dst); err != nil {
 				return fmt.Errorf("mpi: allgather decompress: %w", err)
 			}
-			r.Engine.ReleaseRecv(r.Clock, todo.raw.staged)
 		}
 		if err := r.Waitall(sreq, rreq); err != nil {
 			return fmt.Errorf("mpi: allgather step %d: %w", step, err)
@@ -171,10 +184,9 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 		payload, hdr = rreq.raw.payload, rreq.raw.hdr
 	}
 	if todo != nil {
-		if err := r.Engine.Decompress(r.Clock, todo.raw.hdr, todo.raw.payload, todo.dst); err != nil {
+		if err := r.consumeRaw(todo.raw, todo.dst); err != nil {
 			return fmt.Errorf("mpi: allgather decompress: %w", err)
 		}
-		r.Engine.ReleaseRecv(r.Clock, todo.raw.staged)
 	}
 	return nil
 }

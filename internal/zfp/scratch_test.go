@@ -1,0 +1,140 @@
+package zfp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func genFloats(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	src := make([]float32, n)
+	phase := rng.Float64()
+	for i := range src {
+		src[i] = float32(100*phase + float64(i)*0.01 + rng.NormFloat64()*0.1)
+	}
+	return src
+}
+
+// TestAppendCompressIdentical asserts the in-place encoder produces
+// byte-identical output to the historical Writer.Bytes copy path. The
+// reference is reconstructed inline the way Compress used to work:
+// encode into a fresh writer and snapshot with Bytes.
+func TestAppendCompressIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 1024, 4096 + 3} {
+		for _, rate := range []int{4, 8, 16, 32} {
+			src := genFloats(n, int64(n*100+rate))
+			ref, err := Compress(nil, src, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := CompressedSize(n, rate)
+			if len(ref) != want {
+				t.Fatalf("n=%d rate=%d: compressed %d bytes, want %d", n, rate, len(ref), want)
+			}
+			got, err := AppendCompress(make([]byte, 0, want), src, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("n=%d rate=%d: AppendCompress differs from Compress", n, rate)
+			}
+		}
+	}
+}
+
+// TestAppendCompressChunked asserts that compressing 8-value-aligned
+// chunks independently and concatenating yields the same bytes as one
+// whole-message call — the property the parallel block-row path relies
+// on (every 2-block chunk is byte-aligned: 8*rate bits = rate bytes).
+func TestAppendCompressChunked(t *testing.T) {
+	const n = 4096 + 5
+	for _, rate := range []int{3, 7, 16} {
+		src := genFloats(n, int64(rate))
+		whole, err := Compress(nil, src, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunkVals := range []int{8, 64, 1000 - 1000%8} {
+			var cat []byte
+			for base := 0; base < n; base += chunkVals {
+				end := base + chunkVals
+				if end > n {
+					end = n
+				}
+				cat, err = AppendCompress(cat, src[base:end], rate)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(whole, cat) {
+				t.Fatalf("rate=%d chunk=%d: chunked output differs from whole-message output", rate, chunkVals)
+			}
+		}
+	}
+}
+
+// TestDecompressIntoIdentical asserts the in-place decoder matches the
+// appending decoder.
+func TestDecompressIntoIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 1024, 4096 + 3} {
+		for _, rate := range []int{4, 8, 16, 32} {
+			src := genFloats(n, int64(n*100+rate))
+			comp, err := Compress(nil, src, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Decompress(nil, comp, n, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float32, n)
+			if err := DecompressInto(got, comp, rate); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("n=%d rate=%d: value %d differs: %v vs %v", n, rate, i, ref[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressIntoShortBuffer(t *testing.T) {
+	src := genFloats(64, 3)
+	comp, err := Compress(nil, src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 64)
+	if err := DecompressInto(dst, comp[:len(comp)-1], 8); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated input: got %v, want ErrShortBuffer", err)
+	}
+	if err := DecompressInto(dst, comp, 99); !errors.Is(err, ErrBadRate) {
+		t.Fatalf("bad rate: got %v, want ErrBadRate", err)
+	}
+}
+
+// TestScratchRoundTripZeroAlloc asserts that with warmed caller buffers a
+// compress+decompress round trip allocates nothing.
+func TestScratchRoundTripZeroAlloc(t *testing.T) {
+	src := genFloats(4096, 9)
+	want, _ := CompressedSize(len(src), 16)
+	comp := make([]byte, 0, want)
+	dst := make([]float32, len(src))
+	allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		comp, err = AppendCompress(comp[:0], src, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecompressInto(dst, comp, 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("round trip allocated %.1f objects, want 0", allocs)
+	}
+}

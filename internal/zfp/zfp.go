@@ -349,11 +349,23 @@ func decodeBlock(r *bitstream.Reader, maxbits uint, block *[4]float32) {
 // stream to dst. A final partial block is padded with the block's last
 // value (standard zfp edge extension for partial blocks).
 func Compress(dst []byte, src []float32, rate int) ([]byte, error) {
+	return AppendCompress(dst, src, rate)
+}
+
+// AppendCompress is the scratch-reuse entry point: it encodes directly
+// into dst through a stack bit writer (no intermediate stream buffer, no
+// final copy), so when the caller passes a reused buffer with cap(dst)
+// sized by CompressedSize the call performs zero heap allocations.
+// Output bytes are identical to what Compress has always produced —
+// every block codes to exactly 4*rate bits at a position fixed by its
+// index, so the encoding is independent of how the input is chunked.
+func AppendCompress(dst []byte, src []float32, rate int) ([]byte, error) {
 	if err := checkRate(rate); err != nil {
 		return dst, err
 	}
 	maxbits := uint(BlockValues * rate)
-	w := bitstream.NewWriter()
+	var w bitstream.Writer
+	w.Reset(dst)
 	var block [4]float32
 	n := len(src)
 	for base := 0; base < n; base += BlockValues {
@@ -366,9 +378,9 @@ func Compress(dst []byte, src []float32, rate int) ([]byte, error) {
 				block[i] = 0
 			}
 		}
-		encodeBlock(w, maxbits, &block)
+		encodeBlock(&w, maxbits, &block)
 	}
-	return append(dst, w.Bytes()...), nil
+	return w.Final(), nil
 }
 
 // Decompress reconstructs exactly n values from comp at the given rate,
@@ -377,20 +389,44 @@ func Decompress(dst []float32, comp []byte, n, rate int) ([]float32, error) {
 	if err := checkRate(rate); err != nil {
 		return dst, err
 	}
-	want, _ := CompressedSize(n, rate)
-	if len(comp) < want {
-		return dst, fmt.Errorf("%w: have %d bytes, want %d", ErrShortBuffer, len(comp), want)
+	start := len(dst)
+	if cap(dst)-start < n {
+		grown := make([]float32, start+n)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:start+n]
 	}
-	maxbits := uint(BlockValues * rate)
-	r := bitstream.NewReader(comp)
-	var block [4]float32
-	for base := 0; base < n; base += BlockValues {
-		decodeBlock(r, maxbits, &block)
-		for i := 0; i < BlockValues && base+i < n; i++ {
-			dst = append(dst, block[i])
-		}
+	if err := DecompressInto(dst[start:], comp, rate); err != nil {
+		return dst[:start], err
 	}
 	return dst, nil
+}
+
+// DecompressInto reconstructs exactly len(dst) values from comp at the
+// given rate, overwriting dst in place — the zero-allocation counterpart
+// of Decompress for callers that pre-slice a reused destination (e.g.
+// parallel block-row decode writing disjoint ranges of one buffer).
+func DecompressInto(dst []float32, comp []byte, rate int) error {
+	if err := checkRate(rate); err != nil {
+		return err
+	}
+	n := len(dst)
+	want, _ := CompressedSize(n, rate)
+	if len(comp) < want {
+		return fmt.Errorf("%w: have %d bytes, want %d", ErrShortBuffer, len(comp), want)
+	}
+	maxbits := uint(BlockValues * rate)
+	var r bitstream.Reader
+	r.Reset(comp)
+	var block [4]float32
+	for base := 0; base < n; base += BlockValues {
+		decodeBlock(&r, maxbits, &block)
+		for i := 0; i < BlockValues && base+i < n; i++ {
+			dst[base+i] = block[i]
+		}
+	}
+	return nil
 }
 
 // MaxError returns an upper bound estimate of the absolute reconstruction
