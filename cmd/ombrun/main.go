@@ -32,6 +32,9 @@ func main() {
 	dataset := flag.String("dataset", "", "Table III dataset to transmit (default: dummy data)")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the last measurement to this file")
 	faultsFlag := flag.String("faults", "", "fault injection spec, e.g. seed=7,drop=0.01,corrupt=0.005,degrade=0.1 (empty = off)")
+	crashFlag := flag.String("crash", "", "process-failure spec, e.g. seed=7,crash=0.125,silent=0.06,window=2ms,codec=0.5,until=1ms (empty = off)")
+	healthFlag := flag.String("health", "", "failure-handling spec, e.g. deadline=500us,shrink=true (empty = defaults)")
+	breakerFlag := flag.String("breaker", "", "codec circuit-breaker spec, e.g. threshold=3,cooldown=2ms,seed=11 (empty = off)")
 	retries := flag.Int("retries", 0, "retransmission budget per protocol stage (0 = default, negative = retries off)")
 	eng := cli.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
@@ -44,6 +47,13 @@ func main() {
 	cli.Fatal(err)
 	faultCfg, err := cli.ParseFaults(*faultsFlag)
 	cli.Fatal(err)
+	faultCfg, err = cli.ParseCrash(*crashFlag, faultCfg)
+	cli.Fatal(err)
+	health, err := cli.ParseHealth(*healthFlag)
+	cli.Fatal(err)
+	breaker, err := cli.ParseBreaker(*breakerFlag)
+	cli.Fatal(err)
+	cfg.Breaker = breaker
 
 	var gen omb.DataGen
 	if *dataset != "" {
@@ -57,21 +67,28 @@ func main() {
 	}
 	w, err := mpi.NewWorld(mpi.Options{
 		Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg, Tracer: tracer,
-		Faults: faultCfg, Retry: mpi.RetryPolicy{Limit: *retries},
+		Faults: faultCfg, Retry: mpi.RetryPolicy{Limit: *retries}, Health: health,
 	})
 	cli.Fatal(err)
 
 	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s, codec workers=%d\n",
 		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo, w.Rank(0).Engine.CodecWorkers())
 	if w.FaultsEnabled() {
-		fmt.Printf("# fault injection on: %s\n", *faultsFlag)
+		spec := *faultsFlag
+		if *crashFlag != "" {
+			if spec != "" {
+				spec += " "
+			}
+			spec += *crashFlag
+		}
+		fmt.Printf("# fault injection on: %s\n", spec)
 	}
 
 	start := time.Now()
 	switch *bench {
 	case "latency":
 		res, err := omb.Latency(w, sizes, *warmup, *iters, gen)
-		cli.Fatal(err)
+		benchFatal(w, err)
 		t := cli.NewTable("Size", "Latency (us)", "Ratio")
 		for _, r := range res {
 			t.Row(cli.FormatBytes(r.Bytes), fmt.Sprintf("%.2f", r.Latency.Microseconds()), fmt.Sprintf("%.2f", r.Ratio))
@@ -79,7 +96,7 @@ func main() {
 		t.Write(os.Stdout)
 	case "bw":
 		res, err := omb.Bandwidth(w, sizes, *warmup, *iters, *window, 0)
-		cli.Fatal(err)
+		benchFatal(w, err)
 		t := cli.NewTable("Size", "Bandwidth (GB/s)")
 		for _, r := range res {
 			t.Row(cli.FormatBytes(r.Bytes), fmt.Sprintf("%.3f", r.BandwidthGBps))
@@ -95,7 +112,7 @@ func main() {
 			} else {
 				res, err = omb.AllgatherLatency(w, size, *warmup, *iters, gen)
 			}
-			cli.Fatal(err)
+			benchFatal(w, err)
 			t.Row(cli.FormatBytes(size), fmt.Sprintf("%.2f", res.Latency.Microseconds()), fmt.Sprintf("%.2f", res.Ratio))
 		}
 		t.Write(os.Stdout)
@@ -116,8 +133,13 @@ func main() {
 
 	if w.FaultsEnabled() {
 		st := w.FaultStats()
-		fmt.Printf("# faults injected: drops=%d corruptions=%d (bits=%d) degraded-windows=%d\n",
-			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades)
+		fmt.Printf("# faults injected: drops=%d corruptions=%d (bits=%d) degraded-windows=%d crashes=%d silences=%d codec-corruptions=%d\n",
+			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades, st.Crashes, st.Silences, st.CodecCorruptions)
+	}
+	if cfg.Breaker.Enabled() {
+		bs, recvs := breakerTotals(w)
+		fmt.Printf("# breaker: opens=%d closes=%d probes=%d fallback-sends=%d fallback-recvs=%d\n",
+			bs.Opens, bs.Closes, bs.Probes, bs.FallbackSends, recvs)
 	}
 
 	if tracer != nil {
@@ -127,4 +149,40 @@ func main() {
 		cli.Fatal(f.Close())
 		fmt.Printf("# wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+// breakerTotals aggregates codec-breaker activity across every rank's
+// engine, along with the count of received Fallback-bit headers.
+func breakerTotals(w *mpi.World) (core.BreakerStats, int) {
+	var bs core.BreakerStats
+	recvs := 0
+	for r := 0; r < w.Size(); r++ {
+		e := w.Rank(r).Engine
+		bs.Add(e.BreakerSnapshot())
+		recvs += e.FallbackRecvs
+	}
+	return bs, recvs
+}
+
+// benchFatal reports a benchmark failure. Fault, health and breaker
+// activity go to stderr so the failure is attributable at a glance, and
+// the process exits with status 2 so harnesses can tell a delivery or
+// peer failure apart from a usage error.
+func benchFatal(w *mpi.World, err error) {
+	if err == nil {
+		return
+	}
+	if w.FaultsEnabled() {
+		st := w.FaultStats()
+		fmt.Fprintf(os.Stderr, "# faults injected: drops=%d corruptions=%d (bits=%d) degraded-windows=%d crashes=%d silences=%d codec-corruptions=%d\n",
+			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades, st.Crashes, st.Silences, st.CodecCorruptions)
+	}
+	hs := w.HealthStats()
+	fmt.Fprintf(os.Stderr, "# health: doomed=%v watchdog-wakeups=%d cascade-quiets=%d\n",
+		hs.Doomed, hs.WatchdogWakeups, hs.CascadeQuiets)
+	bs, recvs := breakerTotals(w)
+	fmt.Fprintf(os.Stderr, "# breaker: opens=%d closes=%d probes=%d fallback-sends=%d fallback-recvs=%d\n",
+		bs.Opens, bs.Closes, bs.Probes, bs.FallbackSends, recvs)
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(2)
 }

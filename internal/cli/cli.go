@@ -14,6 +14,8 @@ import (
 	"mpicomp/internal/core"
 	"mpicomp/internal/faults"
 	"mpicomp/internal/hw"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
 )
 
 // EngineFlags collects the compression-engine configuration flags.
@@ -149,6 +151,173 @@ func ParseFaults(s string) (*faults.Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// ParseSimDuration parses a simulated duration such as "500us", "2ms",
+// "1.5s" or "250ns" into a simtime.Duration.
+func ParseSimDuration(s string) (simtime.Duration, error) {
+	v := strings.ToLower(strings.TrimSpace(s))
+	var unit simtime.Duration
+	var num string
+	switch {
+	case strings.HasSuffix(v, "ns"):
+		unit, num = 1, v[:len(v)-2]
+	case strings.HasSuffix(v, "us"):
+		unit, num = simtime.Microsecond, v[:len(v)-2]
+	case strings.HasSuffix(v, "ms"):
+		unit, num = simtime.Millisecond, v[:len(v)-2]
+	case strings.HasSuffix(v, "s"):
+		unit, num = simtime.Second, v[:len(v)-1]
+	default:
+		return 0, fmt.Errorf("bad duration %q (want a number with ns/us/ms/s suffix, e.g. 500us)", s)
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad duration %q (want a non-negative number with ns/us/ms/s suffix)", s)
+	}
+	return simtime.Duration(f * float64(unit)), nil
+}
+
+// ParseCrash parses a process-failure spec of the form
+// "seed=7,crash=0.125,silent=0.06,window=2ms,codec=0.5,until=1ms" and
+// merges it into cfg (which may be nil — a Config is allocated then).
+// crash/silent/codec are probabilities in [0,1]; window bounds failure
+// onsets; until heals codec faults past that simulated instant. An empty
+// spec returns cfg unchanged.
+func ParseCrash(s string, cfg *faults.Config) (*faults.Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return cfg, nil
+	}
+	if cfg == nil {
+		cfg = &faults.Config{}
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad crash option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad crash seed %q: %w", val, err)
+			}
+			cfg.Seed = n
+		case "crash", "silent", "codec":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("crash option %s=%q must be a probability in [0,1]", key, val)
+			}
+			switch key {
+			case "crash":
+				cfg.CrashRate = f
+			case "silent":
+				cfg.SilentRate = f
+			case "codec":
+				cfg.CodecRate = f
+			}
+		case "window", "until":
+			d, err := ParseSimDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("crash option %s: %w", key, err)
+			}
+			if key == "window" {
+				cfg.FailWindow = d
+			} else {
+				cfg.CodecUntil = d
+			}
+		default:
+			return nil, fmt.Errorf("unknown crash option %q (want seed, crash, silent, window, codec, until)", key)
+		}
+	}
+	return cfg, nil
+}
+
+// ParseHealth parses a failure-handling spec of the form
+// "deadline=500us,shrink=true" into an mpi.HealthPolicy. An empty string
+// yields the zero policy (library defaults).
+func ParseHealth(s string) (mpi.HealthPolicy, error) {
+	var pol mpi.HealthPolicy
+	if strings.TrimSpace(s) == "" {
+		return pol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return pol, fmt.Errorf("bad health option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "deadline":
+			d, err := ParseSimDuration(val)
+			if err != nil {
+				return pol, fmt.Errorf("health option deadline: %w", err)
+			}
+			pol.Deadline = d
+		case "shrink":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return pol, fmt.Errorf("health option shrink=%q must be a boolean", val)
+			}
+			pol.ShrinkCollectives = b
+		default:
+			return pol, fmt.Errorf("unknown health option %q (want deadline, shrink)", key)
+		}
+	}
+	return pol, nil
+}
+
+// ParseBreaker parses a codec-circuit-breaker spec of the form
+// "threshold=3,cooldown=2ms,seed=11" into a core.BreakerPolicy. An empty
+// string yields the zero policy (breaker off).
+func ParseBreaker(s string) (core.BreakerPolicy, error) {
+	var pol core.BreakerPolicy
+	if strings.TrimSpace(s) == "" {
+		return pol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return pol, fmt.Errorf("bad breaker option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "threshold":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return pol, fmt.Errorf("breaker option threshold=%q must be a non-negative integer", val)
+			}
+			pol.Threshold = n
+		case "cooldown":
+			d, err := ParseSimDuration(val)
+			if err != nil {
+				return pol, fmt.Errorf("breaker option cooldown: %w", err)
+			}
+			pol.Cooldown = d
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return pol, fmt.Errorf("bad breaker seed %q: %w", val, err)
+			}
+			pol.Seed = n
+		default:
+			return pol, fmt.Errorf("unknown breaker option %q (want threshold, cooldown, seed)", key)
+		}
+	}
+	return pol, nil
 }
 
 // FormatBytes renders a byte count with a binary suffix ("32M", "256K").

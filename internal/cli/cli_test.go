@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/faults"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
 )
 
 func TestEngineFlagsDefaults(t *testing.T) {
@@ -148,6 +151,106 @@ func TestParseFaults(t *testing.T) {
 	for _, bad := range []string{"drop=2", "drop=-0.1", "bogus=1", "drop", "seed=x"} {
 		if _, err := ParseFaults(bad); err == nil {
 			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestParseSimDuration(t *testing.T) {
+	good := map[string]simtime.Duration{
+		"250ns": 250,
+		"500us": 500 * simtime.Microsecond,
+		"2ms":   2 * simtime.Millisecond,
+		"1.5s":  simtime.Duration(1.5 * float64(simtime.Second)),
+		"0us":   0,
+		" 3ms ": 3 * simtime.Millisecond,
+	}
+	for in, want := range good {
+		got, err := ParseSimDuration(in)
+		if err != nil {
+			t.Errorf("ParseSimDuration(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseSimDuration(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "500", "abc", "-2ms", "2 hours", "ms"} {
+		if _, err := ParseSimDuration(in); err == nil {
+			t.Errorf("ParseSimDuration(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseCrash(t *testing.T) {
+	// Empty spec leaves cfg alone, including a nil one.
+	if cfg, err := ParseCrash("", nil); err != nil || cfg != nil {
+		t.Errorf("empty spec gave cfg=%v err=%v", cfg, err)
+	}
+
+	cfg, err := ParseCrash("seed=7,crash=0.125,silent=0.06,window=2ms,codec=0.5,until=1ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Config{
+		Seed: 7, CrashRate: 0.125, SilentRate: 0.06,
+		FailWindow: 2 * simtime.Millisecond,
+		CodecRate:  0.5, CodecUntil: simtime.Millisecond,
+	}
+	if *cfg != want {
+		t.Errorf("ParseCrash = %+v, want %+v", *cfg, want)
+	}
+
+	// Merging into an existing config (from -faults) keeps its fields.
+	base := &faults.Config{Seed: 1, DropRate: 0.25}
+	cfg, err = ParseCrash("crash=0.5", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != base || cfg.DropRate != 0.25 || cfg.CrashRate != 0.5 || cfg.Seed != 1 {
+		t.Errorf("merge mangled the base config: %+v", *cfg)
+	}
+
+	for _, in := range []string{
+		"crash", "crash=2", "crash=-0.1", "silent=x", "codec=1.5",
+		"window=5", "until=-1ms", "seed=abc", "bogus=1",
+	} {
+		if _, err := ParseCrash(in, nil); err == nil {
+			t.Errorf("ParseCrash(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseHealth(t *testing.T) {
+	if pol, err := ParseHealth(""); err != nil || pol != (mpi.HealthPolicy{}) {
+		t.Errorf("empty spec gave %+v err=%v", pol, err)
+	}
+	pol, err := ParseHealth("deadline=500us,shrink=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Deadline != 500*simtime.Microsecond || !pol.ShrinkCollectives {
+		t.Errorf("ParseHealth = %+v", pol)
+	}
+	for _, in := range []string{"deadline=5", "shrink=maybe", "deadline", "timeout=1ms"} {
+		if _, err := ParseHealth(in); err == nil {
+			t.Errorf("ParseHealth(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseBreaker(t *testing.T) {
+	if pol, err := ParseBreaker(""); err != nil || pol.Enabled() {
+		t.Errorf("empty spec gave %+v err=%v", pol, err)
+	}
+	pol, err := ParseBreaker("threshold=3,cooldown=2ms,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.BreakerPolicy{Threshold: 3, Cooldown: 2 * simtime.Millisecond, Seed: 11}
+	if pol != want {
+		t.Errorf("ParseBreaker = %+v, want %+v", pol, want)
+	}
+	for _, in := range []string{"threshold=-1", "threshold=x", "cooldown=5", "seed=z", "trip=3"} {
+		if _, err := ParseBreaker(in); err == nil {
+			t.Errorf("ParseBreaker(%q) accepted", in)
 		}
 	}
 }

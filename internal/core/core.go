@@ -119,6 +119,12 @@ type Config struct {
 	// message is compressed only when the model predicts a latency win
 	// on the link it will traverse.
 	Dynamic bool
+	// Breaker configures the per-peer codec circuit breaker: past
+	// Breaker.Threshold consecutive codec-path delivery failures toward a
+	// destination, the engine stops compressing for that pair until a
+	// cooldown and a successful half-open probe (see breaker.go). The
+	// zero value disables it.
+	Breaker BreakerPolicy
 	// PipelineChunkBytes enables pipelined rendezvous (extension,
 	// modeled on MVAPICH2-GDR's chunked large-message path): messages
 	// larger than twice this size are compressed and transferred chunk
@@ -176,6 +182,12 @@ type Header struct {
 	// that relay raw compressed payloads forward it unchanged and each
 	// hop can verify integrity without recompressing.
 	Checksum uint32
+	// Fallback marks a payload the sender deliberately left uncompressed
+	// because its codec circuit breaker is open for this peer — the
+	// degradation-negotiation bit piggybacked on the RTS, telling the
+	// receiver this was a policy decision rather than an ineligible
+	// message.
+	Fallback bool
 }
 
 // Ratio reports the achieved compression ratio of the message.
@@ -190,10 +202,25 @@ func (h Header) Ratio() float64 {
 // control packet. 28 fixed bytes plus 4 per partition.
 func (h Header) wireSize() int { return 28 + 4*len(h.PartBytes) }
 
+// Header flag bits (byte 1 of the wire encoding). A header without
+// Fallback encodes to exactly the pre-flag bytes (0 or 1), so enabling
+// the breaker feature costs nothing on the healthy path.
+const (
+	hdrFlagCompressed = 1 << 0
+	hdrFlagFallback   = 1 << 1
+)
+
 // Encode serializes the header (little-endian) for transport or storage.
 func (h Header) Encode() []byte {
+	var flags byte
+	if h.Compressed {
+		flags |= hdrFlagCompressed
+	}
+	if h.Fallback {
+		flags |= hdrFlagFallback
+	}
 	buf := make([]byte, 0, h.wireSize())
-	buf = append(buf, byte(h.Algo), b2u8(h.Compressed), byte(h.Rate), byte(h.Dim))
+	buf = append(buf, byte(h.Algo), flags, byte(h.Rate), byte(h.Dim))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.OrigBytes))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.CompBytes))
 	buf = binary.LittleEndian.AppendUint32(buf, h.Checksum)
@@ -213,7 +240,8 @@ func DecodeHeader(buf []byte) (Header, error) {
 	}
 	var h Header
 	h.Algo = Algorithm(buf[0])
-	h.Compressed = buf[1] != 0
+	h.Compressed = buf[1]&hdrFlagCompressed != 0
+	h.Fallback = buf[1]&hdrFlagFallback != 0
 	h.Rate = int(buf[2])
 	h.Dim = int(buf[3])
 	h.OrigBytes = int(binary.LittleEndian.Uint64(buf[4:]))
@@ -234,13 +262,6 @@ func DecodeHeader(buf []byte) (Header, error) {
 		h.PartBytes = append(h.PartBytes, pb)
 	}
 	return h, nil
-}
-
-func b2u8(b bool) byte {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // DefaultPartitions is the fine-tuned partition count per message size for

@@ -78,6 +78,10 @@ type Engine struct {
 	// growing) the pool mid-message, the engine degrades to the
 	// uncompressed path and the runtime stays live.
 	PoolFallbacks int
+	// FallbackRecvs counts received messages whose header carried the
+	// breaker's Fallback bit — the peer told us it degraded to the
+	// uncompressed path for this pair.
+	FallbackRecvs int
 	// ChecksumFailures counts end-to-end integrity verification failures
 	// observed by VerifyPayload.
 	ChecksumFailures int
@@ -94,6 +98,12 @@ type Engine struct {
 	// periodic compressibility probe.
 	crEstimate float64
 	probes     int
+
+	// brk is the per-peer codec circuit breaker (nil when disabled). It
+	// carries its own mutex, independent of e.mu: transports record
+	// failures from other ranks' goroutines and must not contend with an
+	// in-flight compression.
+	brk *Breaker
 }
 
 // RatioAchieved reports the cumulative compression ratio since the last
@@ -113,9 +123,11 @@ func (e *Engine) ResetCounters() {
 	defer e.mu.Unlock()
 	e.Stats.Reset()
 	e.Compressions, e.Decompressions, e.Bypasses = 0, 0, 0
-	e.PoolFallbacks, e.ChecksumFailures = 0, 0
+	e.PoolFallbacks, e.ChecksumFailures, e.FallbackRecvs = 0, 0, 0
 	e.BytesIn, e.BytesOut = 0, 0
 	e.Host = HostStats{}
+	// Breaker state deliberately survives: an open breaker reflects the
+	// peer's codec health, not this measurement window's accounting.
 }
 
 // HostSnapshot returns the accumulated host codec wall-clock stats.
@@ -143,6 +155,7 @@ func (e *Engine) runCodec(n int, job codecpool.Job) {
 func NewEngine(clk *simtime.Clock, dev *gpusim.GPUDevice, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), dev: dev}
 	e.codec = codecpool.Sized(e.cfg.Workers)
+	e.brk = NewBreaker(e.cfg.Breaker)
 	if e.cfg.Mode == ModeOpt && e.cfg.Algorithm != AlgoNone {
 		e.pool = gpusim.NewBufferPool(clk, dev, e.cfg.PoolBuffers, e.cfg.PoolBufBytes)
 		e.offPool = gpusim.NewBufferPool(clk, dev, e.cfg.PoolBuffers, 4*dev.Spec.SMs)
@@ -260,6 +273,75 @@ func (e *Engine) bypassLocked(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, H
 	view, hdr := e.bypassViewLocked(clk, buf)
 	return append([]byte(nil), view...), hdr
 }
+
+// Bypass produces the uncompressed wire form of buf — a checksummed
+// AlgoNone header over a snapshot of the bytes — regardless of the
+// message's compression eligibility. The runtime uses it when the codec
+// circuit breaker has opened for the destination: the message must still
+// travel, just not through the codec. Counted as a Bypass.
+func (e *Engine) Bypass(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Bypasses++
+	return e.bypassLocked(clk, buf)
+}
+
+// NoteFallbackRecv counts an arrived message whose header carried the
+// breaker's Fallback bit.
+func (e *Engine) NoteFallbackRecv() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.FallbackRecvs++
+}
+
+// --- codec circuit breaker wrappers (all no-ops when the breaker is
+// disabled; see breaker.go for the state machine) ---
+
+// BreakerAllow reports whether a message to dst may take the compressed
+// path now, possibly starting a half-open probe.
+func (e *Engine) BreakerAllow(dst int, now simtime.Time) bool {
+	if e == nil {
+		return true
+	}
+	return e.brk.Allow(dst, now)
+}
+
+// BreakerOpen reports whether dst's compressed path is currently rejected,
+// without driving any state transition.
+func (e *Engine) BreakerOpen(dst int, now simtime.Time) bool {
+	if e == nil {
+		return false
+	}
+	return e.brk.IsOpen(dst, now)
+}
+
+// BreakerEnabled reports whether this engine runs a codec breaker.
+func (e *Engine) BreakerEnabled() bool { return e != nil && e.brk != nil }
+
+// BreakerProbeAborted rearms a consumed half-open probe that could not
+// exercise the codec (the message was bypassed for unrelated reasons).
+func (e *Engine) BreakerProbeAborted(dst int) {
+	if e != nil {
+		e.brk.ProbeAborted(dst)
+	}
+}
+
+// BreakerFailure records a codec-path delivery failure toward dst.
+func (e *Engine) BreakerFailure(dst int, now simtime.Time) {
+	if e != nil {
+		e.brk.RecordFailure(dst, now)
+	}
+}
+
+// BreakerSuccess records a codec-path delivery success toward dst.
+func (e *Engine) BreakerSuccess(dst int) {
+	if e != nil {
+		e.brk.RecordSuccess(dst)
+	}
+}
+
+// BreakerSnapshot returns the breaker's counters (zero when disabled).
+func (e *Engine) BreakerSnapshot() BreakerStats { return e.brk.Stats() }
 
 // poolExhaustedLocked reports whether the ModeOpt staging pool cannot
 // serve a compression without growing.

@@ -263,3 +263,41 @@ func TestCompressPoolExhaustionFallsBack(t *testing.T) {
 		t.Fatal("compression did not recover after pool refill")
 	}
 }
+
+// FuzzHeaderFallbackBit attacks the degradation-negotiation bytes: any
+// input DecodeHeader accepts must survive a re-encode round trip with
+// every negotiated field — including the breaker's Fallback bit — intact,
+// and no input may panic the parser.
+func FuzzHeaderFallbackBit(f *testing.F) {
+	seed := Header{
+		Algo: AlgoMPC, Compressed: true, Fallback: true,
+		OrigBytes: 1 << 20, CompBytes: 1 << 18, Dim: 3,
+		PartBytes: []int{1 << 17, 1 << 17}, Checksum: 0x1234abcd,
+	}
+	f.Add(seed.Encode())
+	plain := Header{Algo: AlgoNone, OrigBytes: 64, CompBytes: 64}
+	f.Add(plain.Encode())
+	f.Add([]byte{})
+	f.Add(make([]byte, 28))
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		h, err := DecodeHeader(enc)
+		if err != nil {
+			return
+		}
+		got, err := DecodeHeader(h.Encode())
+		if err != nil {
+			t.Fatalf("re-encode of an accepted header was rejected: %v", err)
+		}
+		if got.Algo != h.Algo || got.Compressed != h.Compressed || got.Fallback != h.Fallback ||
+			got.Rate != h.Rate || got.Dim != h.Dim ||
+			got.OrigBytes != h.OrigBytes || got.CompBytes != h.CompBytes ||
+			got.Checksum != h.Checksum || len(got.PartBytes) != len(h.PartBytes) {
+			t.Fatalf("round trip drifted:\n in: %+v\nout: %+v", h, got)
+		}
+		for i := range h.PartBytes {
+			if got.PartBytes[i] != h.PartBytes[i] {
+				t.Fatalf("partition %d drifted: %d -> %d", i, h.PartBytes[i], got.PartBytes[i])
+			}
+		}
+	})
+}

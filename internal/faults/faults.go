@@ -35,6 +35,18 @@ const (
 	KindData
 	// KindEager is an eager-protocol message (header + payload in one).
 	KindEager
+	// KindCrash is a crash-stop process failure: the rank halts at a
+	// seeded onset instant and never communicates again.
+	KindCrash
+	// KindSilence is a silent-peer failure: the rank's process survives
+	// but from the onset instant none of its traffic reaches the fabric
+	// (a partitioned NIC, a wedged progress thread).
+	KindSilence
+	// KindCodec is a compression-path fault: the compressed payload of a
+	// transfer attempt is corrupted by the codec stage itself (a flaky
+	// compression engine), so falling back to the uncompressed path
+	// genuinely avoids it — unlike wire corruption, which hits any bytes.
+	KindCodec
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +60,12 @@ func (k Kind) String() string {
 		return "data"
 	case KindEager:
 		return "eager"
+	case KindCrash:
+		return "crash"
+	case KindSilence:
+		return "silence"
+	case KindCodec:
+		return "codec"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -64,6 +82,10 @@ const DefaultDegradeWindow = simtime.Millisecond
 // DefaultMaxFlips bounds the bit flips applied to one corrupted payload
 // when Config.MaxFlips is zero.
 const DefaultMaxFlips = 4
+
+// DefaultFailWindow is the virtual-time horizon within which a fated
+// rank's crash/silence onset is drawn when Config.FailWindow is zero.
+const DefaultFailWindow = 2 * simtime.Millisecond
 
 // Config describes the fault model of one run. The zero value injects
 // nothing (Enabled reports false).
@@ -89,11 +111,30 @@ type Config struct {
 	// MaxFlips bounds the bit flips per corrupted payload (0 means
 	// DefaultMaxFlips).
 	MaxFlips int
+	// CrashRate is the per-rank probability of a crash-stop failure: the
+	// rank halts at a seeded onset instant within FailWindow.
+	CrashRate float64
+	// SilentRate is the per-rank probability of a silent-peer failure
+	// (evaluated only for ranks that did not draw a crash): the rank's
+	// traffic stops reaching the fabric at the onset instant.
+	SilentRate float64
+	// FailWindow is the virtual-time horizon for crash/silence onsets
+	// (0 means DefaultFailWindow).
+	FailWindow simtime.Duration
+	// CodecRate is the per-attempt probability that the codec stage
+	// corrupts a *compressed* payload transfer. Uncompressed payloads are
+	// immune, which is what makes circuit-breaker fallback effective.
+	CodecRate float64
+	// CodecUntil, when positive, limits codec faults to transfer attempts
+	// whose ready instant is before this virtual time — a flaky codec
+	// that heals, used to exercise breaker half-open -> closed.
+	CodecUntil simtime.Duration
 }
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
-	return c.CorruptRate > 0 || c.DropRate > 0 || c.DegradeRate > 0
+	return c.CorruptRate > 0 || c.DropRate > 0 || c.DegradeRate > 0 ||
+		c.CrashRate > 0 || c.SilentRate > 0 || c.CodecRate > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFlips <= 0 {
 		c.MaxFlips = DefaultMaxFlips
 	}
+	if c.FailWindow <= 0 {
+		c.FailWindow = DefaultFailWindow
+	}
 	return c
 }
 
@@ -115,8 +159,18 @@ type Stats struct {
 	Drops       int64
 	Corruptions int64
 	Degrades    int64
-	// BitsFlipped totals the flipped bits over all corruptions.
+	// BitsFlipped totals the flipped bits over all corruptions (wire and
+	// codec alike).
 	BitsFlipped int64
+	// Crashes / Silences count ranks fated to crash-stop or go silent
+	// this run (counted when RankFate assigns the fate, once per rank,
+	// so the counters are identical for any host scheduling or worker-
+	// pool size).
+	Crashes  int64
+	Silences int64
+	// CodecCorruptions counts compressed-payload corruptions injected by
+	// the codec fault path.
+	CodecCorruptions int64
 }
 
 // Injector makes the per-event fault decisions. All methods are safe for
@@ -129,6 +183,9 @@ type Injector struct {
 	corruptions atomic.Int64
 	degrades    atomic.Int64
 	bitsFlipped atomic.Int64
+	crashes     atomic.Int64
+	silences    atomic.Int64
+	codecCorr   atomic.Int64
 }
 
 // New builds an injector for cfg. It returns nil when cfg injects nothing,
@@ -154,10 +211,13 @@ func (i *Injector) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Drops:       i.drops.Load(),
-		Corruptions: i.corruptions.Load(),
-		Degrades:    i.degrades.Load(),
-		BitsFlipped: i.bitsFlipped.Load(),
+		Drops:            i.drops.Load(),
+		Corruptions:      i.corruptions.Load(),
+		Degrades:         i.degrades.Load(),
+		BitsFlipped:      i.bitsFlipped.Load(),
+		Crashes:          i.crashes.Load(),
+		Silences:         i.silences.Load(),
+		CodecCorruptions: i.codecCorr.Load(),
 	}
 }
 
@@ -171,6 +231,9 @@ func (i *Injector) ResetStats() {
 	i.corruptions.Store(0)
 	i.degrades.Store(0)
 	i.bitsFlipped.Store(0)
+	i.codecCorr.Store(0)
+	// Crashes/Silences are per-run fate counts, not per-event counters, so
+	// they survive a reset: a benchmark repetition does not re-roll fates.
 }
 
 // ShouldDrop decides whether transmission attempt `attempt` of message
@@ -199,6 +262,16 @@ func (i *Injector) Corrupt(payload []byte, src, dst int, seq uint64, attempt int
 	if i.uniform(key) >= i.cfg.CorruptRate {
 		return payload, false
 	}
+	wire, flips := i.flipBits(payload, key)
+	i.corruptions.Add(1)
+	i.bitsFlipped.Add(int64(flips))
+	return wire, true
+}
+
+// flipBits returns a copy of payload with 1..MaxFlips deterministic bit
+// flips derived from the event key, plus the flip count. Shared by the
+// wire-corruption and codec-corruption paths.
+func (i *Injector) flipBits(payload []byte, key uint64) ([]byte, int) {
 	wire := append([]byte(nil), payload...)
 	h := splitmix64(uint64(i.cfg.Seed) ^ key ^ 0x9e3779b97f4a7c15)
 	flips := 1 + int(h%uint64(i.cfg.MaxFlips))
@@ -207,9 +280,58 @@ func (i *Injector) Corrupt(payload []byte, src, dst int, seq uint64, attempt int
 		bit := h % uint64(len(wire)*8)
 		wire[bit/8] ^= 1 << (bit % 8)
 	}
-	i.corruptions.Add(1)
+	return wire, flips
+}
+
+// CorruptCodec decides whether the codec stage corrupts attempt `attempt`
+// of the *compressed* payload transfer (src, dst, seq) whose transmission
+// starts at `at` on the virtual clock; when it does, it returns a flipped
+// copy and true. Callers must only invoke it for compressed payloads —
+// the uncompressed path bypasses the codec entirely, which is exactly the
+// escape hatch the circuit breaker exploits. With Config.CodecUntil set,
+// faults stop once `at` passes it (the codec "heals").
+func (i *Injector) CorruptCodec(payload []byte, src, dst int, seq uint64, attempt int, at simtime.Time) ([]byte, bool) {
+	if i == nil || i.cfg.CodecRate <= 0 || len(payload) == 0 {
+		return payload, false
+	}
+	if i.cfg.CodecUntil > 0 && at >= simtime.Time(i.cfg.CodecUntil) {
+		return payload, false
+	}
+	key := eventKey(uint64(KindCodec), 0x5ec7, src, dst, seq, attempt)
+	if i.uniform(key) >= i.cfg.CodecRate {
+		return payload, false
+	}
+	wire, flips := i.flipBits(payload, key)
+	i.codecCorr.Add(1)
 	i.bitsFlipped.Add(int64(flips))
 	return wire, true
+}
+
+// RankFate draws rank's process-failure fate: failed=false for a healthy
+// rank; otherwise the rank crash-stops (silent=false) or goes silent
+// (silent=true) at the returned onset instant, drawn uniformly within
+// Config.FailWindow. The crash roll is evaluated first; silence only for
+// ranks that did not draw a crash. Fate assignment IS the injection, so
+// the Crashes/Silences counters are bumped here — call it exactly once
+// per rank per run (mpi.NewWorld does).
+func (i *Injector) RankFate(rank int) (onset simtime.Time, silent, failed bool) {
+	if i == nil {
+		return 0, false, false
+	}
+	window := i.cfg.FailWindow
+	if i.cfg.CrashRate > 0 &&
+		i.uniform(eventKey(uint64(KindCrash), 0xc4a5, rank, 0, 0, 0)) < i.cfg.CrashRate {
+		u := i.uniform(eventKey(uint64(KindCrash), 0x0a5e, rank, 0, 1, 0))
+		i.crashes.Add(1)
+		return simtime.Time(float64(window) * u), false, true
+	}
+	if i.cfg.SilentRate > 0 &&
+		i.uniform(eventKey(uint64(KindSilence), 0x511e, rank, 0, 0, 0)) < i.cfg.SilentRate {
+		u := i.uniform(eventKey(uint64(KindSilence), 0x0a5e, rank, 0, 1, 0))
+		i.silences.Add(1)
+		return simtime.Time(float64(window) * u), true, true
+	}
+	return 0, false, false
 }
 
 // BandwidthFactor returns the link-bandwidth multiplier for a transfer

@@ -176,3 +176,140 @@ func TestDegradeWindowsAreTransient(t *testing.T) {
 		t.Fatalf("degradation not transient: %d healthy, %d degraded", healthy, degraded)
 	}
 }
+
+func TestRankFateDeterministicAndCounted(t *testing.T) {
+	cfg := Config{Seed: 17, CrashRate: 0.3, SilentRate: 0.3, FailWindow: 500 * simtime.Microsecond}
+	const ranks = 64
+	draw := func() (onsets []simtime.Time, silents, faileds []bool, st Stats) {
+		i := New(cfg)
+		for r := 0; r < ranks; r++ {
+			onset, silent, failed := i.RankFate(r)
+			onsets = append(onsets, onset)
+			silents = append(silents, silent)
+			faileds = append(faileds, failed)
+		}
+		return onsets, silents, faileds, i.Stats()
+	}
+	onsets, silents, faileds, st := draw()
+	o2, s2, f2, st2 := draw()
+	crashes, silences := int64(0), int64(0)
+	for r := 0; r < ranks; r++ {
+		if onsets[r] != o2[r] || silents[r] != s2[r] || faileds[r] != f2[r] {
+			t.Fatalf("rank %d fate differs across identical injectors", r)
+		}
+		if !faileds[r] {
+			if onsets[r] != 0 || silents[r] {
+				t.Errorf("healthy rank %d got onset=%v silent=%v", r, onsets[r], silents[r])
+			}
+			continue
+		}
+		if onsets[r] < 0 || onsets[r] >= simtime.Time(cfg.FailWindow) {
+			t.Errorf("rank %d onset %v outside [0, %v)", r, onsets[r], cfg.FailWindow)
+		}
+		if silents[r] {
+			silences++
+		} else {
+			crashes++
+		}
+	}
+	if crashes == 0 || silences == 0 {
+		t.Fatalf("seed produced crashes=%d silences=%d; pick rates that exercise both", crashes, silences)
+	}
+	if st.Crashes != crashes || st.Silences != silences {
+		t.Errorf("stats crashes=%d silences=%d, counted %d and %d", st.Crashes, st.Silences, crashes, silences)
+	}
+	if st != st2 {
+		t.Errorf("fate counters differ across identical injectors: %+v vs %+v", st, st2)
+	}
+}
+
+func TestResetStatsKeepsFateCounters(t *testing.T) {
+	i := New(Config{Seed: 17, CrashRate: 1, CodecRate: 1})
+	i.RankFate(0)
+	if _, hit := i.CorruptCodec([]byte{1, 2, 3, 4}, 0, 1, 0, 0, 0); !hit {
+		t.Fatal("CodecRate=1 did not corrupt")
+	}
+	st := i.Stats()
+	if st.Crashes != 1 || st.CodecCorruptions != 1 {
+		t.Fatalf("precondition: %+v", st)
+	}
+	i.ResetStats()
+	st = i.Stats()
+	if st.CodecCorruptions != 0 || st.BitsFlipped != 0 {
+		t.Errorf("per-event counters survived reset: %+v", st)
+	}
+	if st.Crashes != 1 {
+		t.Errorf("per-run fate counter was cleared by reset: %+v", st)
+	}
+}
+
+func TestCorruptCodec(t *testing.T) {
+	payload := []byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80}
+
+	// Rate 1: every compressed payload corrupts, the original is preserved.
+	i := New(Config{Seed: 3, CodecRate: 1})
+	orig := append([]byte(nil), payload...)
+	wire, hit := i.CorruptCodec(payload, 0, 1, 9, 0, 0)
+	if !hit {
+		t.Fatal("CodecRate=1 did not corrupt")
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("CorruptCodec mutated the caller's payload")
+	}
+	if bytes.Equal(wire, payload) {
+		t.Fatal("corrupted wire equals the original payload")
+	}
+	if st := i.Stats(); st.CodecCorruptions != 1 || st.BitsFlipped == 0 {
+		t.Errorf("stats after one corruption: %+v", st)
+	}
+
+	// Identical identity -> identical corruption; a different attempt
+	// draws independently.
+	wire2, _ := New(Config{Seed: 3, CodecRate: 1}).CorruptCodec(payload, 0, 1, 9, 0, 0)
+	if !bytes.Equal(wire, wire2) {
+		t.Error("same event identity corrupted differently")
+	}
+
+	// Rate 0 and the nil injector are no-ops.
+	if _, hit := New(Config{Seed: 3, DropRate: 0.5}).CorruptCodec(payload, 0, 1, 9, 0, 0); hit {
+		t.Error("CodecRate=0 corrupted")
+	}
+	var nilInj *Injector
+	if w, hit := nilInj.CorruptCodec(payload, 0, 1, 9, 0, 0); hit || !bytes.Equal(w, payload) {
+		t.Error("nil injector corrupted")
+	}
+
+	// CodecUntil heals the codec: instants at or past the bound pass
+	// untouched, instants before it still corrupt.
+	h := New(Config{Seed: 3, CodecRate: 1, CodecUntil: 100 * simtime.Microsecond})
+	if _, hit := h.CorruptCodec(payload, 0, 1, 9, 0, simtime.Time(100*simtime.Microsecond)); hit {
+		t.Error("healed codec still corrupts at the bound")
+	}
+	if _, hit := h.CorruptCodec(payload, 0, 1, 9, 0, simtime.Time(99*simtime.Microsecond)); !hit {
+		t.Error("codec already healed before CodecUntil")
+	}
+
+	// Empty payloads cannot corrupt.
+	if _, hit := i.CorruptCodec(nil, 0, 1, 9, 0, 0); hit {
+		t.Error("empty payload corrupted")
+	}
+}
+
+func TestCrashConfigEnables(t *testing.T) {
+	for _, cfg := range []Config{
+		{CrashRate: 0.1},
+		{SilentRate: 0.1},
+		{CodecRate: 0.1},
+	} {
+		if New(cfg) == nil {
+			t.Errorf("config %+v yielded a nil injector", cfg)
+		}
+	}
+	if New(Config{Seed: 5}) != nil {
+		t.Error("seed alone enabled injection")
+	}
+	// FailWindow defaults when a failure rate is set.
+	if got := New(Config{CrashRate: 0.1}).Config().FailWindow; got != DefaultFailWindow {
+		t.Errorf("FailWindow defaulted to %v, want %v", got, DefaultFailWindow)
+	}
+}

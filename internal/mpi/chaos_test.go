@@ -2,13 +2,18 @@ package mpi
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"mpicomp/internal/core"
 	"mpicomp/internal/faults"
+	"mpicomp/internal/gpusim"
 	"mpicomp/internal/hw"
 	"mpicomp/internal/simtime"
 )
@@ -358,5 +363,129 @@ func TestUserTagValidation(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChaosCrashSoakCollectives hammers every collective with seeded
+// crash-stop and silent-peer fates across several worlds. The contract
+// under this adversary: every error wraps one of the typed failure
+// sentinels, errors only appear in worlds that actually have fated ranks,
+// and no rank goroutine ever hangs. Seeds can be overridden with
+// CHAOS_SEED (comma-separated); CHAOS_STATS names a file to receive a
+// per-cell summary for CI artifacts.
+func TestChaosCrashSoakCollectives(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		seeds = nil
+		for _, s := range strings.Split(env, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				t.Fatalf("CHAOS_SEED %q: %v", env, err)
+			}
+			seeds = append(seeds, v)
+		}
+	}
+	const (
+		nodes = 4
+		ppn   = 2
+		words = 8 << 10
+		iters = 8
+	)
+	colls := []struct {
+		name string
+		run  func(r *Rank, send, recv *gpusim.Buffer) error
+	}{
+		{"barrier", func(r *Rank, _, _ *gpusim.Buffer) error { return r.Barrier() }},
+		{"bcast", func(r *Rank, send, _ *gpusim.Buffer) error { return r.Bcast(0, send) }},
+		{"allgather", func(r *Rank, send, recv *gpusim.Buffer) error {
+			return r.Allgather(send.Slice(0, send.Len()/r.Size()), recv)
+		}},
+		{"gather", func(r *Rank, send, recv *gpusim.Buffer) error {
+			return r.Gather(0, send.Slice(0, send.Len()/r.Size()), recv)
+		}},
+		{"scatter", func(r *Rank, send, recv *gpusim.Buffer) error {
+			return r.Scatter(0, send, recv.Slice(0, recv.Len()/r.Size()))
+		}},
+		{"reduce", func(r *Rank, send, recv *gpusim.Buffer) error { return r.ReduceSum(0, send, recv) }},
+		{"allreduce", func(r *Rank, send, recv *gpusim.Buffer) error { return r.AllreduceSum(send, recv) }},
+		{"ringallreduce", func(r *Rank, send, recv *gpusim.Buffer) error {
+			return r.RingAllreduceSum(send, recv)
+		}},
+		{"alltoall", func(r *Rank, send, recv *gpusim.Buffer) error { return r.Alltoall(send, recv) }},
+	}
+
+	var report strings.Builder
+	totalFailures := 0
+	for _, seed := range seeds {
+		for _, coll := range colls {
+			fcfg := &faults.Config{
+				Seed: seed, CrashRate: 0.18, SilentRate: 0.08,
+				FailWindow: 200 * simtime.Microsecond,
+			}
+			w := mustWorld(t, Options{
+				Cluster: hw.Longhorn(), Nodes: nodes, PPN: ppn,
+				Faults: fcfg,
+				Health: HealthPolicy{Deadline: 150 * simtime.Microsecond},
+			})
+			doomed := w.HealthStats().Doomed
+			fated := make(map[int]bool, len(doomed))
+			for _, id := range doomed {
+				fated[id] = true
+			}
+			vals := make([]float32, words)
+			for i := range vals {
+				vals[i] = float32(seed) + float32(i%29)
+			}
+			times, errs := w.RunAll(func(r *Rank) error {
+				send := devBuf(r, vals)
+				recv := emptyDevBuf(r, words)
+				for it := 0; it < iters; it++ {
+					if err := coll.run(r, send, recv); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			assertNoRankGoroutines(t)
+			cellFailures := 0
+			for id, err := range errs {
+				if err == nil {
+					continue
+				}
+				cellFailures++
+				if len(doomed) == 0 {
+					t.Errorf("seed %d %s: rank %d failed in a fault-free world: %v", seed, coll.name, id, err)
+					continue
+				}
+				if !(errors.Is(err, ErrPeerFailed) || errors.Is(err, ErrRankCrashed) || errors.Is(err, ErrRankSilent)) {
+					t.Errorf("seed %d %s: rank %d returned an untyped error: %v", seed, coll.name, id, err)
+				}
+			}
+			// A fated rank may legitimately finish a cheap collective
+			// before its onset arrives, but once its clock passes onset
+			// it must not keep reporting success: every MPI entry point
+			// checks health, so a nil error with a finish time past the
+			// fail window means a missed self-announcement.
+			inj := faults.New(*fcfg)
+			for id := range fated {
+				onset, _, _ := inj.RankFate(id)
+				if errs[id] == nil && times[id] > onset+simtime.Time(fcfg.FailWindow) {
+					t.Errorf("seed %d %s: fated rank %d (onset %v) completed at %v without noticing its own failure",
+						seed, coll.name, id, onset, times[id])
+				}
+			}
+			totalFailures += cellFailures
+			hs := w.HealthStats()
+			fmt.Fprintf(&report, "seed=%d coll=%s doomed=%v failures=%d wakeups=%d quiets=%d\n",
+				seed, coll.name, doomed, cellFailures, hs.WatchdogWakeups, hs.CascadeQuiets)
+		}
+	}
+	if totalFailures == 0 {
+		t.Error("soak produced zero failures across all seeds — fault rates too low to exercise anything")
+	}
+	if path := os.Getenv("CHAOS_STATS"); path != "" {
+		if err := os.WriteFile(path, []byte(report.String()), 0o644); err != nil {
+			t.Errorf("writing CHAOS_STATS: %v", err)
+		}
 	}
 }

@@ -23,18 +23,75 @@ const (
 	tagAllreduce
 )
 
+// collView is the dense rank space a collective runs over: the full world
+// normally, or the surviving subset once the world has shrunk (ULFM's
+// MPIX_Comm_shrink). Algorithms compute neighbors and tree edges in view
+// coordinates [0, size) and translate to world ranks through real(); the
+// identity view (live == nil) translates to the same world ranks — and
+// therefore the same message pattern and timings — as the pre-shrink code.
+type collView struct {
+	size  int
+	vrank int
+	live  []int // nil: identity (the full world)
+}
+
+// real maps a view coordinate to its world rank.
+func (v collView) real(vr int) int {
+	if v.live == nil {
+		return vr
+	}
+	return v.live[vr]
+}
+
+// vof maps a world rank to its view coordinate, -1 if excluded.
+func (v collView) vof(world int) int {
+	if v.live == nil {
+		return world
+	}
+	for i, id := range v.live {
+		if id == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// collView computes this rank's collective view. Fault-free worlds (and
+// worlds that have not shrunk) take the identity fast path; under an
+// active shrink, fated ranks are excluded and get an immediate error
+// (their quiesce cascades so survivors never wait on them).
+func (r *Rank) collView() (collView, error) {
+	if err := r.checkHealth(); err != nil {
+		return collView{}, err
+	}
+	w := r.world
+	if len(w.doomed) == 0 || !w.shrinkEnabled() {
+		return collView{size: w.size, vrank: r.id}, nil
+	}
+	v := collView{size: len(w.live), live: w.live}
+	v.vrank = v.vof(r.id)
+	if v.vrank < 0 {
+		return collView{}, fmt.Errorf("mpi: rank %d is fated and excluded from the shrunk communicator: %w", r.id, ErrPeerFailed)
+	}
+	return v, nil
+}
+
 // Barrier synchronizes all ranks (dissemination algorithm, O(log P)
 // rounds of small host messages).
 func (r *Rank) Barrier() error {
-	size := r.Size()
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	size := v.size
 	if size == 1 {
 		return nil
 	}
 	token := gpusim.NewHostBuffer(1)
 	scratch := gpusim.NewHostBuffer(1)
 	for k := 1; k < size; k <<= 1 {
-		dst := (r.id + k) % size
-		src := (r.id - k + size) % size
+		dst := v.real((v.vrank + k) % size)
+		src := v.real((v.vrank - k + size) % size)
 		if err := r.sendrecv(dst, tagBarrier, token, src, tagBarrier, scratch); err != nil {
 			return fmt.Errorf("mpi: barrier: %w", err)
 		}
@@ -68,11 +125,19 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
-	size := r.Size()
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	vroot := v.vof(root)
+	if vroot < 0 {
+		return r.world.peerError(root)
+	}
+	size := v.size
 	if size == 1 {
 		return nil
 	}
-	vrank := (r.id - root + size) % size
+	vrank := (v.vrank - vroot + size) % size
 
 	var payload []byte
 	var hdr core.Header
@@ -89,7 +154,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 	} else {
 		for mask < size {
 			if vrank&mask != 0 {
-				parent := ((vrank - mask) + root) % size
+				parent := v.real(((vrank - mask) + vroot) % size)
 				req, err := r.irecvRaw(parent, tagBcast)
 				if err != nil {
 					return err
@@ -110,7 +175,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 	var sends []*Request
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vrank+mask < size {
-			child := (vrank + mask + root) % size
+			child := v.real((vrank + mask + vroot) % size)
 			req, err := r.isendPayload(child, tagBcast, payload, hdr)
 			if err != nil {
 				return fmt.Errorf("mpi: bcast send: %w", err)
@@ -127,14 +192,20 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 }
 
 // Allgather gathers each rank's sendBuf into every rank's recvBuf
-// (recvBuf holds size * len(sendBuf) bytes, rank i's block at offset
-// i*len(sendBuf)) using the ring algorithm MVAPICH2 uses for large
-// messages.
+// (recvBuf holds world-size * len(sendBuf) bytes, rank i's block at
+// offset i*len(sendBuf)) using the ring algorithm MVAPICH2 uses for
+// large messages. Under an active shrink the ring runs over the
+// surviving subset; block offsets stay world-rank indexed, so fated
+// ranks' blocks are simply left untouched.
 func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
-	size := r.Size()
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	size := v.size
 	blk := sendBuf.Len()
-	if recvBuf.Len() != size*blk {
-		return fmt.Errorf("mpi: allgather recv buffer %d bytes, want %d", recvBuf.Len(), size*blk)
+	if recvBuf.Len() != r.Size()*blk {
+		return fmt.Errorf("mpi: allgather recv buffer %d bytes, want %d", recvBuf.Len(), r.Size()*blk)
 	}
 	// Own contribution (device-local copy).
 	own := recvBuf.Slice(r.id*blk, blk)
@@ -147,8 +218,8 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 	if size == 1 {
 		return nil
 	}
-	right := (r.id + 1) % size
-	left := (r.id - 1 + size) % size
+	right := v.real((v.vrank + 1) % size)
+	left := v.real((v.vrank - 1 + size) % size)
 
 	// Compression-aware ring: each rank compresses its own block once;
 	// at every step it forwards the compressed payload received in the
@@ -161,7 +232,7 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 	}
 	var todo *pending
 	for step := 0; step < size-1; step++ {
-		recvIdx := (r.id - step - 1 + size) % size
+		recvIdx := v.real((v.vrank - step - 1 + size) % size)
 		rreq, err := r.irecvRaw(left, tagAllgather)
 		if err != nil {
 			return err
@@ -193,8 +264,16 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 
 // Gather collects every rank's sendBuf into root's recvBuf (rank i's block
 // at offset i*len(sendBuf)). recvBuf is ignored on non-root ranks.
+//
+// Gather keeps abort semantics under failures (its block layout is
+// world-rank indexed, so there is no meaningful shrunk form): with a
+// fated rank in the world, every survivor's call surfaces ErrPeerFailed
+// within the watchdog deadline rather than hanging.
 func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	if err := r.checkHealth(); err != nil {
 		return err
 	}
 	blk := sendBuf.Len()
@@ -222,9 +301,13 @@ func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 
 // Scatter distributes root's sendBuf (rank i's block at offset
 // i*len(recvBuf)) into every rank's recvBuf. sendBuf is ignored on
-// non-root ranks.
+// non-root ranks. Like Gather, Scatter keeps abort semantics under
+// failures.
 func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
+		return err
+	}
+	if err := r.checkHealth(); err != nil {
 		return err
 	}
 	blk := recvBuf.Len()
@@ -256,8 +339,16 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
-	size := r.Size()
-	vrank := (r.id - root + size) % size
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	vroot := v.vof(root)
+	if vroot < 0 {
+		return r.world.peerError(root)
+	}
+	size := v.size
+	vrank := (v.vrank - vroot + size) % size
 	// Accumulator starts as a copy of the local contribution.
 	acc := append([]byte(nil), sendBuf.Data...)
 	tmp := &gpusim.Buffer{Data: make([]byte, len(acc)), Loc: sendBuf.Loc, Dev: sendBuf.Dev}
@@ -265,11 +356,11 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 
 	for mask := 1; mask < size; mask <<= 1 {
 		if vrank&mask != 0 {
-			parent := ((vrank &^ mask) + root) % size
+			parent := v.real(((vrank &^ mask) + vroot) % size)
 			return r.send(parent, tagReduce, accBuf)
 		}
 		if vrank+mask < size {
-			child := (vrank + mask + root) % size
+			child := v.real((vrank + mask + vroot) % size)
 			if err := r.recv(child, tagReduce, tmp); err != nil {
 				return fmt.Errorf("mpi: reduce recv: %w", err)
 			}
@@ -288,16 +379,25 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 // AllreduceSum computes the element-wise float32 sum into every rank's
 // recvBuf (reduce to rank 0 + broadcast — the paper leaves compressed
 // Allreduce as future work; this gives it the compressed p2p edges).
+// Under an active shrink the reduce roots at the lowest surviving rank.
 func (r *Rank) AllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
-	if err := r.ReduceSum(0, sendBuf, recvBuf); err != nil {
+	root := 0
+	if w := r.world; w.shrinkEnabled() && len(w.live) > 0 {
+		root = w.live[0]
+	}
+	if err := r.ReduceSum(root, sendBuf, recvBuf); err != nil {
 		return err
 	}
-	return r.Bcast(0, recvBuf)
+	return r.Bcast(root, recvBuf)
 }
 
 // Alltoall exchanges blocks between all pairs: rank i's j-th send block
 // lands in rank j's i-th receive block. Pairwise-exchange algorithm.
+// Alltoall keeps abort semantics under failures (world-indexed blocks).
 func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
+	if err := r.checkHealth(); err != nil {
+		return err
+	}
 	size := r.Size()
 	if sendBuf.Len()%size != 0 || recvBuf.Len() != sendBuf.Len() {
 		return fmt.Errorf("mpi: alltoall buffers must be equal and divisible by %d ranks", size)
@@ -357,6 +457,11 @@ func (r *Rank) BcastScatterAllgather(root int, buf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
+	// Scatter's block layout has no shrunk form; once the world has
+	// shrunk around failures, fall back to the (view-aware) binomial tree.
+	if w := r.world; w.shrinkEnabled() && len(w.doomed) > 0 {
+		return r.Bcast(root, buf)
+	}
 	size := r.Size()
 	if size == 1 {
 		return nil
@@ -392,6 +497,11 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 		return err
 	}
 	w := r.world
+	// The leader topology assumes every node's first rank is alive; once
+	// the world has shrunk, fall back to the view-aware binomial tree.
+	if w.shrinkEnabled() && len(w.doomed) > 0 {
+		return r.Bcast(root, buf)
+	}
 	ppn := w.ppn
 	if ppn == 1 || w.nodes == 1 {
 		return r.Bcast(root, buf)
@@ -464,7 +574,11 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 // float32 data; sizes not divisible into aligned blocks fall back to
 // reduce+broadcast.
 func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
-	size := r.Size()
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	size := v.size
 	if recvBuf.Len() != sendBuf.Len() {
 		return fmt.Errorf("mpi: ring allreduce buffers differ: %d vs %d", sendBuf.Len(), recvBuf.Len())
 	}
@@ -477,16 +591,17 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	}
 	blk := sendBuf.Len() / size
 	copy(recvBuf.Data, sendBuf.Data)
-	right := (r.id + 1) % size
-	left := (r.id - 1 + size) % size
+	right := v.real((v.vrank + 1) % size)
+	left := v.real((v.vrank - 1 + size) % size)
 	scratch := &gpusim.Buffer{Data: make([]byte, blk), Loc: recvBuf.Loc, Dev: recvBuf.Dev}
 
 	// Phase 1: reduce-scatter. After step s, the block each rank just
-	// received accumulates one more contribution; after P-1 steps rank i
-	// holds the fully reduced block (i+1) mod P.
+	// received accumulates one more contribution; after P-1 steps view
+	// rank i holds the fully reduced block (i+1) mod P. Block indices
+	// are view coordinates — all participants agree on the partition.
 	for step := 0; step < size-1; step++ {
-		sendIdx := (r.id - step + size) % size
-		recvIdx := (r.id - step - 1 + size) % size
+		sendIdx := (v.vrank - step + size) % size
+		recvIdx := (v.vrank - step - 1 + size) % size
 		sb := recvBuf.Slice(sendIdx*blk, blk)
 		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, scratch); err != nil {
 			return fmt.Errorf("mpi: ring reduce-scatter step %d: %w", step, err)
@@ -495,8 +610,8 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	}
 	// Phase 2: allgather the reduced blocks around the ring.
 	for step := 0; step < size-1; step++ {
-		sendIdx := (r.id + 1 - step + size) % size
-		recvIdx := (r.id - step + size) % size
+		sendIdx := (v.vrank + 1 - step + size) % size
+		recvIdx := (v.vrank - step + size) % size
 		sb := recvBuf.Slice(sendIdx*blk, blk)
 		rb := recvBuf.Slice(recvIdx*blk, blk)
 		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, rb); err != nil {

@@ -14,6 +14,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpicomp/internal/core"
 	"mpicomp/internal/faults"
@@ -77,17 +78,23 @@ func (p RetryPolicy) limit() int {
 }
 
 // delay returns the backoff before retransmission attempt+1 (attempt is
-// the zero-based attempt that just failed).
+// the zero-based attempt that just failed). The doubling is clamped at
+// maxRetryBackoff with an explicit wrap guard, so arbitrarily large
+// attempt counts (or a huge configured Backoff) cannot overflow the
+// virtual Duration into a negative delay.
 func (p RetryPolicy) delay(attempt int) simtime.Duration {
 	d := p.Backoff
 	if d <= 0 {
 		d = DefaultRetryBackoff
 	}
-	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
-		d *= 2
+	if d >= maxRetryBackoff {
+		return maxRetryBackoff
 	}
-	if d > maxRetryBackoff {
-		d = maxRetryBackoff
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= maxRetryBackoff || d < 0 {
+			return maxRetryBackoff
+		}
 	}
 	return d
 }
@@ -119,6 +126,10 @@ type Options struct {
 	// consulted when faults are injected (a perfect fabric never
 	// retries). The zero value selects the defaults.
 	Retry RetryPolicy
+	// Health configures the progress watchdog and collective failure
+	// semantics (see HealthPolicy). The zero value selects the defaults;
+	// it only matters when Faults draws crash/silence fates.
+	Health HealthPolicy
 }
 
 // World is one simulated MPI job.
@@ -132,6 +143,20 @@ type World struct {
 	tracer     *trace.Collector
 	inj        *faults.Injector
 	retry      RetryPolicy
+
+	// Failure handling (see health.go). doomed/live are fixed at
+	// initialization — fate assignment is deterministic per seed — so
+	// every survivor observes the identical failed set.
+	health HealthPolicy
+	doomed []int
+	live   []int
+	shrunk atomic.Bool
+
+	announceMu sync.Mutex
+	announced  map[int]bool
+
+	watchdogWakeups atomic.Int64
+	cascadeQuiets   atomic.Int64
 }
 
 // NewWorld builds the job: fabric, devices, per-rank engines (paying
@@ -163,6 +188,7 @@ func NewWorld(opt Options) (*World, error) {
 		fabric:     netsim.NewFabric(opt.Cluster, opt.Nodes),
 		tracer:     opt.Tracer,
 		retry:      opt.Retry,
+		health:     opt.Health.withDefaults(),
 	}
 	if opt.Faults != nil {
 		w.inj = faults.New(*opt.Faults) // nil when the config is disabled
@@ -183,10 +209,24 @@ func NewWorld(opt Options) (*World, error) {
 			Clock:   simtime.NewClock(0),
 			Dev:     dev,
 			Engine:  eng,
-			box:     newMailbox(),
+			box:     newMailbox(w),
 			sendSeq: make([]uint64, w.size),
 		}
 		w.ranks = append(w.ranks, r)
+	}
+	// Draw process-failure fates once per rank (fate assignment IS the
+	// injection; see faults.RankFate). Purely seed-driven, so doomed/live
+	// are identical for any host scheduling or worker-pool size.
+	if w.inj != nil {
+		for id := 0; id < w.size; id++ {
+			if onset, silent, failed := w.inj.RankFate(id); failed {
+				w.ranks[id].fate = &rankFate{onset: onset, silent: silent}
+				w.doomed = append(w.doomed, id)
+			}
+		}
+		if len(w.doomed) > 0 {
+			w.buildLive()
+		}
 	}
 	return w, nil
 }
@@ -233,6 +273,24 @@ func (w *World) ResetClocks() {
 // It returns the final per-rank clock values (the job's simulated
 // timeline) and the first error any rank produced.
 func (w *World) Run(fn func(r *Rank) error) ([]simtime.Time, error) {
+	times, errs := w.RunAll(fn)
+	for _, err := range errs {
+		if err != nil {
+			return times, err
+		}
+	}
+	return times, nil
+}
+
+// RunAll is Run exposing every rank's error — failure tests assert that
+// all survivors observe the same failed set, not just the first.
+//
+// A rank returning an error (or panicking) quiesces: it will issue no
+// further sends, so its mailbox is swept and peers blocked on it are
+// woken with PeerError instead of hanging — the cascade that propagates
+// a crash through a collective deterministically (see health.go). Ranks
+// that return nil trigger no sweep, so healthy runs are untouched.
+func (w *World) RunAll(fn func(r *Rank) error) ([]simtime.Time, []error) {
 	var wg sync.WaitGroup
 	errs := make([]error, w.size)
 	for _, r := range w.ranks {
@@ -242,9 +300,13 @@ func (w *World) Run(fn func(r *Rank) error) ([]simtime.Time, error) {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[r.id] = fmt.Errorf("mpi: rank %d panicked: %v", r.id, p)
+					w.announceQuiet(r.id)
 				}
 			}()
 			errs[r.id] = fn(r)
+			if errs[r.id] != nil {
+				w.announceQuiet(r.id)
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -252,12 +314,7 @@ func (w *World) Run(fn func(r *Rank) error) ([]simtime.Time, error) {
 	for i, r := range w.ranks {
 		times[i] = r.Clock.Now()
 	}
-	for _, err := range errs {
-		if err != nil {
-			return times, err
-		}
-	}
-	return times, nil
+	return times, errs
 }
 
 // MaxTime returns the latest of the given instants (the job makespan).
@@ -283,6 +340,9 @@ type Rank struct {
 	// Engine is the rank's on-the-fly compression engine.
 	Engine *core.Engine
 	box    *mailbox
+	// fate is this rank's precomputed process failure (nil for a healthy
+	// rank — the common case, checked with one pointer test per call).
+	fate *rankFate
 	// sendSeq[dst] numbers this rank's messages to dst. The counter
 	// advances in the rank goroutine's program order, so a message's
 	// (src, dst, seq) identity — which the fault injector hashes — is

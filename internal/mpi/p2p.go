@@ -67,7 +67,19 @@ type envelope struct {
 	// pipelined rendezvous (chunked) state
 	pipelined bool
 	chunks    []chunkPart
+
+	// fb, when non-nil, regenerates this message as an uncompressed wire
+	// payload (the sender still owns the user buffer until Wait). The
+	// transport invokes it mid-retry when the codec circuit breaker opens
+	// on the pair, so even the message whose failures tripped the breaker
+	// completes within its retry budget.
+	fb wireFallback
 }
+
+// wireFallback rebuilds a message's uncompressed wire form at virtual
+// instant `at`, returning the payload, its header (Fallback set), and the
+// virtual cost of producing it (the checksum pass).
+type wireFallback func(at simtime.Time) ([]byte, core.Header, simtime.Duration)
 
 // recvPost is a posted (but not yet matched) receive.
 type recvPost struct {
@@ -80,13 +92,26 @@ type recvPost struct {
 // mailbox implements MPI matching semantics: posted receives match
 // incoming envelopes in arrival order, with wildcard source/tag;
 // unmatched envelopes queue as "unexpected messages".
+//
+// The failure fields are written only by the watchdog sweep (health.go):
+// dead marks the owner itself failed — senders get failErr instead of
+// queuing — and failedSrcs records announced peer failures so receives
+// posted after the sweep still observe them.
 type mailbox struct {
 	mu         sync.Mutex
 	unexpected []*envelope
 	posted     []*recvPost
+
+	dead       bool
+	deadAt     simtime.Time
+	failErr    error
+	failedSrcs map[int]srcFail
+
+	// world backlinks for the watchdog (deadline, wakeup accounting).
+	world *World
 }
 
-func newMailbox() *mailbox { return &mailbox{} }
+func newMailbox(w *World) *mailbox { return &mailbox{world: w} }
 
 func tagMatches(postTag, msgTag int) bool { return postTag == AnyTag || postTag == msgTag }
 func srcMatches(postSrc, msgSrc int) bool { return postSrc == AnySource || postSrc == msgSrc }
@@ -97,6 +122,14 @@ func srcMatches(postSrc, msgSrc int) bool { return postSrc == AnySource || postS
 // computed here, so neither side ever depends on the other reaching Wait.
 func (m *mailbox) deliver(env *envelope) {
 	m.mu.Lock()
+	if m.dead {
+		onset, err := m.deadAt, m.failErr
+		m.mu.Unlock()
+		// The receiver is gone: the envelope never queues, and a waiting
+		// sender times out at the watchdog deadline.
+		m.world.failSend(env, onset, err)
+		return
+	}
 	for i, p := range m.posted {
 		if srcMatches(p.src, env.src) && tagMatches(p.tag, env.tag) {
 			m.posted = append(m.posted[:i], m.posted[i+1:]...)
@@ -112,7 +145,9 @@ func (m *mailbox) deliver(env *envelope) {
 
 // post registers a receive. If an unexpected envelope already matches it
 // is returned immediately (match completed); otherwise the receive queues
-// and the caller waits on p.matched.
+// and the caller waits on p.matched. Real messages win over announced
+// failures: the unexpected queue is scanned before the failed-source
+// table, so a message a rank sent before dying is still received.
 func (m *mailbox) post(p *recvPost) *envelope {
 	m.mu.Lock()
 	for i, env := range m.unexpected {
@@ -123,9 +158,36 @@ func (m *mailbox) post(p *recvPost) *envelope {
 			return env
 		}
 	}
+	if src, f, ok := m.failedFor(p.src); ok {
+		m.mu.Unlock()
+		t := simtime.Max(p.postTime, f.onset).Add(m.world.health.Deadline)
+		m.world.watchdogWakeups.Add(1)
+		return failEnvelope(src, p.tag, t, f.err)
+	}
 	m.posted = append(m.posted, p)
 	m.mu.Unlock()
 	return nil
+}
+
+// failedFor looks up an announced failure matching a posted source: the
+// exact rank, or — for AnySource, which cannot rule a dead sender out —
+// the lowest announced rank, so the choice is deterministic. Called with
+// m.mu held.
+func (m *mailbox) failedFor(postSrc int) (int, srcFail, bool) {
+	if len(m.failedSrcs) == 0 {
+		return 0, srcFail{}, false
+	}
+	if postSrc != AnySource {
+		f, ok := m.failedSrcs[postSrc]
+		return postSrc, f, ok
+	}
+	best := -1
+	for id := range m.failedSrcs {
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	return best, m.failedSrcs[best], true
 }
 
 // controlArrival computes the arrival of a small control packet (RTS/CTS)
@@ -186,6 +248,64 @@ func (w *World) deliverPayload(kind faults.Kind, src, dst int, seq uint64, srcNo
 	}
 }
 
+// deliverData is deliverPayload for the rendezvous data stage, where the
+// payload travels with a full compression header. On top of the wire
+// fault model it injects codec-stage corruption (compressed payloads
+// only) and drives the sender's per-peer circuit breaker: every corrupted
+// compressed attempt records a failure, every delivered one a success,
+// and when the breaker opens mid-retry the remaining attempts switch to
+// the uncompressed wire form via fb — so even the message whose failures
+// tripped the breaker completes within its retry budget. The possibly
+// swapped header is returned for the receiver to decode with.
+func (w *World) deliverData(src, dst int, seq uint64, srcNode, dstNode int, ready simtime.Time, payload []byte, hdr core.Header, fb wireFallback) ([]byte, core.Header, simtime.Time, error) {
+	eng := w.ranks[src].Engine
+	limit := w.retry.limit()
+	for attempt := 0; ; attempt++ {
+		if w.inj.ShouldDrop(faults.KindData, src, dst, seq, attempt) {
+			if attempt >= limit {
+				return nil, hdr, ready, fmt.Errorf("mpi: %v %d->%d seq %d lost after %d attempts: %w",
+					faults.KindData, src, dst, seq, attempt+1, ErrDeliveryFailed)
+			}
+			ready = ready.Add(w.retry.delay(attempt))
+			continue
+		}
+		wire, corrupted := w.inj.Corrupt(payload, src, dst, seq, attempt)
+		if !corrupted && hdr.Compressed {
+			// The codec fault path only ever touches compressed payloads:
+			// a flaky compression engine cannot corrupt bytes it never
+			// processes, which is exactly why breaker fallback works.
+			wire, corrupted = w.inj.CorruptCodec(wire, src, dst, seq, attempt, ready)
+		}
+		arrival := w.fabric.Transfer(srcNode, dstNode, ready, len(wire))
+		if !corrupted || core.Checksum(wire) == hdr.Checksum {
+			if hdr.Compressed {
+				eng.BreakerSuccess(dst)
+			}
+			return wire, hdr, arrival, nil
+		}
+		// The receiver's verification pass detects the corruption and
+		// NACKs; the sender retransmits after backoff.
+		verified := arrival.Add(simtime.ThroughputTime(len(wire), w.cluster.GPU.MemBWGBps*8))
+		if hdr.Compressed {
+			eng.BreakerFailure(dst, verified)
+		}
+		if attempt >= limit {
+			return nil, hdr, verified, fmt.Errorf("mpi: %v %d->%d seq %d corrupted after %d attempts: %w",
+				faults.KindData, src, dst, seq, attempt+1, ErrDeliveryFailed)
+		}
+		nack := w.fabric.ControlMessage(dstNode, srcNode, verified)
+		ready = simtime.Max(ready, nack.Add(w.retry.delay(attempt)))
+		if fb != nil && hdr.Compressed && eng.BreakerOpen(dst, ready) {
+			// The breaker just opened on this pair: degrade the in-flight
+			// message to its uncompressed form for the remaining attempts.
+			var cost simtime.Duration
+			payload, hdr, cost = fb(ready)
+			ready = ready.Add(cost)
+			fb = nil
+		}
+	}
+}
+
 // completeMatch performs the rendezvous protocol's receiver-side steps
 // (Figure 4, steps 4-5): record the match, stage the temporary device
 // buffer for the compressed payload, send the CTS, and compute the data
@@ -227,8 +347,8 @@ func completeMatch(p *recvPost, env *envelope) {
 	// The RDMA transfer is posted by the sender's HCA when the CTS
 	// arrives; the sender's CPU is not involved.
 	ready := simtime.Max(env.sendPost, cts)
-	wire, arrival, err := w.deliverPayload(faults.KindData, env.src, r.id, env.seq,
-		srcNode, dstNode, ready, env.payload, env.hdr.Checksum)
+	wire, hdr, arrival, err := w.deliverData(env.src, r.id, env.seq,
+		srcNode, dstNode, ready, env.payload, env.hdr, env.fb)
 	if err != nil {
 		env.deliveryErr = err
 		env.dataArrival = arrival
@@ -236,6 +356,7 @@ func completeMatch(p *recvPost, env *envelope) {
 		return
 	}
 	env.payload = wire
+	env.hdr = hdr
 	env.dataArrival = arrival
 	w.tracer.Add(fmt.Sprintf("net %d->%d", env.src, r.id), "transfer", ready, env.dataArrival)
 	env.senderDone <- sendOutcome{t: env.dataArrival}
@@ -298,6 +419,9 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 	if err := r.checkPeer(dst); err != nil {
 		return nil, err
 	}
+	if err := r.checkHealth(); err != nil {
+		return nil, err
+	}
 	w := r.world
 	dstRank := w.ranks[dst]
 	seq := r.nextSeq(dst)
@@ -325,9 +449,42 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 
 	// Rendezvous: compress (steps 1-3), then RTS with the piggybacked
 	// header (step 4). The engine sees the destination link's bandwidth
-	// so the dynamic-selection extension can gate per message.
+	// so the dynamic-selection extension can gate per message. An open
+	// codec circuit breaker for this destination overrides compression
+	// entirely: the payload goes uncompressed with the Fallback bit set
+	// on the RTS header (the degradation negotiation), skipping the
+	// codec whose failures tripped the breaker.
+	var payload []byte
+	var hdr core.Header
+	var fb wireFallback
 	link := w.fabric.LinkFor(r.Node(), w.nodeOf(dst))
-	payload, hdr := r.Engine.CompressForLink(r.Clock, buf, link.BandwidthGBps)
+	eligible := r.Engine.ShouldCompress(buf)
+	if eligible && !r.Engine.BreakerAllow(dst, r.Clock.Now()) {
+		payload, hdr = r.Engine.Bypass(r.Clock, buf)
+		hdr.Fallback = true
+	} else {
+		payload, hdr = r.Engine.CompressForLink(r.Clock, buf, link.BandwidthGBps)
+		switch {
+		case hdr.Compressed && r.Engine.BreakerEnabled():
+			// Mid-message degradation hook: if the breaker opens while
+			// this message retries, the transport regenerates it
+			// uncompressed. The closure reads buf, which MPI semantics
+			// keep frozen until Wait completes the send.
+			eng, src := r.Engine, buf
+			fb = func(at simtime.Time) ([]byte, core.Header, simtime.Duration) {
+				clk := simtime.NewClock(at)
+				p, h := eng.Bypass(clk, src)
+				h.Fallback = true
+				return p, h, clk.Now().Sub(at)
+			}
+		case eligible && !hdr.Compressed:
+			// The breaker allowed this send — possibly consuming its
+			// half-open probe — but the engine bypassed anyway (dynamic
+			// gating, pool exhaustion), proving nothing about the codec;
+			// rearm so the next send probes again.
+			r.Engine.BreakerProbeAborted(dst)
+		}
+	}
 	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
 		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
@@ -338,6 +495,7 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 		sendPost:    r.Clock.Now(),
 		senderDone:  make(chan sendOutcome, 1),
 		deliveryErr: rtsErr,
+		fb:          fb,
 	}
 	req := &Request{rank: r, isSend: true, env: env}
 	dstRank.box.deliver(env)
@@ -360,6 +518,9 @@ func (r *Rank) irecv(src, tag int, buf *gpusim.Buffer) (*Request, error) {
 		if err := r.checkPeer(src); err != nil {
 			return nil, err
 		}
+	}
+	if err := r.checkHealth(); err != nil {
+		return nil, err
 	}
 	p := &recvPost{src: src, tag: tag, postTime: r.Clock.Now(), matched: make(chan *envelope, 1), rank: r}
 	req := &Request{rank: r, buf: buf, post: p}
@@ -462,6 +623,9 @@ func (r *Rank) waitRecv(req *Request) error {
 		r.Engine.ReleaseRecv(r.Clock, env.staged)
 		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, req.buf.Len())
 	}
+	if env.hdr.Fallback {
+		r.Engine.NoteFallbackRecv()
+	}
 	if env.staged != nil {
 		copy(env.staged.Data, env.payload)
 	}
@@ -521,6 +685,9 @@ func (r *Rank) isendPayload(dst, tag int, payload []byte, hdr core.Header) (*Req
 	if err := r.checkPeer(dst); err != nil {
 		return nil, err
 	}
+	if err := r.checkHealth(); err != nil {
+		return nil, err
+	}
 	w := r.world
 	seq := r.nextSeq(dst)
 	r.Clock.Advance(simtime.FromMicroseconds(0.3))
@@ -556,6 +723,9 @@ func (r *Rank) irecvRaw(src, tag int) (*Request, error) {
 			return nil, err
 		}
 	}
+	if err := r.checkHealth(); err != nil {
+		return nil, err
+	}
 	p := &recvPost{src: src, tag: tag, postTime: r.Clock.Now(), matched: make(chan *envelope, 1), rank: r}
 	req := &Request{rank: r, post: p, wantRaw: true}
 	req.early = r.box.post(p)
@@ -589,6 +759,9 @@ func (r *Rank) waitRecvRaw(req *Request) error {
 	if env.deliveryErr != nil {
 		r.Engine.ReleaseRecv(r.Clock, env.staged)
 		return env.deliveryErr
+	}
+	if env.hdr.Fallback {
+		r.Engine.NoteFallbackRecv()
 	}
 	if env.staged != nil {
 		copy(env.staged.Data, env.payload)

@@ -123,8 +123,8 @@ func completePipelinedMatch(p *recvPost, env *envelope) {
 		// Each chunk gets its own fault identity: the message seq shifted
 		// left with the chunk index mixed in, so chunk fates are
 		// independent and still deterministic.
-		wire, arrival, err := w.deliverPayload(faults.KindData, env.src, r.id,
-			env.seq<<16|uint64(i), srcNode, dstNode, ready, c.payload, c.hdr.Checksum)
+		wire, hdr, arrival, err := w.deliverData(env.src, r.id,
+			env.seq<<16|uint64(i), srcNode, dstNode, ready, c.payload, c.hdr, nil)
 		if err != nil {
 			// One chunk out of budget fails the whole message; later
 			// chunks are not transferred.
@@ -134,6 +134,7 @@ func completePipelinedMatch(p *recvPost, env *envelope) {
 			return
 		}
 		c.payload = wire
+		c.hdr = hdr
 		c.arrival = arrival
 		w.tracer.Add(track, fmt.Sprintf("chunk %d", i), ready, c.arrival)
 		if c.arrival > last {

@@ -38,6 +38,10 @@ type Fabric struct {
 	// Traffic accounting (INAM-style monitoring).
 	egBytes, inBytes, intraBytes []*atomic.Int64
 	egMsgs, inMsgs, intraMsgs    []*atomic.Int64
+	// Control-plane accounting: RTS/CTS/ack/NACK packets per node. A
+	// retry storm (fault injection) shows up here long before it moves
+	// the byte counters, so the watchdog/chaos harness reads these.
+	ctrlSent, ctrlRecv []*atomic.Int64
 }
 
 // NewFabric builds the fabric for nodes nodes of the given cluster.
@@ -53,6 +57,8 @@ func NewFabric(cluster hw.Cluster, nodes int) *Fabric {
 		f.egMsgs = append(f.egMsgs, new(atomic.Int64))
 		f.inMsgs = append(f.inMsgs, new(atomic.Int64))
 		f.intraMsgs = append(f.intraMsgs, new(atomic.Int64))
+		f.ctrlSent = append(f.ctrlSent, new(atomic.Int64))
+		f.ctrlRecv = append(f.ctrlRecv, new(atomic.Int64))
 	}
 	return f
 }
@@ -125,6 +131,8 @@ func (f *Fabric) Transfer(srcNode, dstNode int, ready simtime.Time, n int) simti
 func (f *Fabric) ControlMessage(srcNode, dstNode int, ready simtime.Time) simtime.Time {
 	f.checkNode(srcNode)
 	f.checkNode(dstNode)
+	f.ctrlSent[srcNode].Add(1)
+	f.ctrlRecv[dstNode].Add(1)
 	link := f.LinkFor(srcNode, dstNode)
 	return ready.Add(link.PerMsgOverhead + link.Latency)
 }
@@ -142,6 +150,8 @@ func (f *Fabric) Reset() {
 		f.egMsgs[i].Store(0)
 		f.inMsgs[i].Store(0)
 		f.intraMsgs[i].Store(0)
+		f.ctrlSent[i].Store(0)
+		f.ctrlRecv[i].Store(0)
 	}
 }
 
@@ -162,6 +172,10 @@ type NodeStats struct {
 	Egress  LinkStats
 	Ingress LinkStats
 	Intra   LinkStats
+	// ControlSent / ControlRecv count control packets (RTS/CTS/ack/NACK)
+	// originated by / addressed to this node since the last Reset.
+	ControlSent int64
+	ControlRecv int64
 }
 
 // Stats returns per-node traffic counters.
@@ -169,9 +183,11 @@ func (f *Fabric) Stats() []NodeStats {
 	out := make([]NodeStats, f.nodes)
 	for i := 0; i < f.nodes; i++ {
 		out[i] = NodeStats{
-			Egress:  LinkStats{Bytes: f.egBytes[i].Load(), Messages: f.egMsgs[i].Load(), BusyUntil: f.egress[i].BusyUntil()},
-			Ingress: LinkStats{Bytes: f.inBytes[i].Load(), Messages: f.inMsgs[i].Load(), BusyUntil: f.ingress[i].BusyUntil()},
-			Intra:   LinkStats{Bytes: f.intraBytes[i].Load(), Messages: f.intraMsgs[i].Load(), BusyUntil: f.intra[i].BusyUntil()},
+			Egress:      LinkStats{Bytes: f.egBytes[i].Load(), Messages: f.egMsgs[i].Load(), BusyUntil: f.egress[i].BusyUntil()},
+			Ingress:     LinkStats{Bytes: f.inBytes[i].Load(), Messages: f.inMsgs[i].Load(), BusyUntil: f.ingress[i].BusyUntil()},
+			Intra:       LinkStats{Bytes: f.intraBytes[i].Load(), Messages: f.intraMsgs[i].Load(), BusyUntil: f.intra[i].BusyUntil()},
+			ControlSent: f.ctrlSent[i].Load(),
+			ControlRecv: f.ctrlRecv[i].Load(),
 		}
 	}
 	return out

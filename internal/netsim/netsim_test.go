@@ -251,3 +251,30 @@ func TestDegradedLinkStretchesTransfers(t *testing.T) {
 		t.Fatal("degrade decisions not counted")
 	}
 }
+
+func TestControlTrafficAccounting(t *testing.T) {
+	f := NewFabric(hw.Longhorn(), 3)
+	f.ControlMessage(0, 1, 0)
+	f.ControlMessage(0, 2, 0)
+	f.ControlMessage(2, 0, 0)
+	st := f.Stats()
+	wantSent := []int64{2, 0, 1}
+	wantRecv := []int64{1, 1, 1}
+	for n := range st {
+		if st[n].ControlSent != wantSent[n] || st[n].ControlRecv != wantRecv[n] {
+			t.Errorf("node %d control sent=%d recv=%d, want %d/%d",
+				n, st[n].ControlSent, st[n].ControlRecv, wantSent[n], wantRecv[n])
+		}
+	}
+	// Data transfers are not control packets.
+	f.Transfer(0, 1, 0, 1<<20)
+	if st := f.Stats(); st[0].ControlSent != 2 {
+		t.Errorf("Transfer bumped control counters: %d", st[0].ControlSent)
+	}
+	f.Reset()
+	for n, s := range f.Stats() {
+		if s.ControlSent != 0 || s.ControlRecv != 0 {
+			t.Errorf("node %d control counters survived Reset: %+v", n, s)
+		}
+	}
+}
