@@ -143,6 +143,8 @@ func (e *Engine) CodecWorkers() int { return e.codec.Workers() }
 
 // runCodec executes a job's parts on the worker pool, accounting the
 // real elapsed wall-clock to Host. Called with e.mu held.
+//
+//simlint:wallclock HostStats measures real host codec throughput; it never feeds simulated time
 func (e *Engine) runCodec(n int, job codecpool.Job) {
 	start := time.Now()
 	e.codec.Run(n, job)

@@ -101,6 +101,17 @@ func FuzzDecodeHeaderDecompress(f *testing.F) {
 	payload, hdr := compressSample(e, dev, clk, 2048)
 	f.Add(hdr.Encode(), payload)
 	f.Add([]byte{}, []byte{})
+	// A second real capture from the other codec, and a fallback-bit
+	// variant of each, so the degradation path is in the corpus too.
+	ez, devz, clkz := fuzzEngine(AlgoZFP)
+	payloadZ, hdrZ := compressSample(ez, devz, clkz, 2048)
+	f.Add(hdrZ.Encode(), payloadZ)
+	fb := hdr
+	fb.Fallback = true
+	f.Add(fb.Encode(), payload)
+	fbz := hdrZ
+	fbz.Fallback = true
+	f.Add(fbz.Encode(), payloadZ)
 	f.Fuzz(func(t *testing.T, enc, comp []byte) {
 		h, err := DecodeHeader(enc)
 		if err != nil {
@@ -279,6 +290,22 @@ func FuzzHeaderFallbackBit(f *testing.F) {
 	f.Add(plain.Encode())
 	f.Add([]byte{})
 	f.Add(make([]byte, 28))
+	// Real captured rendezvous headers, one per codec: exactly the bytes
+	// a sender's RTS carries after a genuine Compress, plus the variant
+	// the breaker produces when it flips the Fallback bit mid-message,
+	// and the AlgoNone header a relay rebuilds for a payload it consumed
+	// raw (see mpi.consumeRaw). Static snapshots of the same captures
+	// live in testdata/fuzz/FuzzHeaderFallbackBit so the historical wire
+	// format stays pinned even if Compress output drifts.
+	for _, algo := range []Algorithm{AlgoMPC, AlgoZFP} {
+		e, dev, clk := fuzzEngine(algo)
+		payload, hdr := compressSample(e, dev, clk, 2048)
+		f.Add(hdr.Encode())
+		hdr.Fallback = true
+		f.Add(hdr.Encode())
+		relay := Header{Algo: AlgoNone, OrigBytes: len(payload), CompBytes: len(payload), Checksum: hdr.Checksum}
+		f.Add(relay.Encode())
+	}
 	f.Fuzz(func(t *testing.T, enc []byte) {
 		h, err := DecodeHeader(enc)
 		if err != nil {

@@ -182,6 +182,7 @@ func (m *mailbox) failedFor(postSrc int) (int, srcFail, bool) {
 		return postSrc, f, ok
 	}
 	best := -1
+	//simlint:orderok computes the minimum over keys, which is order-independent
 	for id := range m.failedSrcs {
 		if best < 0 || id < best {
 			best = id

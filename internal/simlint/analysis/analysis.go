@@ -1,0 +1,71 @@
+// Package analysis is a minimal, dependency-free workalike of
+// golang.org/x/tools/go/analysis: just enough surface for the simlint
+// suite to express per-package analyzers and for the drivers (the
+// standalone multichecker, the `go vet -vettool` unit checker, and the
+// linttest golden runner) to execute them.
+//
+// The repository vendors no third-party modules, so the real x/tools
+// framework is out of reach; this clone keeps the same shape (Analyzer,
+// Pass, Diagnostic, Reportf) so the analyzers could be ported to the
+// upstream API by changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one simlint check. Unlike the x/tools original it
+// has no Requires/Facts machinery: every simlint analyzer is a pure
+// per-package syntax+types pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `simlint help`.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report/Reportf. The result value is unused by the drivers
+	// and exists only for API symmetry with x/tools.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function, plus the Report sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// directives caches the per-file //simlint:* directive index.
+	directives map[*ast.File]*Directives
+}
+
+// Diagnostic is one finding: a position and a message. Category is the
+// reporting analyzer's name, filled in by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives indexes the `//simlint:<name>` comments of one file.
+//
+// A directive can appear in three scopes:
+//
+//   - on a function declaration's doc comment — applies to the whole
+//     function body (the canonical way to bless a wall-clock site);
+//   - on the same line as a statement — applies to that line;
+//   - alone on the line immediately above a statement — applies to the
+//     next line (like a //nolint comment).
+//
+// The directive name may be followed by a free-text justification,
+// e.g. `//simlint:wallclock host codec accounting`, which simlint
+// ignores but reviewers should not.
+type Directives struct {
+	fset *token.FileSet
+	// lines maps a directive name to the set of file lines it covers
+	// via same-line or line-above placement.
+	lines map[string]map[int]bool
+	// funcs maps a directive name to the functions whose doc carries it.
+	funcs map[string][]*ast.FuncDecl
+}
+
+// DirectivesFor returns (building on first use) the directive index for
+// the file containing pos, or an empty index if the position is not in
+// any of the pass's files.
+func (p *Pass) DirectivesFor(file *ast.File) *Directives {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]*Directives)
+	}
+	if d := p.directives[file]; d != nil {
+		return d
+	}
+	d := indexDirectives(p.Fset, file)
+	p.directives[file] = d
+	return d
+}
+
+func indexDirectives(fset *token.FileSet, file *ast.File) *Directives {
+	d := &Directives{
+		fset:  fset,
+		lines: make(map[string]map[int]bool),
+		funcs: make(map[string][]*ast.FuncDecl),
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			name := directiveName(c.Text)
+			if name == "" {
+				continue
+			}
+			set := d.lines[name]
+			if set == nil {
+				set = make(map[int]bool)
+				d.lines[name] = set
+			}
+			line := fset.Position(c.Pos()).Line
+			// Cover the directive's own line (trailing-comment form)
+			// and the following line (comment-above form).
+			set[line] = true
+			set[line+1] = true
+		}
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if name := directiveName(c.Text); name != "" {
+				d.funcs[name] = append(d.funcs[name], fd)
+			}
+		}
+	}
+	return d
+}
+
+// directiveName extracts "wallclock" from "//simlint:wallclock reason…",
+// or returns "" for non-directive comments.
+func directiveName(text string) string {
+	const prefix = "//simlint:"
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// Allows reports whether the directive name covers pos: either pos lies
+// inside a function whose doc carries the directive, or the directive
+// appears on pos's line or the line above.
+func (d *Directives) Allows(name string, pos token.Pos) bool {
+	if set := d.lines[name]; set != nil && set[d.fset.Position(pos).Line] {
+		return true
+	}
+	for _, fd := range d.funcs[name] {
+		if fd.Pos() <= pos && pos <= fd.End() {
+			return true
+		}
+	}
+	return false
+}

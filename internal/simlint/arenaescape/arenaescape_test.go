@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/arenaescape"
+	"mpicomp/internal/simlint/linttest"
+)
+
+func TestArenaEscape(t *testing.T) {
+	linttest.Run(t, "testdata", arenaescape.Analyzer, "arena")
+}

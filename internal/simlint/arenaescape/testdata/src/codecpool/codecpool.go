@@ -1,0 +1,50 @@
+// Package codecpool is a shim of the real mpicomp/internal/codecpool
+// API surface, just enough for the arenaescape golden tests to
+// type-check: the analyzer matches the Scratch accessors by package
+// base name, receiver type, and method name.
+package codecpool
+
+// Scratch is one worker's reusable arena.
+type Scratch struct {
+	words  []uint32
+	floats []float32
+	bytes  []byte
+}
+
+// Words returns a length-n uint32 buffer.
+func (s *Scratch) Words(n int) []uint32 {
+	if cap(s.words) < n {
+		s.words = make([]uint32, n)
+	}
+	s.words = s.words[:n]
+	return s.words
+}
+
+// Floats returns a length-n float32 buffer.
+func (s *Scratch) Floats(n int) []float32 {
+	if cap(s.floats) < n {
+		s.floats = make([]float32, n)
+	}
+	s.floats = s.floats[:n]
+	return s.floats
+}
+
+// Bytes returns a length-n byte buffer.
+func (s *Scratch) Bytes(n int) []byte {
+	if cap(s.bytes) < n {
+		s.bytes = make([]byte, n)
+	}
+	s.bytes = s.bytes[:n]
+	return s.bytes
+}
+
+// Job is one parallelizable codec operation.
+type Job interface {
+	RunPart(part int, s *Scratch)
+}
+
+// Pool runs job parts across workers.
+type Pool struct{}
+
+// Run executes job's n parts.
+func (p *Pool) Run(n int, job Job) {}

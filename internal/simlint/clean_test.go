@@ -1,0 +1,34 @@
+package simlint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestTreeIsSimlintClean is the acceptance gate for the analyzer suite:
+// the repository's own production code must carry zero diagnostics.
+// Every legitimate wall-clock or order-insensitive site is expected to
+// carry a //simlint:wallclock or //simlint:orderok annotation with a
+// reason, so a failure here is either a real invariant violation or a
+// new site that needs an explicit, reviewed exemption.
+func TestTreeIsSimlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	root := filepath.Clean(filepath.Join(filepath.Dir(file), "..", ".."))
+	diags, err := Run(root, Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d simlint diagnostics on the tree; fix or annotate with a reasoned //simlint directive", len(diags))
+	}
+}

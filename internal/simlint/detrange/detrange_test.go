@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/detrange"
+	"mpicomp/internal/simlint/linttest"
+)
+
+func TestDetRange(t *testing.T) {
+	linttest.Run(t, "testdata", detrange.Analyzer, "detrange")
+}

@@ -1,0 +1,119 @@
+// Package detrange is the golden test for the analyzer of the same
+// name: map iteration must not feed order-dependent state.
+package detrange
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+func wireBytes(m map[int][]byte, h *crc32.Table) uint32 {
+	var sum uint32
+	for _, b := range m {
+		sum = crc32.Checksum(b, h) // want "outer variable sum overwritten in iteration order"
+	}
+	return sum
+}
+
+func printer(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "call fmt.Printf runs in iteration order"
+	}
+}
+
+func firstKey(m map[int]bool) int {
+	for k := range m {
+		return k // want "return exits the loop at an order-dependent iteration"
+	}
+	return -1
+}
+
+func lastWriter(m map[int]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want "outer variable last overwritten in iteration order"
+	}
+	return last
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "non-integer accumulation into sum is ordering-sensitive"
+	}
+	return sum
+}
+
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want "slice keys collects map keys/values but is not visibly sorted after the loop"
+	}
+	return keys
+}
+
+func feedsChannel(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send in iteration order"
+	}
+}
+
+func readsAccumulator(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+		if n > 3 { // want "accumulator n is both updated and read in the loop body"
+			break // want "break exits the loop at an order-dependent iteration"
+		}
+	}
+	return n
+}
+
+// sortedKeys is the blessed idiom: collect, sort, then iterate.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// orderFree exercises the order-independent statement forms.
+func orderFree(m map[int]int, dead map[int]bool) (int, bool, map[int]int) {
+	count := 0
+	found := false
+	inverse := make(map[int]int, len(m))
+	for k, v := range m {
+		local := v * 2
+		_ = local
+		count++
+		inverse[v] = k
+		delete(dead, k)
+		if v > 100 {
+			found = true
+		}
+	}
+	return count, found, inverse
+}
+
+// annotated is provably order-dependent to the analyzer but blessed
+// with a reasoned directive (min-tracking is in fact deterministic).
+func annotated(m map[int]int) int {
+	best := -1
+	//simlint:orderok computes the minimum over keys, which is order-independent
+	for k := range m {
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// sliceRange is not a map: untouched.
+func sliceRange(s []int, ch chan int) {
+	for _, v := range s {
+		ch <- v
+	}
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/errwrap"
+	"mpicomp/internal/simlint/linttest"
+)
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, "testdata", errwrap.Analyzer, "errwrap")
+}

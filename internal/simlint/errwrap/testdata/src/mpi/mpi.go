@@ -1,0 +1,15 @@
+// Package mpi is a shim of the real transport's sentinel surface for
+// the errwrap golden tests: the analyzer matches package-level Err*
+// error variables of a package named mpi.
+package mpi
+
+import "errors"
+
+// ErrDeliveryFailed mirrors the transport's retry-budget sentinel.
+var ErrDeliveryFailed = errors.New("mpi: message delivery failed (retry budget exhausted)")
+
+// ErrPeerFailed mirrors the health watchdog's peer-failure sentinel.
+var ErrPeerFailed = errors.New("mpi: peer rank failed")
+
+// NotASentinel is package-level but not an Err* name.
+var NotASentinel = errors.New("mpi: incidental")

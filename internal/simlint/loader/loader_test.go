@@ -1,0 +1,67 @@
+package loader
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot walks up from this source file to the directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", "..", ".."))
+}
+
+func TestLoadTypeChecksModulePackages(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/simtime", "./internal/faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files parsed", p.ImportPath)
+		}
+	}
+	st := byPath["mpicomp/internal/simtime"]
+	if st == nil {
+		t.Fatalf("simtime not loaded; got %v", byPath)
+	}
+	obj := st.Types.Scope().Lookup("Clock")
+	if obj == nil {
+		t.Fatal("simtime.Clock not found in type info")
+	}
+	if _, ok := obj.Type().(*types.Named); !ok {
+		t.Fatalf("simtime.Clock is %T, want *types.Named", obj.Type())
+	}
+}
+
+// TestLoadResolvesInternalDeps loads a package that imports other module
+// packages (mpi -> core, faults, netsim, …) purely from export data.
+func TestLoadResolvesInternalDeps(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/mpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if p.Types.Scope().Lookup("World") == nil {
+		t.Fatal("mpi.World not found")
+	}
+}

@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/linttest"
+	"mpicomp/internal/simlint/seedrand"
+)
+
+func TestSeedRand(t *testing.T) {
+	linttest.Run(t, "testdata", seedrand.Analyzer, "seedrand")
+}

@@ -1,0 +1,22 @@
+// Package seedrand is the golden test for the analyzer of the same
+// name: global math/rand draws are forbidden in non-test code.
+package seedrand
+
+import "math/rand"
+
+func fates(n int) int {
+	rand.Seed(42)              // want "global rand.Seed is nondeterministically seeded"
+	if rand.Float64() < 0.5 {  // want "global rand.Float64 is nondeterministically seeded"
+		return rand.Intn(n) // want "global rand.Intn is nondeterministically seeded"
+	}
+	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle is nondeterministically seeded"
+	return 0
+}
+
+// seeded draws from an explicit, auditable source: allowed. Method
+// calls on the private generator are fine too.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Intn(n)
+}

@@ -1,0 +1,9 @@
+package seedrand
+
+import "math/rand"
+
+// Tests may use the global source: shuffling inputs for a soak test is
+// exactly what it is for.
+func noiseInTests(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,12 @@
+package seedrand
+
+import randv2 "math/rand/v2"
+
+func fatesV2(n int) int {
+	return randv2.IntN(n) // want "global rand.IntN is nondeterministically seeded"
+}
+
+func seededV2(n int) int {
+	rng := randv2.New(randv2.NewPCG(1, 2))
+	return rng.IntN(n)
+}

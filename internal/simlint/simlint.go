@@ -1,0 +1,115 @@
+// Package simlint bundles the repository's custom static analyzers:
+// compile-time enforcement of the simulator's determinism, virtual-
+// clock, and arena-aliasing invariants. See DESIGN.md §10 for the
+// contract each analyzer guards.
+//
+// The suite runs three ways: standalone via cmd/simlint, under
+// `go vet -vettool=$(which simlint) ./...`, and in-process from tests
+// (TestTreeIsSimlintClean keeps the tree at zero diagnostics).
+package simlint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"mpicomp/internal/simlint/analysis"
+	"mpicomp/internal/simlint/arenaescape"
+	"mpicomp/internal/simlint/detrange"
+	"mpicomp/internal/simlint/errwrap"
+	"mpicomp/internal/simlint/loader"
+	"mpicomp/internal/simlint/seedrand"
+	"mpicomp/internal/simlint/vclockpurity"
+)
+
+// Analyzers returns the full simlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		vclockpurity.Analyzer,
+		detrange.Analyzer,
+		seedrand.Analyzer,
+		arenaescape.Analyzer,
+		errwrap.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, erroring on unknown names.
+func ByName(names []string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Diagnostic is one resolved finding.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Run loads the packages matching patterns under dir and applies the
+// analyzers, returning findings sorted by position. Type-check errors
+// in the tree are returned as an error: analyzers need sound type
+// information to be trusted.
+func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("type errors in %s (simlint needs a compiling tree): %v",
+				pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Position: pkg.Fset.Position(d.Pos),
+					Analyzer: name,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,154 @@
+// Package unitcheck implements the `go vet -vettool` protocol for the
+// simlint suite: cmd/go invokes the tool once per package with a
+// *.cfg JSON file describing the unit of work — source files, the
+// import map, and the export-data file of every dependency the build
+// already produced. This mirrors x/tools' go/analysis/unitchecker on
+// the standard library only.
+package unitcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpicomp/internal/simlint/analysis"
+	"mpicomp/internal/simlint/loader"
+)
+
+// Config is the JSON schema of the .cfg file cmd/go passes to a
+// vettool, field-compatible with x/tools' unitchecker.Config.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Diagnostic is one finding with its resolved position.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Run processes one vet unit: it always writes the (empty — simlint
+// analyzers export no facts) vetx output so cmd/go's cache stays
+// coherent, and unless the unit is facts-only it type-checks the
+// package from the cfg's export-data map and applies the analyzers.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the vendor/importmap indirection, then
+	// through the per-package export files the build produced.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if src == canonical {
+			continue
+		}
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	imp := loader.ExportImporter(fset, exports)
+
+	info := loader.NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion(cfg.GoVersion),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 || (err != nil && pkg == nil) {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		if len(typeErrs) > 0 {
+			err = typeErrs[0]
+		}
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Position: fset.Position(d.Pos),
+					Analyzer: name,
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, cfg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+// goVersion normalizes cfg.GoVersion ("go1.22.1", "local") to a value
+// types.Config accepts, or "" to use the type checker's default.
+func goVersion(v string) string {
+	if strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}

@@ -1,0 +1,78 @@
+package unitcheck
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpicomp/internal/simlint"
+	"mpicomp/internal/simlint/loader"
+)
+
+// TestRunUnit drives the vet protocol end-to-end without cmd/go: a
+// synthetic .cfg pointing at a package with a wall-clock violation must
+// produce exactly that diagnostic and write the vetx facts file.
+func TestRunUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte(
+		"package p\n\nimport \"time\"\n\nfunc f() int64 { return time.Now().UnixNano() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exports, err := loader.ListExports([]string{"time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := Config{
+		ID:          "p",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "p",
+		GoFiles:     []string{src},
+		ImportMap:   map[string]string{"time": "time"},
+		PackageFile: exports,
+		VetxOutput:  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := Run(cfgFile, simlint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "vclockpurity" {
+		t.Errorf("diagnostic from %s, want vclockpurity", diags[0].Analyzer)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx facts file not written: %v", err)
+	}
+
+	// A facts-only unit must not analyze, but must still write vetx.
+	cfg.VetxOnly = true
+	cfg.VetxOutput = filepath.Join(dir, "only.vetx")
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err = Run(cfgFile, simlint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("facts-only unit produced diagnostics: %v", diags)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("facts-only vetx file not written: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package vclockpurity is the golden test for the analyzer of the same
+// name: wall-clock reads are forbidden outside annotated functions.
+package vclockpurity
+
+import (
+	"fmt"
+	"time"
+)
+
+// Latency is simulated state; holding durations is fine.
+var Latency time.Duration
+
+func charge() time.Duration {
+	start := time.Now()          // want "wall-clock call time.Now in simulation code"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep in simulation code"
+	return time.Since(start) // want "wall-clock call time.Since in simulation code"
+}
+
+func schedule() {
+	_ = time.NewTimer(time.Second) // want "wall-clock call time.NewTimer in simulation code"
+	<-time.After(time.Second)      // want "wall-clock call time.After in simulation code"
+}
+
+func sleepy() {
+	time.Sleep(Latency) // want "wall-clock call time.Sleep in simulation code"
+}
+
+// hostAccounting measures real codec throughput, the blessed use case.
+//
+//simlint:wallclock measures real host codec throughput for HostStats
+func hostAccounting() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func lineDirective() time.Time {
+	t := time.Now() //simlint:wallclock one-off capture for a log banner
+	return t
+}
+
+// pureDurations exercises the negative space: arithmetic, formatting,
+// and conversions on time.Duration never touch the host clock.
+func pureDurations(d time.Duration) string {
+	d += 3 * time.Millisecond
+	return fmt.Sprintf("%v and %s", d, d.String())
+}

@@ -1,0 +1,10 @@
+package vclockpurity
+
+import "time"
+
+// Test files may time things for real: benchmarks and soak tests
+// legitimately measure the host.
+func timeInTests() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

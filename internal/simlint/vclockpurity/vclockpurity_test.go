@@ -1,0 +1,12 @@
+package vclockpurity_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/linttest"
+	"mpicomp/internal/simlint/vclockpurity"
+)
+
+func TestVClockPurity(t *testing.T) {
+	linttest.Run(t, "testdata", vclockpurity.Analyzer, "vclockpurity")
+}

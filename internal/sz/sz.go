@@ -263,14 +263,23 @@ func buildHuffman(codes []int) map[int]huffEntry {
 	if len(freq) == 0 {
 		return map[int]huffEntry{}
 	}
-	if len(freq) == 1 {
-		for s := range freq {
-			return map[int]huffEntry{s: {code: 0, length: 1}}
-		}
+	// Seed the heap in symbol order. Map iteration order must not leak
+	// into tree construction: equal-frequency internal nodes compare as
+	// ties in hHeap.Less (both carry symbol -1), so the pop order — and
+	// with it the code lengths, the compressed size, and the simulated
+	// ratios in results_table3.txt — would otherwise depend on Go's
+	// per-run map ordering.
+	syms := make([]int, 0, len(freq))
+	for s := range freq {
+		syms = append(syms, s)
+	}
+	sort.Ints(syms)
+	if len(syms) == 1 {
+		return map[int]huffEntry{syms[0]: {code: 0, length: 1}}
 	}
 	h := make(hHeap, 0, len(freq))
-	for s, f := range freq {
-		h = append(h, &hNode{freq: f, symbol: s})
+	for _, s := range syms {
+		h = append(h, &hNode{freq: freq[s], symbol: s})
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {

@@ -1,6 +1,7 @@
 package sz
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -253,5 +254,56 @@ func TestCompressRel(t *testing.T) {
 	checkBound(t, flat, got2, eb2)
 	if _, _, err := CompressRel(nil, src, 0); err == nil {
 		t.Fatal("zero relative bound should fail")
+	}
+}
+
+// TestHuffmanDeterministic guards the Huffman-construction fix: the
+// tree used to be seeded in map-iteration order, and once three or
+// more equal-frequency internal nodes tie in the heap (all carrying
+// symbol -1, so hHeap.Less cannot break the tie), which pair merges
+// first — and therefore which symbols land at which code length —
+// depended on Go's per-run map ordering. Eight symbols of frequency
+// one manufacture exactly that situation: four internal 2-nodes tie,
+// and under the old seeding the resulting code table differed between
+// builds of the very same input. Six frequency-one symbols produce
+// three tied internal 2-nodes — a non-power-of-two count, so the tree
+// cannot balance symmetrically and two distinct length assignments
+// ({2,2,3,3,3,3} rotated across symbols) are reachable; exhaustive
+// permutation of the seeding order shows exactly two outcomes.
+func TestHuffmanDeterministic(t *testing.T) {
+	codes := []int{10, 11, 12, 13, 14, 15}
+	first := buildHuffman(codes)
+	for run := 0; run < 50; run++ {
+		again := buildHuffman(codes)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: table size %d, want %d", run, len(again), len(first))
+		}
+		for sym, want := range first {
+			if got := again[sym]; got != want {
+				t.Fatalf("run %d: symbol %d got code %+v, first build had %+v: Huffman construction leaked map order", run, sym, got, want)
+			}
+		}
+	}
+}
+
+// TestCompressDeterministic asserts the same property end-to-end: every
+// build of a stream over tie-heavy data must be bit-identical.
+func TestCompressDeterministic(t *testing.T) {
+	vals := make([]float32, 8192)
+	for i := range vals {
+		vals[i] = float32(i%97) * 0.25
+	}
+	first, err := Compress(nil, vals, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 25; run++ {
+		again, err := Compress(nil, vals, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("run %d: compressed stream differs from first build (%d vs %d bytes): Huffman construction leaked map order", run, len(again), len(first))
+		}
 	}
 }
