@@ -1,0 +1,206 @@
+// Collective fast-path benchmarks: before/after evidence for the
+// compress-once cache and the pipelined/relay ring allreduce.
+//
+// TestWriteBenchColl (env-gated: BENCH_COLL=1) measures simulated
+// latency and host wall-clock for bcast, hierarchical bcast, allgather,
+// and ring-allreduce at 1 MB and 8 MB on an 8-rank (4x2) Longhorn
+// world, writing BENCH_coll.json. "Before" arms run with the
+// compress-once cache disabled — and, for the ring, the blocking
+// whole-block algorithm — i.e. the code paths as they were before the
+// fast paths landed; "after" arms run the defaults. The ring row at
+// 8 MB also differentially verifies that the pipelined/relay ring and
+// its blocking oracle produce byte-identical reductions.
+package mpicomp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/mpi"
+	"mpicomp/internal/omb"
+)
+
+const (
+	benchCollNodes  = 4
+	benchCollPPN    = 2
+	benchCollWarmup = 1
+	benchCollIters  = 3
+)
+
+// benchCollWorld builds the measurement world. cacheEntries <0 disables
+// the compress-once cache (the "before" configuration).
+func benchCollWorld(t *testing.T, cacheEntries int) *mpi.World {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Options{
+		Cluster: hw.Longhorn(), Nodes: benchCollNodes, PPN: benchCollPPN,
+		Engine: core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC,
+			CacheEntries: cacheEntries},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// benchCollEntry is one (collective, size) row of BENCH_coll.json.
+type benchCollEntry struct {
+	Coll  string `json:"coll"`
+	Bytes int    `json:"bytes"`
+	// Simulated (virtual-clock) latencies.
+	BeforeUs   float64 `json:"before_us"`
+	AfterUs    float64 `json:"after_us"`
+	SpeedupPct float64 `json:"speedup_pct"`
+	// Host wall-clock of the whole measurement (non-deterministic,
+	// recorded so regressions in real codec work stay visible).
+	BeforeWallMs float64 `json:"before_wall_ms"`
+	AfterWallMs  float64 `json:"after_wall_ms"`
+	// Cache/relay activity of the after arm.
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	RelayedBytes    int64 `json:"relayed_bytes"`
+	BitIdentical    *bool `json:"bit_identical,omitempty"`
+	PipelinedChunks int   `json:"pipelined_chunks"`
+}
+
+type benchCollDoc struct {
+	Ranks      int              `json:"ranks"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Note       string           `json:"note"`
+	Results    []benchCollEntry `json:"results"`
+}
+
+// benchCollRingBitIdentical runs the pipelined/relay ring and the
+// blocking oracle on identical inputs in one world and reports whether
+// every rank's outputs match byte for byte (they must: MPC is lossless
+// and both run the per-element additions in the same order).
+func benchCollRingBitIdentical(t *testing.T, bytesN int) bool {
+	t.Helper()
+	w := benchCollWorld(t, 0)
+	identical := true
+	_, err := w.Run(func(r *mpi.Rank) error {
+		vals := make([]float32, bytesN/4)
+		for i := range vals {
+			vals[i] = float32(r.ID()+1) + float32(i%4093)*0.125
+		}
+		send := (&gpusim.Buffer{Data: core.FloatsToBytes(nil, vals), Loc: gpusim.Device, Dev: r.Dev}).Track()
+		fast := &gpusim.Buffer{Data: make([]byte, bytesN), Loc: gpusim.Device, Dev: r.Dev}
+		slow := &gpusim.Buffer{Data: make([]byte, bytesN), Loc: gpusim.Device, Dev: r.Dev}
+		if err := r.RingAllreduceSum(send, fast); err != nil {
+			return err
+		}
+		if err := r.RingAllreduceSumBlocking(send, slow); err != nil {
+			return err
+		}
+		if !bytes.Equal(fast.Data, slow.Data) {
+			identical = false
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("ring bit-identity run: %v", err)
+	}
+	return identical
+}
+
+// TestWriteBenchColl runs the before/after collective sweep and writes
+// BENCH_coll.json. Gated behind BENCH_COLL=1; CI's bench job sets it
+// and uploads the artifact. Two acceptance gates run inline: the 8 MB
+// ring-allreduce must improve simulated latency by >=25% over the
+// blocking path with byte-identical results, and the 8-rank
+// hierarchical bcast must record compress-once cache hits.
+func TestWriteBenchColl(t *testing.T) {
+	if os.Getenv("BENCH_COLL") == "" {
+		t.Skip("set BENCH_COLL=1 to run the collective sweep and write BENCH_coll.json")
+	}
+	type arm struct {
+		before func(w *mpi.World, bytes, warmup, iters int, gen omb.DataGen) (omb.CollResult, error)
+		after  func(w *mpi.World, bytes, warmup, iters int, gen omb.DataGen) (omb.CollResult, error)
+	}
+	colls := []struct {
+		name string
+		arm  arm
+	}{
+		{"bcast", arm{before: omb.BcastLatency, after: omb.BcastLatency}},
+		{"bcast-hier", arm{before: omb.BcastHierarchicalLatency, after: omb.BcastHierarchicalLatency}},
+		{"allgather", arm{before: omb.AllgatherLatency, after: omb.AllgatherLatency}},
+		{"ring-allreduce", arm{before: omb.RingAllreduceBlockingLatency, after: omb.RingAllreduceLatency}},
+	}
+	doc := benchCollDoc{
+		Ranks:      benchCollNodes * benchCollPPN,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "simulated collective latency, MPC opt, dummy data, 4x2 Longhorn; before = compress-once cache " +
+			"disabled (and blocking whole-block ring); after = default fast paths; wall-clock is real host time",
+	}
+	for _, coll := range colls {
+		for _, size := range []int{1 << 20, 8 << 20} {
+			wallStart := time.Now()
+			before := benchCollWorld(t, -1)
+			resB, err := coll.arm.before(before, size, benchCollWarmup, benchCollIters, nil)
+			if err != nil {
+				t.Fatalf("%s before: %v", coll.name, err)
+			}
+			beforeWall := time.Since(wallStart)
+
+			wallStart = time.Now()
+			after := benchCollWorld(t, 0)
+			resA, err := coll.arm.after(after, size, benchCollWarmup, benchCollIters, nil)
+			if err != nil {
+				t.Fatalf("%s after: %v", coll.name, err)
+			}
+			afterWall := time.Since(wallStart)
+
+			var cs core.CacheStats
+			for i := 0; i < after.Size(); i++ {
+				cs.Add(after.Rank(i).Engine.CacheSnapshot())
+			}
+			e := benchCollEntry{
+				Coll:            coll.name,
+				Bytes:           size,
+				BeforeUs:        resB.Latency.Microseconds(),
+				AfterUs:         resA.Latency.Microseconds(),
+				BeforeWallMs:    float64(beforeWall.Microseconds()) / 1e3,
+				AfterWallMs:     float64(afterWall.Microseconds()) / 1e3,
+				CacheHits:       cs.Hits,
+				CacheMisses:     cs.Misses,
+				RelayedBytes:    cs.RelayedBytes,
+				PipelinedChunks: cs.PipelinedChunks,
+			}
+			if e.BeforeUs > 0 {
+				e.SpeedupPct = (e.BeforeUs - e.AfterUs) / e.BeforeUs * 100
+			}
+			if coll.name == "ring-allreduce" {
+				ok := benchCollRingBitIdentical(t, size)
+				e.BitIdentical = &ok
+				if !ok {
+					t.Errorf("%s %dB: pipelined and blocking results differ", coll.name, size)
+				}
+				if size == 8<<20 && e.SpeedupPct < 25 {
+					t.Errorf("ring-allreduce at 8 MB: %.1f%% improvement, want >= 25%% (before %.1fus, after %.1fus)",
+						e.SpeedupPct, e.BeforeUs, e.AfterUs)
+				}
+			}
+			if coll.name == "bcast-hier" && cs.Hits == 0 {
+				t.Errorf("hierarchical bcast at %dB recorded no cache hits: %+v", size, cs)
+			}
+			doc.Results = append(doc.Results, e)
+			t.Logf("%s %dB: before %.1fus after %.1fus (%.1f%%), hits=%d relayed=%dB",
+				coll.name, size, e.BeforeUs, e.AfterUs, e.SpeedupPct, cs.Hits, cs.RelayedBytes)
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_coll.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,7 +26,7 @@ import (
 //
 //simlint:wallclock bench harness reports real elapsed time alongside simulated results
 func main() {
-	bench := flag.String("bench", "latency", "benchmark: latency | bw | bcast | allgather")
+	bench := flag.String("bench", "latency", "benchmark: latency | bw | bibw | bcast | bcast-hier | allgather | allreduce | ring-allreduce | ring-allreduce-blocking | reduce | gather | scatter | alltoall")
 	cluster := flag.String("cluster", "longhorn", "cluster model: longhorn | frontera | lassen | ri2")
 	nodes := flag.Int("nodes", 2, "number of nodes")
 	ppn := flag.Int("ppn", 1, "processes (GPUs) per node")
@@ -107,22 +107,27 @@ func main() {
 			t.Row(cli.FormatBytes(r.Bytes), fmt.Sprintf("%.3f", r.BandwidthGBps))
 		}
 		t.Write(os.Stdout)
-	case "bcast", "allgather":
+	case "bibw":
+		res, err := omb.BiBandwidth(w, sizes, *warmup, *iters, *window)
+		benchFatal(w, err)
+		t := cli.NewTable("Size", "Bandwidth (GB/s)")
+		for _, r := range res {
+			t.Row(cli.FormatBytes(r.Bytes), fmt.Sprintf("%.3f", r.BandwidthGBps))
+		}
+		t.Write(os.Stdout)
+	default:
+		coll, ok := collBenches[*bench]
+		if !ok {
+			cli.Fatal(fmt.Errorf("unknown -bench %q", *bench))
+		}
 		t := cli.NewTable("Size", "Latency (us)", "Ratio")
 		for _, size := range sizes {
-			var res omb.CollResult
-			var err error
-			if *bench == "bcast" {
-				res, err = omb.BcastLatency(w, size, *warmup, *iters, gen)
-			} else {
-				res, err = omb.AllgatherLatency(w, size, *warmup, *iters, gen)
-			}
+			res, err := coll(w, size, *warmup, *iters, gen)
 			benchFatal(w, err)
 			t.Row(cli.FormatBytes(size), fmt.Sprintf("%.2f", res.Latency.Microseconds()), fmt.Sprintf("%.2f", res.Ratio))
 		}
 		t.Write(os.Stdout)
-	default:
-		cli.Fatal(fmt.Errorf("unknown -bench %q", *bench))
+		printCacheStats(w)
 	}
 	wall := time.Since(start)
 
@@ -154,6 +159,34 @@ func main() {
 		cli.Fatal(f.Close())
 		fmt.Printf("# wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+// collBenches maps -bench names to the collective latency measurements.
+// All share the Size/Latency/Ratio table shape.
+var collBenches = map[string]func(*mpi.World, int, int, int, omb.DataGen) (omb.CollResult, error){
+	"bcast":                   omb.BcastLatency,
+	"bcast-hier":              omb.BcastHierarchicalLatency,
+	"allgather":               omb.AllgatherLatency,
+	"allreduce":               omb.AllreduceLatency,
+	"ring-allreduce":          omb.RingAllreduceLatency,
+	"ring-allreduce-blocking": omb.RingAllreduceBlockingLatency,
+	"reduce":                  omb.ReduceLatency,
+	"gather":                  omb.GatherLatency,
+	"scatter":                 omb.ScatterLatency,
+	"alltoall":                omb.AlltoallLatency,
+}
+
+// printCacheStats reports compress-once cache and relay activity summed
+// across all ranks. Everything here derives from the virtual clock and
+// program order, so it is deterministic and safe for stdout.
+func printCacheStats(w *mpi.World) {
+	var cs core.CacheStats
+	for r := 0; r < w.Size(); r++ {
+		cs.Add(w.Rank(r).Engine.CacheSnapshot())
+	}
+	fmt.Printf("# cache: hits=%d misses=%d invalidations=%d evictions=%d relayed=%dB recompressed=%dB pipelined-chunks=%d\n",
+		cs.Hits, cs.Misses, cs.Invalidations, cs.Evictions,
+		cs.RelayedBytes, cs.RecompressedBytes, cs.PipelinedChunks)
 }
 
 // breakerTotals aggregates codec-breaker activity across every rank's

@@ -26,6 +26,8 @@ type EngineFlags struct {
 	Dim     *int
 	Dynamic *bool
 	Workers *int
+	Chunk   *string
+	Cache   *int
 }
 
 // AddEngineFlags registers -mode/-algo/-rate/-mpcdim/-dynamic/-workers on fs.
@@ -37,12 +39,24 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		Dim:     fs.Int("mpcdim", 1, "MPC dimensionality"),
 		Dynamic: fs.Bool("dynamic", false, "enable cost-model-driven per-message selection"),
 		Workers: fs.Int("workers", 0, "host codec worker pool size (0 = GOMAXPROCS, 1 = serial; cannot affect results)"),
+		Chunk:   fs.String("chunk", "", "pipelined-rendezvous chunk size, e.g. 256K (empty = off)"),
+		Cache:   fs.Int("cache", 0, "compress-once cache entries per engine (0 = default, negative = off)"),
 	}
 }
 
 // Config materializes the engine configuration from the parsed flags.
 func (e *EngineFlags) Config() (core.Config, error) {
-	cfg := core.Config{ZFPRate: *e.Rate, MPCDim: *e.Dim, Dynamic: *e.Dynamic, Workers: *e.Workers}
+	cfg := core.Config{
+		ZFPRate: *e.Rate, MPCDim: *e.Dim, Dynamic: *e.Dynamic,
+		Workers: *e.Workers, CacheEntries: *e.Cache,
+	}
+	if *e.Chunk != "" {
+		sizes, err := ParseSizes(*e.Chunk)
+		if err != nil || len(sizes) != 1 {
+			return cfg, fmt.Errorf("bad -chunk %q", *e.Chunk)
+		}
+		cfg.PipelineChunkBytes = sizes[0]
+	}
 	switch strings.ToLower(*e.Mode) {
 	case "off":
 		cfg.Mode = core.ModeOff

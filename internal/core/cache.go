@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/simtime"
+)
+
+// The compress-once cache.
+//
+// Fan-out collectives compress the same bytes repeatedly: a flat Bcast
+// root compresses once per binomial-tree child, a BcastHierarchical
+// leader once per node-local peer, Scatter/Allgather roots once per
+// destination of their own block, and every warm benchmark iteration
+// recompresses an unchanged buffer. gZCCL and similar
+// compression-accelerated collective designs show that reusing the
+// compressed block across those fan-out edges is where the collective
+// speedup lives — the kernel runs once, the wire bytes go to N
+// destinations.
+//
+// A CompressedRef is keyed by the buffer's content version — the root
+// allocation's process-unique id, the byte range within it, and the
+// allocation's epoch (gpusim.Buffer.Version). Every write to a tracked
+// device buffer bumps the epoch (gpusim.Buffer.MarkDirty; the engine
+// does it in Decompress, the MPI runtime at each receive/reduce/copy
+// site), so a hit is possible only while the bytes are provably
+// unchanged. Untracked buffers — anything that never called Track —
+// bypass the cache entirely and behave exactly as before.
+//
+// Determinism: the cache is per-engine state mutated only under e.mu in
+// the owning rank's program order; lookups scan a slice (no map
+// iteration), and epochs are compared for equality only, so scheduling
+// cannot change which sends hit. A hit returns the identical payload
+// and header bytes the miss produced — results are bit-identical to
+// the uncached path; only the simulated clock and the host wall-clock
+// get cheaper.
+
+// cacheKey identifies one cacheable compression input: an exact byte
+// range of a tracked allocation, compressed for a given link class.
+// bw is the link bandwidth's bit pattern when dynamic selection is on
+// (the gate's decision depends on it); zero otherwise, so all links
+// share one entry.
+type cacheKey struct {
+	id  uint64
+	off int
+	n   int
+	bw  uint64
+}
+
+// cacheEntry is one CompressedRef: the wire payload and header produced
+// for key at the recorded content epoch. Payload and header are shared
+// read-only with the transport (fault injection copies before
+// corrupting; relays forward verbatim).
+type cacheEntry struct {
+	key     cacheKey
+	epoch   uint64
+	payload []byte
+	hdr     Header
+}
+
+// CacheStats is a snapshot of compress-once cache and relay activity,
+// aggregatable across ranks.
+type CacheStats struct {
+	Hits          int
+	Misses        int
+	Invalidations int
+	Evictions     int
+	Entries       int
+	Bytes         int
+	// RelayedBytes are wire bytes forwarded verbatim by relay
+	// collectives; RecompressedBytes are wire bytes produced by fresh
+	// compressions (the engine's BytesOut).
+	RelayedBytes      int64
+	RecompressedBytes int64
+	// PipelinedChunks counts chunk-granularity pipeline steps.
+	PipelinedChunks int
+}
+
+// Add accumulates another snapshot (for cross-rank totals).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Invalidations += o.Invalidations
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
+	s.RelayedBytes += o.RelayedBytes
+	s.RecompressedBytes += o.RecompressedBytes
+	s.PipelinedChunks += o.PipelinedChunks
+}
+
+// CacheSnapshot returns the engine's cache/relay/pipeline counters.
+func (e *Engine) CacheSnapshot() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{
+		Hits:              e.CacheHits,
+		Misses:            e.CacheMisses,
+		Invalidations:     e.CacheInvalidations,
+		Evictions:         e.CacheEvictions,
+		Entries:           len(e.cache),
+		Bytes:             e.cacheBytes,
+		RelayedBytes:      e.RelayedBytes,
+		RecompressedBytes: e.BytesOut,
+		PipelinedChunks:   e.PipelinedChunks,
+	}
+}
+
+// NoteRelay records n wire bytes forwarded verbatim (no recompression).
+func (e *Engine) NoteRelay(n int) {
+	e.mu.Lock()
+	e.RelayedBytes += int64(n)
+	e.mu.Unlock()
+}
+
+// NotePipelinedChunks records n chunk-granularity pipeline steps.
+func (e *Engine) NotePipelinedChunks(n int) {
+	e.mu.Lock()
+	e.PipelinedChunks += n
+	e.mu.Unlock()
+}
+
+// cacheEnabled reports whether the compress-once cache is on.
+func (e *Engine) cacheEnabled() bool {
+	return e.cfg.CacheEntries > 0 && e.cfg.CacheBudgetBytes > 0
+}
+
+// cacheBWKey returns the link component of the cache key: compression
+// output never depends on the link, but the dynamic gate's decision
+// does, so entries are per-link only when Dynamic is set.
+func (e *Engine) cacheBWKey(bwGBps float64) uint64 {
+	if e.cfg.Dynamic {
+		return math.Float64bits(bwGBps)
+	}
+	return 0
+}
+
+// cacheLookupLocked scans for key at epoch. A key match at a stale
+// epoch is removed (the buffer was written since).
+func (e *Engine) cacheLookupLocked(key cacheKey, epoch uint64) ([]byte, Header, bool) {
+	for i := range e.cache {
+		if e.cache[i].key != key {
+			continue
+		}
+		if e.cache[i].epoch == epoch {
+			e.CacheHits++
+			return e.cache[i].payload, e.cache[i].hdr, true
+		}
+		e.CacheInvalidations++
+		e.cacheBytes -= len(e.cache[i].payload)
+		e.cache = append(e.cache[:i], e.cache[i+1:]...)
+		break
+	}
+	return nil, Header{}, false
+}
+
+// cacheInsertLocked retains (payload, hdr) for key at epoch, evicting
+// oldest entries (FIFO) to respect the entry and byte budgets.
+// Payloads larger than the whole budget are not cached.
+func (e *Engine) cacheInsertLocked(key cacheKey, epoch uint64, payload []byte, hdr Header) {
+	if len(payload) > e.cfg.CacheBudgetBytes {
+		return
+	}
+	for i := range e.cache {
+		if e.cache[i].key == key {
+			e.cacheBytes -= len(e.cache[i].payload)
+			e.cache = append(e.cache[:i], e.cache[i+1:]...)
+			break
+		}
+	}
+	for len(e.cache) > 0 &&
+		(len(e.cache) >= e.cfg.CacheEntries || e.cacheBytes+len(payload) > e.cfg.CacheBudgetBytes) {
+		e.cacheBytes -= len(e.cache[0].payload)
+		e.cache = e.cache[1:]
+		e.CacheEvictions++
+	}
+	e.cache = append(e.cache, cacheEntry{key: key, epoch: epoch, payload: payload, hdr: hdr})
+	e.cacheBytes += len(payload)
+}
+
+// CompressForLinkCached is CompressForLink behind the compress-once
+// cache. For a tracked buffer whose (range, epoch, link) was compressed
+// before, the cached wire payload and header are returned with no
+// simulated-clock charge and no host codec work — the kernel was
+// charged once, at the miss. Untracked buffers fall through unchanged.
+//
+// The returned payload and header are shared with the cache and with
+// other in-flight sends of the same block; they are read-only by
+// contract everywhere downstream (the transport snapshots on fault
+// injection, receivers never write into wire payloads).
+func (e *Engine) CompressForLinkCached(clk *simtime.Clock, buf *gpusim.Buffer, bwGBps float64) ([]byte, Header) {
+	id, off, epoch, tracked := buf.Version()
+	if e == nil || !tracked || !e.cacheEnabled() {
+		return e.CompressForLink(clk, buf, bwGBps)
+	}
+	key := cacheKey{id: id, off: off, n: buf.Len(), bw: e.cacheBWKey(bwGBps)}
+	e.mu.Lock()
+	if payload, hdr, ok := e.cacheLookupLocked(key, epoch); ok {
+		e.mu.Unlock()
+		return payload, hdr
+	}
+	e.CacheMisses++
+	fallbacksBefore := e.PoolFallbacks
+	e.mu.Unlock()
+
+	payload, hdr := e.CompressForLink(clk, buf, bwGBps)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.PoolFallbacks != fallbacksBefore {
+		// Pool exhaustion is a transient condition of this moment, not a
+		// property of the bytes; caching the degraded form would freeze
+		// it past the pool's recovery.
+		return payload, hdr
+	}
+	if _, _, now, ok := buf.Version(); !ok || now != epoch {
+		// Written during compression (a concurrent receive into the same
+		// allocation): the payload is still the correct snapshot for
+		// this send, but no longer provably current — don't retain it.
+		return payload, hdr
+	}
+	e.cacheInsertLocked(key, epoch, payload, hdr)
+	return payload, hdr
+}

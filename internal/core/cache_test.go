@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+)
+
+// cacheConfig is an opt-mode MPC engine with the cache on.
+func cacheConfig() Config {
+	return Config{Mode: ModeOpt, Algorithm: AlgoMPC, Workers: 1}
+}
+
+// TestCacheHitReturnsIdenticalPayloadForFree is the compress-once
+// contract: a second compression of an unchanged tracked buffer returns
+// the exact payload bytes of the first and charges nothing to the
+// virtual clock.
+func TestCacheHitReturnsIdenticalPayloadForFree(t *testing.T) {
+	e, dev, clk := newTestEngine(t, cacheConfig())
+	buf := deviceBufferWith(dev, smooth(1<<18, 1)).Track()
+
+	p1, h1 := e.CompressForLinkCached(clk, buf, 12.5)
+	afterMiss := clk.Now()
+	p2, h2 := e.CompressForLinkCached(clk, buf, 12.5)
+
+	if clk.Now() != afterMiss {
+		t.Fatalf("cache hit advanced the clock: %v -> %v", afterMiss, clk.Now())
+	}
+	if !bytes.Equal(p1, p2) || h1.CompBytes != h2.CompBytes {
+		t.Fatal("hit returned different payload than the miss")
+	}
+	st := e.CacheSnapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCacheEpochInvalidation is the stale-read regression test: writing
+// the buffer (MarkDirty) must invalidate the entry, and the next
+// compression must reflect the new bytes — a stale hit here would send
+// old data.
+func TestCacheEpochInvalidation(t *testing.T) {
+	e, dev, clk := newTestEngine(t, cacheConfig())
+	vals := smooth(1<<18, 1)
+	buf := deviceBufferWith(dev, vals).Track()
+
+	p1, _ := e.CompressForLinkCached(clk, buf, 12.5)
+
+	// Overwrite the device bytes and mark the write, as every runtime
+	// write site (receive, reduction, local copy) does.
+	copy(buf.Data, FloatsToBytes(nil, smooth(1<<18, 2)))
+	buf.MarkDirty()
+
+	p2, h2 := e.CompressForLinkCached(clk, buf, 12.5)
+	if bytes.Equal(p1, p2) {
+		t.Fatal("stale payload served after the buffer changed")
+	}
+	st := e.CacheSnapshot()
+	if st.Invalidations != 1 || st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// The fresh payload must decode to the new contents.
+	dst := &gpusim.Buffer{Data: make([]byte, buf.Len()), Loc: gpusim.Device, Dev: dev}
+	if err := e.Decompress(clk, h2, p2, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Data, buf.Data) {
+		t.Fatal("recompressed payload does not decode to the new bytes")
+	}
+}
+
+// TestCacheUntrackedAndDisabledBypass: untracked buffers and a disabled
+// cache behave exactly like the uncached path and record no stats.
+func TestCacheUntrackedAndDisabledBypass(t *testing.T) {
+	e, dev, clk := newTestEngine(t, cacheConfig())
+	untracked := deviceBufferWith(dev, smooth(1<<16, 3))
+	e.CompressForLinkCached(clk, untracked, 12.5)
+	e.CompressForLinkCached(clk, untracked, 12.5)
+	if st := e.CacheSnapshot(); st.Hits+st.Misses+st.Entries != 0 {
+		t.Fatalf("untracked buffer touched the cache: %+v", st)
+	}
+
+	cfg := cacheConfig()
+	cfg.CacheEntries = -1
+	off, dev2, clk2 := newTestEngine(t, cfg)
+	tracked := deviceBufferWith(dev2, smooth(1<<16, 3)).Track()
+	off.CompressForLinkCached(clk2, tracked, 12.5)
+	off.CompressForLinkCached(clk2, tracked, 12.5)
+	if st := off.CacheSnapshot(); st.Hits+st.Misses+st.Entries != 0 {
+		t.Fatalf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+// TestCacheSliceKeysAreDistinct: two ranges of one allocation are
+// separate cache keys, and both hit independently.
+func TestCacheSliceKeysAreDistinct(t *testing.T) {
+	e, dev, clk := newTestEngine(t, cacheConfig())
+	buf := deviceBufferWith(dev, smooth(1<<18, 4)).Track()
+	half := buf.Len() / 2
+	lo, hi := buf.Slice(0, half), buf.Slice(half, half)
+
+	pl1, _ := e.CompressForLinkCached(clk, lo, 12.5)
+	ph1, _ := e.CompressForLinkCached(clk, hi, 12.5)
+	pl2, _ := e.CompressForLinkCached(clk, lo, 12.5)
+	ph2, _ := e.CompressForLinkCached(clk, hi, 12.5)
+
+	if !bytes.Equal(pl1, pl2) || !bytes.Equal(ph1, ph2) {
+		t.Fatal("slice hits returned wrong payloads")
+	}
+	st := e.CacheSnapshot()
+	if st.Hits != 2 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCacheEvictionRespectsBudgets: the entry cap evicts FIFO, and a
+// payload larger than the byte budget is never cached.
+func TestCacheEvictionRespectsBudgets(t *testing.T) {
+	cfg := cacheConfig()
+	cfg.CacheEntries = 2
+	e, dev, clk := newTestEngine(t, cfg)
+
+	bufs := make([]*gpusim.Buffer, 3)
+	for i := range bufs {
+		bufs[i] = deviceBufferWith(dev, smooth(1<<16, int64(10+i))).Track()
+		e.CompressForLinkCached(clk, bufs[i], 12.5)
+	}
+	st := e.CacheSnapshot()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("entry cap not enforced: %+v", st)
+	}
+	// The first buffer was evicted: compressing it again is a miss.
+	e.CompressForLinkCached(clk, bufs[0], 12.5)
+	if st := e.CacheSnapshot(); st.Hits != 0 {
+		t.Fatalf("evicted entry hit: %+v", st)
+	}
+
+	tiny := cacheConfig()
+	tiny.CacheBudgetBytes = 64 // smaller than any compressed payload here
+	e2, dev2, clk2 := newTestEngine(t, tiny)
+	big := deviceBufferWith(dev2, smooth(1<<16, 20)).Track()
+	e2.CompressForLinkCached(clk2, big, 12.5)
+	if st := e2.CacheSnapshot(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("over-budget payload cached: %+v", st)
+	}
+}
+
+// TestCacheDynamicKeyPerLink: with dynamic selection the gate's decision
+// depends on the link, so each bandwidth gets its own entry; without it
+// all links share one.
+func TestCacheDynamicKeyPerLink(t *testing.T) {
+	cfg := cacheConfig()
+	cfg.Dynamic = true
+	e, dev, clk := newTestEngine(t, cfg)
+	buf := deviceBufferWith(dev, smooth(1<<18, 5)).Track()
+	e.CompressForLinkCached(clk, buf, 12.5)
+	e.CompressForLinkCached(clk, buf, 50.0)
+	if st := e.CacheSnapshot(); st.Misses != 2 {
+		t.Fatalf("dynamic links shared an entry: %+v", st)
+	}
+
+	e2, dev2, clk2 := newTestEngine(t, cacheConfig())
+	buf2 := deviceBufferWith(dev2, smooth(1<<18, 5)).Track()
+	e2.CompressForLinkCached(clk2, buf2, 12.5)
+	e2.CompressForLinkCached(clk2, buf2, 50.0)
+	if st := e2.CacheSnapshot(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("static links did not share an entry: %+v", st)
+	}
+}
+
+// TestCacheSurvivesResetCounters: ResetCounters starts a measurement
+// window — it clears the counters but keeps warmed entries, so warm
+// benchmark iterations observe the steady state.
+func TestCacheSurvivesResetCounters(t *testing.T) {
+	e, dev, clk := newTestEngine(t, cacheConfig())
+	buf := deviceBufferWith(dev, smooth(1<<18, 6)).Track()
+	e.CompressForLinkCached(clk, buf, 12.5)
+	e.ResetCounters()
+	st := e.CacheSnapshot()
+	if st.Misses != 0 || st.Entries != 1 {
+		t.Fatalf("reset dropped entries or kept counters: %+v", st)
+	}
+	e.CompressForLinkCached(clk, buf, 12.5)
+	if st := e.CacheSnapshot(); st.Hits != 1 {
+		t.Fatalf("warmed entry missed after reset: %+v", st)
+	}
+}
+
+// TestCacheVersionTracking covers the gpusim side: slices share the
+// root's identity at shifted offsets, and MarkDirty is visible through
+// every view.
+func TestCacheVersionTracking(t *testing.T) {
+	dev := gpusim.NewDevice(hw.TeslaV100(), 4)
+	root := (&gpusim.Buffer{Data: make([]byte, 256), Loc: gpusim.Device, Dev: dev}).Track()
+	id0, off0, ep0, ok := root.Version()
+	if !ok || off0 != 0 {
+		t.Fatalf("root version: %d %d %d %v", id0, off0, ep0, ok)
+	}
+	view := root.Slice(64, 64).Slice(16, 16)
+	id1, off1, ep1, ok := view.Version()
+	if !ok || id1 != id0 || off1 != 80 || ep1 != ep0 {
+		t.Fatalf("nested slice version: %d %d %d", id1, off1, ep1)
+	}
+	view.MarkDirty()
+	if _, _, ep2, _ := root.Version(); ep2 != ep0+1 {
+		t.Fatalf("MarkDirty through a slice not visible at root: %d vs %d", ep2, ep0)
+	}
+	if _, _, _, ok := (&gpusim.Buffer{Data: make([]byte, 8)}).Version(); ok {
+		t.Fatal("untracked buffer reported a version")
+	}
+}

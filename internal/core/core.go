@@ -87,6 +87,14 @@ const (
 	DefaultPoolBufBytes = 36 << 20 // fits a 32 MB message plus MPC expansion headroom
 )
 
+// DefaultCacheEntries and DefaultCacheBudgetBytes size the compress-once
+// cache (cache.go): enough entries for every send block of a modest
+// alltoall plus the fan-out roots, within a bounded payload budget.
+const (
+	DefaultCacheEntries     = 16
+	DefaultCacheBudgetBytes = 64 << 20
+)
+
 // Config configures an Engine.
 type Config struct {
 	// Mode selects off / naive / optimized integration.
@@ -133,6 +141,15 @@ type Config struct {
 	// Zero disables pipelining (whole-message compression, as in the
 	// paper's Figure 4).
 	PipelineChunkBytes int
+	// CacheEntries caps the engine's compress-once cache (cache.go):
+	// the number of recently compressed wire payloads retained for reuse
+	// by fan-out collectives and warm benchmark iterations. Zero selects
+	// DefaultCacheEntries; negative disables the cache.
+	CacheEntries int
+	// CacheBudgetBytes caps the total payload bytes the compress-once
+	// cache may retain. Zero selects DefaultCacheBudgetBytes; payloads
+	// larger than the budget are never cached.
+	CacheBudgetBytes int
 }
 
 func (c *Config) withDefaults() Config {
@@ -154,6 +171,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cc.PoolBufBytes == 0 {
 		cc.PoolBufBytes = DefaultPoolBufBytes
+	}
+	if cc.CacheEntries == 0 {
+		cc.CacheEntries = DefaultCacheEntries
+	}
+	if cc.CacheBudgetBytes == 0 {
+		cc.CacheBudgetBytes = DefaultCacheBudgetBytes
 	}
 	return cc
 }

@@ -12,6 +12,7 @@ package gpusim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mpicomp/internal/hw"
 	"mpicomp/internal/simtime"
@@ -45,15 +46,71 @@ type Buffer struct {
 	Dev *GPUDevice
 
 	pooled bool // came from a BufferPool; returned via pool.Put
+
+	// trk is the content-version tracker of the root allocation this
+	// buffer belongs to (nil for untracked buffers), and trkOff the
+	// buffer's byte offset within that allocation. Views made with Slice
+	// share the parent's tracker, so a write marked through any view
+	// invalidates cached derivations over the whole allocation.
+	trk    *tracker
+	trkOff int
 }
+
+// tracker carries a process-unique identity plus a monotonically
+// increasing content epoch for one tracked allocation. The epoch is
+// atomic only for memory-safety under -race when collectives on
+// different rank goroutines read versions concurrently; cache behavior
+// depends on equality of (id, epoch), never on the numeric values, so
+// scheduling cannot leak into results.
+type tracker struct {
+	id    uint64
+	epoch atomic.Uint64
+}
+
+// trackerIDs hands out process-unique tracker identities.
+var trackerIDs atomic.Uint64
 
 // Len returns the buffer's size in bytes.
 func (b *Buffer) Len() int { return len(b.Data) }
 
+// Track opts the buffer into content-version tracking, enabling the
+// engine's compress-once cache to key compressed blocks by
+// (allocation, range, epoch). Idempotent; a no-op on views of an
+// already-tracked allocation. Callers that Track a buffer take on the
+// obligation to MarkDirty after every write that bypasses the tracked
+// APIs (the MPI runtime does this at each receive/reduce site).
+func (b *Buffer) Track() *Buffer {
+	if b.trk == nil {
+		b.trk = &tracker{id: trackerIDs.Add(1)}
+	}
+	return b
+}
+
+// MarkDirty bumps the allocation's content epoch, invalidating any
+// cached compressed form of any range of it. No-op for untracked
+// buffers.
+func (b *Buffer) MarkDirty() {
+	if b.trk != nil {
+		b.trk.epoch.Add(1)
+	}
+}
+
+// Version reports the buffer's cache identity: the root allocation's id,
+// the buffer's byte offset within it, and the current content epoch.
+// ok is false for untracked buffers, which cache layers must treat as
+// always-changing.
+func (b *Buffer) Version() (id uint64, off int, epoch uint64, ok bool) {
+	if b.trk == nil {
+		return 0, 0, 0, false
+	}
+	return b.trk.id, b.trkOff, b.trk.epoch.Load(), true
+}
+
 // Slice returns a view of n bytes starting at off, sharing the underlying
 // memory (used by collectives to address blocks of a larger buffer).
+// Views inherit the parent's content-version tracker.
 func (b *Buffer) Slice(off, n int) *Buffer {
-	return &Buffer{Data: b.Data[off : off+n], Loc: b.Loc, Dev: b.Dev}
+	return &Buffer{Data: b.Data[off : off+n], Loc: b.Loc, Dev: b.Dev, trk: b.trk, trkOff: b.trkOff + off}
 }
 
 // Float32Len returns the number of float32 values the buffer holds.

@@ -124,10 +124,14 @@ func TestChaosP2PSweep(t *testing.T) {
 // chains included) through a faulty fabric with a lossy codec: results
 // must stay within ZFP's error bound, not merely "look plausible".
 func TestChaosCollectivesZFP(t *testing.T) {
+	// PipelineChunkBytes routes the ring reduce-scatter (and large
+	// point-to-point sends) through the chunk pipeline, so the drop and
+	// corruption adversary hits individual chunks too.
 	w := mustWorld(t, Options{
 		Cluster: hw.FronteraLiquid(), Nodes: 2, PPN: 2,
 		Engine: core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 16,
-			Threshold: 16 << 10, PoolBufBytes: 4 << 20},
+			Threshold: 16 << 10, PoolBufBytes: 4 << 20,
+			PipelineChunkBytes: 16 << 10},
 		Faults: &faults.Config{Seed: 11, DropRate: 0.1, CorruptRate: 0.1},
 	})
 	const n = 1 << 15 // float32 words
@@ -392,26 +396,36 @@ func TestChaosCrashSoakCollectives(t *testing.T) {
 		iters = 8
 	)
 	colls := []struct {
-		name string
-		run  func(r *Rank, send, recv *gpusim.Buffer) error
+		name   string
+		engine core.Config
+		run    func(r *Rank, send, recv *gpusim.Buffer) error
 	}{
-		{"barrier", func(r *Rank, _, _ *gpusim.Buffer) error { return r.Barrier() }},
-		{"bcast", func(r *Rank, send, _ *gpusim.Buffer) error { return r.Bcast(0, send) }},
-		{"allgather", func(r *Rank, send, recv *gpusim.Buffer) error {
+		{name: "barrier", run: func(r *Rank, _, _ *gpusim.Buffer) error { return r.Barrier() }},
+		{name: "bcast", run: func(r *Rank, send, _ *gpusim.Buffer) error { return r.Bcast(0, send) }},
+		{name: "allgather", run: func(r *Rank, send, recv *gpusim.Buffer) error {
 			return r.Allgather(send.Slice(0, send.Len()/r.Size()), recv)
 		}},
-		{"gather", func(r *Rank, send, recv *gpusim.Buffer) error {
+		{name: "gather", run: func(r *Rank, send, recv *gpusim.Buffer) error {
 			return r.Gather(0, send.Slice(0, send.Len()/r.Size()), recv)
 		}},
-		{"scatter", func(r *Rank, send, recv *gpusim.Buffer) error {
+		{name: "scatter", run: func(r *Rank, send, recv *gpusim.Buffer) error {
 			return r.Scatter(0, send, recv.Slice(0, recv.Len()/r.Size()))
 		}},
-		{"reduce", func(r *Rank, send, recv *gpusim.Buffer) error { return r.ReduceSum(0, send, recv) }},
-		{"allreduce", func(r *Rank, send, recv *gpusim.Buffer) error { return r.AllreduceSum(send, recv) }},
-		{"ringallreduce", func(r *Rank, send, recv *gpusim.Buffer) error {
+		{name: "reduce", run: func(r *Rank, send, recv *gpusim.Buffer) error { return r.ReduceSum(0, send, recv) }},
+		{name: "allreduce", run: func(r *Rank, send, recv *gpusim.Buffer) error { return r.AllreduceSum(send, recv) }},
+		{name: "ringallreduce", run: func(r *Rank, send, recv *gpusim.Buffer) error {
 			return r.RingAllreduceSum(send, recv)
 		}},
-		{"alltoall", func(r *Rank, send, recv *gpusim.Buffer) error { return r.Alltoall(send, recv) }},
+		// The pipelined-ring cell crashes ranks mid-stream while the
+		// reduce-scatter has several chunk messages in flight per step —
+		// the chunk plumbing must surface the same typed errors.
+		{name: "ringallreduce-pipelined",
+			engine: core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC,
+				Threshold: 2 << 10, PipelineChunkBytes: 1 << 10},
+			run: func(r *Rank, send, recv *gpusim.Buffer) error {
+				return r.RingAllreduceSum(send, recv)
+			}},
+		{name: "alltoall", run: func(r *Rank, send, recv *gpusim.Buffer) error { return r.Alltoall(send, recv) }},
 	}
 
 	var report strings.Builder
@@ -424,7 +438,7 @@ func TestChaosCrashSoakCollectives(t *testing.T) {
 			}
 			w := mustWorld(t, Options{
 				Cluster: hw.Longhorn(), Nodes: nodes, PPN: ppn,
-				Faults: fcfg,
+				Engine: coll.engine, Faults: fcfg,
 				Health: HealthPolicy{Deadline: 150 * simtime.Microsecond},
 			})
 			doomed := w.HealthStats().Doomed

@@ -147,7 +147,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 	// the raw compressed bytes from the parent.
 	mask := 1
 	if vrank == 0 {
-		payload, hdr = r.Engine.CompressForLink(r.Clock, buf, r.world.cluster.InterNode.BandwidthGBps)
+		payload, hdr = r.Engine.CompressForLinkCached(r.Clock, buf, r.world.cluster.InterNode.BandwidthGBps)
 		for mask < size {
 			mask <<= 1
 		}
@@ -215,6 +215,7 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 	} else {
 		copy(own.Data, sendBuf.Data)
 	}
+	own.MarkDirty()
 	if size == 1 {
 		return nil
 	}
@@ -224,8 +225,15 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 	// Compression-aware ring: each rank compresses its own block once;
 	// at every step it forwards the compressed payload received in the
 	// previous step and decompresses it into place while the transfers
-	// of the current step are in flight.
-	payload, hdr := r.Engine.CompressForLink(r.Clock, own, r.world.cluster.InterNode.BandwidthGBps)
+	// of the current step are in flight. The compression source is
+	// sendBuf when possible — its bytes equal the just-copied own block,
+	// and an unchanged tracked sendBuf hits the compress-once cache on
+	// warm iterations, whereas the own block's epoch was just bumped.
+	srcBlk := own
+	if sendBuf.Loc == gpusim.Device {
+		srcBlk = sendBuf
+	}
+	payload, hdr := r.Engine.CompressForLinkCached(r.Clock, srcBlk, r.world.cluster.InterNode.BandwidthGBps)
 	type pending struct {
 		raw rawResult
 		dst *gpusim.Buffer
@@ -286,6 +294,7 @@ func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 			dst := recvBuf.Slice(src*blk, blk)
 			if src == root {
 				copy(dst.Data, sendBuf.Data)
+				dst.MarkDirty()
 				continue
 			}
 			req, err := r.irecv(src, tagGather, dst)
@@ -320,6 +329,7 @@ func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 			src := sendBuf.Slice(dst*blk, blk)
 			if dst == root {
 				copy(recvBuf.Data, src.Data)
+				recvBuf.MarkDirty()
 				continue
 			}
 			req, err := r.isend(dst, tagScatter, src)
@@ -349,6 +359,13 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	}
 	size := v.size
 	vrank := (v.vrank - vroot + size) % size
+	// Leaf ranks (odd view rank) forward their contribution unmodified:
+	// sending sendBuf itself instead of a scratch copy lets a tracked,
+	// unchanged buffer reuse its cached compressed form across calls.
+	if size > 1 && vrank&1 == 1 {
+		parent := v.real(((vrank &^ 1) + vroot) % size)
+		return r.send(parent, tagReduce, sendBuf)
+	}
 	// Accumulator starts as a copy of the local contribution.
 	acc := append([]byte(nil), sendBuf.Data...)
 	tmp := &gpusim.Buffer{Data: make([]byte, len(acc)), Loc: sendBuf.Loc, Dev: sendBuf.Dev}
@@ -364,7 +381,7 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 			if err := r.recv(child, tagReduce, tmp); err != nil {
 				return fmt.Errorf("mpi: reduce recv: %w", err)
 			}
-			sumFloat32(r, acc, tmp.Data)
+			sumFloat32(r, accBuf, tmp.Data)
 		}
 	}
 	if r.id == root {
@@ -372,6 +389,7 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 			return fmt.Errorf("mpi: reduce recv buffer %d bytes, want %d", recvBuf.Len(), len(acc))
 		}
 		copy(recvBuf.Data, acc)
+		recvBuf.MarkDirty()
 	}
 	return nil
 }
@@ -405,6 +423,7 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 	blk := sendBuf.Len() / size
 	// Local block.
 	copy(recvBuf.Slice(r.id*blk, blk).Data, sendBuf.Slice(r.id*blk, blk).Data)
+	recvBuf.MarkDirty()
 	pow2 := size&(size-1) == 0
 	for step := 1; step < size; step++ {
 		if pow2 {
@@ -431,9 +450,10 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 
 // sumFloat32 adds src into dst element-wise (float32), charging the GPU a
 // memory-bound vector-add kernel (reads two floats, writes one per
-// element).
-func sumFloat32(r *Rank, dst, src []byte) {
-	n := len(dst) / 4
+// element). dst's content epoch is bumped, invalidating cached
+// compressed forms.
+func sumFloat32(r *Rank, dst *gpusim.Buffer, src []byte) {
+	n := dst.Len() / 4
 	r.Dev.LaunchKernel(r.Clock, r.Dev.Stream(0), gpusim.KernelSpec{
 		Blocks:         r.Dev.Spec.SMs,
 		Bytes:          12 * n,
@@ -441,10 +461,11 @@ func sumFloat32(r *Rank, dst, src []byte) {
 	})
 	r.Dev.StreamSync(r.Clock, r.Dev.Stream(0))
 	for i := 0; i < n; i++ {
-		a := math.Float32frombits(binary.LittleEndian.Uint32(dst[4*i:]))
+		a := math.Float32frombits(binary.LittleEndian.Uint32(dst.Data[4*i:]))
 		b := math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
-		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(a+b))
+		binary.LittleEndian.PutUint32(dst.Data[4*i:], math.Float32bits(a+b))
 	}
+	dst.MarkDirty()
 }
 
 // BcastScatterAllgather is the bandwidth-optimal large-message broadcast
@@ -567,12 +588,109 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 	return r.recv(leader, tagBcast, buf)
 }
 
+// ringBlocks partitions n bytes of float32 data into size contiguous
+// 4-byte-aligned blocks, as even as possible: block i covers bytes
+// [offs[i], offs[i+1]), with the first n/4 mod size blocks one word
+// larger. All ranks compute the identical partition, so senders and
+// receivers agree on every block's extent without negotiation.
+func ringBlocks(n, size int) []int {
+	words := n / 4
+	base, rem := words/size, words%size
+	offs := make([]int, size+1)
+	for i := 0; i < size; i++ {
+		w := base
+		if i < rem {
+			w++
+		}
+		offs[i+1] = offs[i] + 4*w
+	}
+	return offs
+}
+
+// ringChunk normalizes the pipeline chunk granularity for a ring step:
+// word-aligned, and 0 (single chunk) when pipelining is off or the
+// configured chunk cannot hold a word.
+func ringChunk(chunkBytes int) int {
+	chunkBytes &^= 3
+	if chunkBytes < 4 {
+		return 0
+	}
+	return chunkBytes
+}
+
+// ringChunkSpans splits a block of n bytes into pipeline chunk spans
+// ([offset, length] pairs); one span when chunking is off.
+func ringChunkSpans(n, chunk int) [][2]int {
+	if chunk <= 0 || n <= chunk {
+		return [][2]int{{0, n}}
+	}
+	var spans [][2]int
+	for off := 0; off < n; off += chunk {
+		c := chunk
+		if off+c > n {
+			c = n - off
+		}
+		spans = append(spans, [2]int{off, c})
+	}
+	return spans
+}
+
+// ringReduceStep runs one pipelined reduce-scatter step: the send block
+// streams to the right neighbor chunk by chunk while the block arriving
+// from the left is reduced into place chunk by chunk — chunk k's
+// sumFloat32 overlaps chunk k+1's transfer and decompression, the
+// overlap the whole-block sendrecv serializes away. Sender and receiver
+// derive identical chunk boundaries from the world-uniform engine
+// config, so the per-chunk messages pair up by FIFO matching. src is
+// the buffer the send block is compressed from — recvBuf, except at
+// step 0 where the caller may pass the untouched sendBuf (identical
+// bytes, stable epoch) so warm iterations hit the compress-once cache.
+func (r *Rank) ringReduceStep(right, left int, src, recvBuf *gpusim.Buffer, sOff, sN, dOff, dN int, scratch *gpusim.Buffer, chunk int) error {
+	rspans := ringChunkSpans(dN, chunk)
+	sspans := ringChunkSpans(sN, chunk)
+	rreqs := make([]*Request, len(rspans))
+	for c, sp := range rspans {
+		req, err := r.irecv(left, tagAllreduce, scratch.Slice(sp[0], sp[1]))
+		if err != nil {
+			return err
+		}
+		rreqs[c] = req
+	}
+	sreqs := make([]*Request, len(sspans))
+	for c, sp := range sspans {
+		req, err := r.isend(right, tagAllreduce, src.Slice(sOff+sp[0], sp[1]))
+		if err != nil {
+			return err
+		}
+		sreqs[c] = req
+	}
+	for c, sp := range rspans {
+		if err := r.Wait(rreqs[c]); err != nil {
+			return err
+		}
+		sumFloat32(r, recvBuf.Slice(dOff+sp[0], sp[1]), scratch.Data[sp[0]:sp[0]+sp[1]])
+	}
+	if len(rspans) > 1 {
+		r.Engine.NotePipelinedChunks(len(rspans))
+	}
+	return r.Waitall(sreqs...)
+}
+
 // RingAllreduceSum is the bandwidth-optimal allreduce (ring
 // reduce-scatter followed by ring allgather), the algorithm large-message
-// reductions use in practice. Each of the 2(P-1) steps moves one block
-// through the compression-enabled point-to-point path. Buffers must hold
-// float32 data; sizes not divisible into aligned blocks fall back to
-// reduce+broadcast.
+// reductions use in practice. Buffers must hold float32 data; only
+// genuinely tiny messages (fewer words than ranks) or non-word-aligned
+// sizes fall back to reduce+broadcast — uneven sizes get a ragged
+// word-aligned partition (ringBlocks).
+//
+// Both phases are fast paths. The reduce-scatter streams each block in
+// Config.PipelineChunkBytes-sized chunks, overlapping reduction with
+// transfer (ringReduceStep). The allgather relays each fully reduced
+// block's compressed payload verbatim around the ring — one compression
+// at the block's origin, one decompression per rank, no per-hop
+// recompression — exactly like Bcast's relay path. Reduction results
+// are bit-identical to RingAllreduceSumBlocking for lossless configs:
+// the per-element float additions happen in the same order.
 func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	v, err := r.collView()
 	if err != nil {
@@ -584,36 +702,149 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	}
 	if size == 1 {
 		copy(recvBuf.Data, sendBuf.Data)
+		recvBuf.MarkDirty()
 		return nil
 	}
-	if sendBuf.Len()%(4*size) != 0 {
+	if sendBuf.Len()%4 != 0 || sendBuf.Len()/4 < size {
 		return r.AllreduceSum(sendBuf, recvBuf)
 	}
-	blk := sendBuf.Len() / size
+	offs := ringBlocks(sendBuf.Len(), size)
 	copy(recvBuf.Data, sendBuf.Data)
+	recvBuf.MarkDirty()
 	right := v.real((v.vrank + 1) % size)
 	left := v.real((v.vrank - 1 + size) % size)
-	scratch := &gpusim.Buffer{Data: make([]byte, blk), Loc: recvBuf.Loc, Dev: recvBuf.Dev}
+	maxBlk := 0
+	for i := 0; i < size; i++ {
+		if n := offs[i+1] - offs[i]; n > maxBlk {
+			maxBlk = n
+		}
+	}
+	scratch := &gpusim.Buffer{Data: make([]byte, maxBlk), Loc: recvBuf.Loc, Dev: recvBuf.Dev}
+	chunk := ringChunk(r.Engine.Config().PipelineChunkBytes)
 
-	// Phase 1: reduce-scatter. After step s, the block each rank just
-	// received accumulates one more contribution; after P-1 steps view
-	// rank i holds the fully reduced block (i+1) mod P. Block indices
-	// are view coordinates — all participants agree on the partition.
+	// Phase 1: pipelined reduce-scatter. After step s, the block each
+	// rank just received accumulates one more contribution; after P-1
+	// steps view rank i holds the fully reduced block (i+1) mod P.
+	// Block indices are view coordinates — all participants agree on
+	// the partition.
 	for step := 0; step < size-1; step++ {
 		sendIdx := (v.vrank - step + size) % size
 		recvIdx := (v.vrank - step - 1 + size) % size
-		sb := recvBuf.Slice(sendIdx*blk, blk)
-		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, scratch); err != nil {
+		// Step 0 sends the rank's own block, which no reduction has
+		// touched yet — its bytes in recvBuf still equal sendBuf's, so
+		// compress from sendBuf: a persistent send buffer keeps a stable
+		// epoch across iterations and step 0's compression becomes a
+		// cache hit on every warm iteration.
+		src := recvBuf
+		if step == 0 && sendBuf.Loc == gpusim.Device {
+			src = sendBuf
+		}
+		if err := r.ringReduceStep(right, left, src, recvBuf,
+			offs[sendIdx], offs[sendIdx+1]-offs[sendIdx],
+			offs[recvIdx], offs[recvIdx+1]-offs[recvIdx],
+			scratch, chunk); err != nil {
 			return fmt.Errorf("mpi: ring reduce-scatter step %d: %w", step, err)
 		}
-		sumFloat32(r, recvBuf.Slice(recvIdx*blk, blk).Data, scratch.Data)
 	}
-	// Phase 2: allgather the reduced blocks around the ring.
+
+	// Phase 2: relay allgather. Each rank compresses its fully reduced
+	// block once and every subsequent hop forwards the received wire
+	// payload verbatim, decompressing the previous step's block while
+	// the current step's transfers are in flight (the Allgather/Bcast
+	// relay pattern).
+	ownIdx := (v.vrank + 1) % size
+	own := recvBuf.Slice(offs[ownIdx], offs[ownIdx+1]-offs[ownIdx])
+	payload, hdr := r.Engine.CompressForLinkCached(r.Clock, own, r.world.cluster.InterNode.BandwidthGBps)
+	type pending struct {
+		raw rawResult
+		dst *gpusim.Buffer
+	}
+	var todo *pending
+	for step := 0; step < size-1; step++ {
+		recvIdx := (v.vrank - step + size) % size
+		rreq, err := r.irecvRaw(left, tagAllreduce)
+		if err != nil {
+			return err
+		}
+		sreq, err := r.isendPayload(right, tagAllreduce, payload, hdr)
+		if err != nil {
+			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
+		}
+		if todo != nil {
+			if err := r.consumeRaw(todo.raw, todo.dst); err != nil {
+				return fmt.Errorf("mpi: ring allgather decompress: %w", err)
+			}
+		}
+		if err := r.Waitall(sreq, rreq); err != nil {
+			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
+		}
+		todo = &pending{raw: rreq.raw, dst: recvBuf.Slice(offs[recvIdx], offs[recvIdx+1]-offs[recvIdx])}
+		payload, hdr = rreq.raw.payload, rreq.raw.hdr
+	}
+	if todo != nil {
+		if err := r.consumeRaw(todo.raw, todo.dst); err != nil {
+			return fmt.Errorf("mpi: ring allgather decompress: %w", err)
+		}
+	}
+	return nil
+}
+
+// RingAllreduceSumBlocking is the pre-fast-path ring allreduce: whole
+// blocks move through blocking sendrecv exchanges, every hop of the
+// allgather phase paying a fresh compress + decompress. It uses the
+// same ragged partition and the same reduction order as
+// RingAllreduceSum, so lossless configs produce bit-identical results —
+// it exists as the measured baseline for the pipelined/relay fast path
+// and as its differential-testing oracle.
+func (r *Rank) RingAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	size := v.size
+	if recvBuf.Len() != sendBuf.Len() {
+		return fmt.Errorf("mpi: ring allreduce buffers differ: %d vs %d", sendBuf.Len(), recvBuf.Len())
+	}
+	if size == 1 {
+		copy(recvBuf.Data, sendBuf.Data)
+		recvBuf.MarkDirty()
+		return nil
+	}
+	if sendBuf.Len()%4 != 0 || sendBuf.Len()/4 < size {
+		return r.AllreduceSum(sendBuf, recvBuf)
+	}
+	offs := ringBlocks(sendBuf.Len(), size)
+	copy(recvBuf.Data, sendBuf.Data)
+	recvBuf.MarkDirty()
+	right := v.real((v.vrank + 1) % size)
+	left := v.real((v.vrank - 1 + size) % size)
+	maxBlk := 0
+	for i := 0; i < size; i++ {
+		if n := offs[i+1] - offs[i]; n > maxBlk {
+			maxBlk = n
+		}
+	}
+	scratch := &gpusim.Buffer{Data: make([]byte, maxBlk), Loc: recvBuf.Loc, Dev: recvBuf.Dev}
+
+	// Phase 1: reduce-scatter with whole-block blocking exchanges.
+	for step := 0; step < size-1; step++ {
+		sendIdx := (v.vrank - step + size) % size
+		recvIdx := (v.vrank - step - 1 + size) % size
+		sb := recvBuf.Slice(offs[sendIdx], offs[sendIdx+1]-offs[sendIdx])
+		dN := offs[recvIdx+1] - offs[recvIdx]
+		sc := scratch.Slice(0, dN)
+		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, sc); err != nil {
+			return fmt.Errorf("mpi: ring reduce-scatter step %d: %w", step, err)
+		}
+		sumFloat32(r, recvBuf.Slice(offs[recvIdx], dN), sc.Data)
+	}
+	// Phase 2: allgather the reduced blocks around the ring,
+	// recompressing at every hop.
 	for step := 0; step < size-1; step++ {
 		sendIdx := (v.vrank + 1 - step + size) % size
 		recvIdx := (v.vrank - step + size) % size
-		sb := recvBuf.Slice(sendIdx*blk, blk)
-		rb := recvBuf.Slice(recvIdx*blk, blk)
+		sb := recvBuf.Slice(offs[sendIdx], offs[sendIdx+1]-offs[sendIdx])
+		rb := recvBuf.Slice(offs[recvIdx], offs[recvIdx+1]-offs[recvIdx])
 		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, rb); err != nil {
 			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
 		}

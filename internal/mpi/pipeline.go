@@ -67,7 +67,7 @@ func (r *Rank) isendPipelined(dst, tag int, buf *gpusim.Buffer, seq uint64) (*Re
 			n = buf.Len() - off
 		}
 		view := buf.Slice(off, n)
-		payload, hdr := r.Engine.CompressForLink(r.Clock, view, link.BandwidthGBps)
+		payload, hdr := r.Engine.CompressForLinkCached(r.Clock, view, link.BandwidthGBps)
 		env.chunks = append(env.chunks, chunkPart{
 			payload:   payload,
 			hdr:       hdr,
@@ -75,6 +75,7 @@ func (r *Rank) isendPipelined(dst, tag int, buf *gpusim.Buffer, seq uint64) (*Re
 			ready:     r.Clock.Now(),
 		})
 	}
+	r.Engine.NotePipelinedChunks(len(env.chunks))
 	req := &Request{rank: r, isSend: true, env: env}
 	w.ranks[dst].box.deliver(env)
 	return req, nil
