@@ -41,6 +41,7 @@ func main() {
 	healthFlag := flag.String("health", "", "failure-handling spec, e.g. deadline=500us,shrink=true (empty = defaults)")
 	breakerFlag := flag.String("breaker", "", "codec circuit-breaker spec, e.g. threshold=3,cooldown=2ms,seed=11 (empty = off)")
 	retries := flag.Int("retries", 0, "retransmission budget per protocol stage (0 = default, negative = retries off)")
+	chunkRetry := flag.Int("chunk-retry", 0, "per-chunk retransmission budget on the pipelined path (0 = inherit -retries, negative = off)")
 	eng := cli.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func main() {
 	}
 	w, err := mpi.NewWorld(mpi.Options{
 		Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg, Tracer: tracer,
-		Faults: faultCfg, Retry: mpi.RetryPolicy{Limit: *retries}, Health: health,
+		Faults: faultCfg, Retry: mpi.RetryPolicy{Limit: *retries, ChunkLimit: *chunkRetry}, Health: health,
 	})
 	cli.Fatal(err)
 
@@ -143,9 +144,10 @@ func main() {
 
 	if w.FaultsEnabled() {
 		st := w.FaultStats()
-		fmt.Printf("# faults injected: drops=%d corruptions=%d (bits=%d) degraded-windows=%d crashes=%d silences=%d codec-corruptions=%d\n",
-			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades, st.Crashes, st.Silences, st.CodecCorruptions)
+		fmt.Printf("# faults injected: drops=%d corruptions=%d (bits=%d) degraded-windows=%d crashes=%d silences=%d codec-corruptions=%d duplicates=%d reorders=%d\n",
+			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades, st.Crashes, st.Silences, st.CodecCorruptions, st.Duplicates, st.Reorders)
 	}
+	printPipelineStats(w, cfg)
 	if cfg.Breaker.Enabled() {
 		bs, recvs := breakerTotals(w)
 		fmt.Printf("# breaker: opens=%d closes=%d probes=%d fallback-sends=%d fallback-recvs=%d\n",
@@ -187,6 +189,23 @@ func printCacheStats(w *mpi.World) {
 	fmt.Printf("# cache: hits=%d misses=%d invalidations=%d evictions=%d relayed=%dB recompressed=%dB pipelined-chunks=%d\n",
 		cs.Hits, cs.Misses, cs.Invalidations, cs.Evictions,
 		cs.RelayedBytes, cs.RecompressedBytes, cs.PipelinedChunks)
+}
+
+// printPipelineStats reports chunk-granular transport reliability summed
+// across all ranks when the pipelined path is on. Every counter derives
+// from seeded fault decisions and virtual-clock arithmetic, so the line is
+// byte-identical across same-seed runs and codec worker counts.
+func printPipelineStats(w *mpi.World, cfg core.Config) {
+	if cfg.PipelineChunkBytes <= 0 {
+		return
+	}
+	var ps core.PipelineStats
+	for r := 0; r < w.Size(); r++ {
+		ps.Add(w.Rank(r).Engine.PipeSnapshot())
+	}
+	fmt.Printf("# pipeline: chunks=%d relay-chunks=%d retransmits=%d retransmit-bytes=%d credit-stalls=%d window-shrinks=%d degrades=%d bypass-small=%d bypass-degraded=%d\n",
+		ps.Chunks, ps.RelayChunks, ps.Retransmits, ps.RetransmitBytes,
+		ps.CreditStalls, ps.WindowShrinks, ps.DegradeEvents, ps.BypassSmall, ps.BypassDegraded)
 }
 
 // breakerTotals aggregates codec-breaker activity across every rank's

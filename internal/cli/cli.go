@@ -28,6 +28,7 @@ type EngineFlags struct {
 	Workers *int
 	Chunk   *string
 	Cache   *int
+	Credits *int
 }
 
 // AddEngineFlags registers -mode/-algo/-rate/-mpcdim/-dynamic/-workers on fs.
@@ -41,6 +42,7 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		Workers: fs.Int("workers", 0, "host codec worker pool size (0 = GOMAXPROCS, 1 = serial; cannot affect results)"),
 		Chunk:   fs.String("chunk", "", "pipelined-rendezvous chunk size, e.g. 256K (empty = off)"),
 		Cache:   fs.Int("cache", 0, "compress-once cache entries per engine (0 = default, negative = off)"),
+		Credits: fs.Int("credits", 0, "pipeline credit window: max chunks in flight (0 = default, negative = unlimited)"),
 	}
 }
 
@@ -49,6 +51,7 @@ func (e *EngineFlags) Config() (core.Config, error) {
 	cfg := core.Config{
 		ZFPRate: *e.Rate, MPCDim: *e.Dim, Dynamic: *e.Dynamic,
 		Workers: *e.Workers, CacheEntries: *e.Cache,
+		PipelineCredits: *e.Credits,
 	}
 	if *e.Chunk != "" {
 		sizes, err := ParseSizes(*e.Chunk)
@@ -121,8 +124,9 @@ func ParseSizes(s string) ([]int, error) {
 
 // ParseFaults parses a fault-injection spec of the form
 // "seed=7,drop=0.01,corrupt=0.005,degrade=0.1,factor=0.25" into a
-// faults.Config. Rates are probabilities in [0,1]; omitted keys stay zero.
-// An empty string yields nil (fault injection off).
+// faults.Config. Chunk-granular fates use chunkdrop, chunkcorrupt,
+// chunkdup, and chunkreorder. Rates are probabilities in [0,1]; omitted
+// keys stay zero. An empty string yields nil (fault injection off).
 func ParseFaults(s string) (*faults.Config, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
@@ -145,7 +149,8 @@ func ParseFaults(s string) (*faults.Config, error) {
 				return nil, fmt.Errorf("bad fault seed %q: %w", val, err)
 			}
 			cfg.Seed = n
-		case "drop", "corrupt", "degrade", "factor":
+		case "drop", "corrupt", "degrade", "factor",
+			"chunkdrop", "chunkcorrupt", "chunkdup", "chunkreorder":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f < 0 || f > 1 {
 				return nil, fmt.Errorf("fault option %s=%q must be a probability in [0,1]", key, val)
@@ -159,9 +164,17 @@ func ParseFaults(s string) (*faults.Config, error) {
 				cfg.DegradeRate = f
 			case "factor":
 				cfg.DegradeFactor = f
+			case "chunkdrop":
+				cfg.ChunkDropRate = f
+			case "chunkcorrupt":
+				cfg.ChunkCorruptRate = f
+			case "chunkdup":
+				cfg.ChunkDuplicateRate = f
+			case "chunkreorder":
+				cfg.ChunkReorderRate = f
 			}
 		default:
-			return nil, fmt.Errorf("unknown fault option %q (want seed, drop, corrupt, degrade, factor)", key)
+			return nil, fmt.Errorf("unknown fault option %q (want seed, drop, corrupt, degrade, factor, chunkdrop, chunkcorrupt, chunkdup, chunkreorder)", key)
 		}
 	}
 	return cfg, nil

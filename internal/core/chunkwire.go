@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Chunk-granular transport control packets. The pipelined rendezvous path
+// moves a large message as independent chunks, each carrying its own
+// control header so the receiver can verify, place, and acknowledge chunks
+// out of order; a corrupted or lost chunk is requested again with a
+// selective NACK naming exactly that chunk. Both packet types have a fixed
+// wire encoding (like Header's) with a leading magic byte, so a decoder fed
+// garbage — a truncated packet, a misrouted payload, flipped flag bits —
+// fails loudly instead of misinterpreting fields.
+
+// Chunk control-packet magics (first wire byte).
+const (
+	chunkHdrMagic  = 0xC5
+	chunkNackMagic = 0xCA
+)
+
+// Chunk header flag bits (second wire byte).
+const (
+	chunkFlagLast  = 1 << 0
+	chunkFlagRelay = 1 << 1
+)
+
+// ChunkHeaderSize is the fixed serialized size of a ChunkHeader.
+const ChunkHeaderSize = 42
+
+// ChunkNackSize is the fixed serialized size of a ChunkNack.
+const ChunkNackSize = 18
+
+// MaxChunksPerMessage bounds the chunk index a well-formed sender can
+// produce; decoders reject anything larger. 2^24 chunks of even the
+// smallest sane chunk size exceed any message the runtime moves.
+const MaxChunksPerMessage = 1 << 24
+
+// ChunkHeader is the per-chunk control header of the pipelined rendezvous
+// path: it identifies the chunk within its message, locates its span in
+// the original buffer, and carries the chunk's own payload checksum so the
+// receiver verifies and places each chunk independently of every other.
+type ChunkHeader struct {
+	// Seq is the message's per-(src,dst) sequence number; (Seq, Index) is
+	// the chunk's identity on the wire and in the fault injector.
+	Seq uint64
+	// Index is the chunk's position within the message.
+	Index int
+	// Offset is the byte offset of the chunk's span in the original
+	// message (relay segments: in the relayed wire payload).
+	Offset int
+	// OrigBytes is the chunk's span length in the original message;
+	// WireBytes is the length of the chunk's (possibly compressed) wire
+	// payload.
+	OrigBytes int
+	WireBytes int
+	// Checksum is the CRC32-C of the chunk's wire payload.
+	Checksum uint32
+	// Last marks the final chunk of the message (which may be a short
+	// ragged tail).
+	Last bool
+	// Relay marks a segment of a relayed wire payload: the receiver
+	// reassembles segments into the original payload before decoding it
+	// against the message's own compression header.
+	Relay bool
+}
+
+// EncodeChunk serializes the chunk header (little-endian).
+func (h ChunkHeader) EncodeChunk() []byte {
+	var flags byte
+	if h.Last {
+		flags |= chunkFlagLast
+	}
+	if h.Relay {
+		flags |= chunkFlagRelay
+	}
+	buf := make([]byte, 0, ChunkHeaderSize)
+	buf = append(buf, chunkHdrMagic, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Index))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.Offset))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.OrigBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.WireBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, h.Checksum)
+	return buf
+}
+
+// DecodeChunkHeader parses a chunk header serialized by EncodeChunk,
+// rejecting anything a well-formed sender could not have produced:
+// truncation, a wrong magic, unknown flag bits, an absurd chunk index, or
+// negative/overflowed spans.
+func DecodeChunkHeader(buf []byte) (ChunkHeader, error) {
+	if len(buf) < ChunkHeaderSize {
+		return ChunkHeader{}, fmt.Errorf("core: chunk header too short (%d bytes)", len(buf))
+	}
+	if buf[0] != chunkHdrMagic {
+		return ChunkHeader{}, fmt.Errorf("core: bad chunk header magic %#x", buf[0])
+	}
+	flags := buf[1]
+	if flags&^(chunkFlagLast|chunkFlagRelay) != 0 {
+		return ChunkHeader{}, fmt.Errorf("core: unknown chunk header flags %#x", flags)
+	}
+	h := ChunkHeader{
+		Seq:       binary.LittleEndian.Uint64(buf[2:]),
+		Index:     int(binary.LittleEndian.Uint32(buf[10:])),
+		Offset:    int(binary.LittleEndian.Uint64(buf[14:])),
+		OrigBytes: int(binary.LittleEndian.Uint64(buf[22:])),
+		WireBytes: int(binary.LittleEndian.Uint64(buf[30:])),
+		Checksum:  binary.LittleEndian.Uint32(buf[38:]),
+		Last:      flags&chunkFlagLast != 0,
+		Relay:     flags&chunkFlagRelay != 0,
+	}
+	if h.Index < 0 || h.Index >= MaxChunksPerMessage {
+		return ChunkHeader{}, fmt.Errorf("core: corrupt chunk header (index=%d)", h.Index)
+	}
+	if h.Offset < 0 || h.OrigBytes <= 0 || h.WireBytes <= 0 {
+		return ChunkHeader{}, fmt.Errorf("core: corrupt chunk header (offset=%d orig=%d wire=%d)",
+			h.Offset, h.OrigBytes, h.WireBytes)
+	}
+	if h.Offset > int(^uint(0)>>2)-h.OrigBytes {
+		return ChunkHeader{}, fmt.Errorf("core: corrupt chunk header (span %d+%d overflows)", h.Offset, h.OrigBytes)
+	}
+	return h, nil
+}
+
+// NackReason says why a receiver requested a chunk again.
+type NackReason uint8
+
+const (
+	// NackCorrupt: the chunk arrived but failed its checksum pass.
+	NackCorrupt NackReason = iota + 1
+	// NackTimeout: the chunk never arrived within the retransmission
+	// timeout (a drop discovered by the sender's timer; the "NACK" is the
+	// timer firing, modeled as a packet for a uniform control path).
+	NackTimeout
+)
+
+// String implements fmt.Stringer.
+func (r NackReason) String() string {
+	switch r {
+	case NackCorrupt:
+		return "corrupt"
+	case NackTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("NackReason(%d)", int(r))
+	}
+}
+
+// ChunkNack is the selective retransmission request for one chunk: unlike
+// the whole-message NACK of the non-pipelined path, it names exactly the
+// (Seq, Index) that failed, so chunks already delivered keep flowing and
+// only the failed chunk's bytes cross the wire again.
+type ChunkNack struct {
+	Seq     uint64
+	Index   int
+	Attempt int
+	Reason  NackReason
+}
+
+// EncodeNack serializes the NACK (little-endian).
+func (n ChunkNack) EncodeNack() []byte {
+	buf := make([]byte, 0, ChunkNackSize)
+	buf = append(buf, chunkNackMagic, byte(n.Reason))
+	buf = binary.LittleEndian.AppendUint64(buf, n.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Index))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Attempt))
+	return buf
+}
+
+// DecodeChunkNack parses a NACK serialized by EncodeNack with the same
+// strictness as DecodeChunkHeader.
+func DecodeChunkNack(buf []byte) (ChunkNack, error) {
+	if len(buf) < ChunkNackSize {
+		return ChunkNack{}, fmt.Errorf("core: chunk NACK too short (%d bytes)", len(buf))
+	}
+	if buf[0] != chunkNackMagic {
+		return ChunkNack{}, fmt.Errorf("core: bad chunk NACK magic %#x", buf[0])
+	}
+	n := ChunkNack{
+		Reason:  NackReason(buf[1]),
+		Seq:     binary.LittleEndian.Uint64(buf[2:]),
+		Index:   int(binary.LittleEndian.Uint32(buf[10:])),
+		Attempt: int(binary.LittleEndian.Uint32(buf[14:])),
+	}
+	if n.Reason != NackCorrupt && n.Reason != NackTimeout {
+		return ChunkNack{}, fmt.Errorf("core: corrupt chunk NACK (reason=%d)", int(n.Reason))
+	}
+	if n.Index < 0 || n.Index >= MaxChunksPerMessage || n.Attempt < 0 {
+		return ChunkNack{}, fmt.Errorf("core: corrupt chunk NACK (index=%d attempt=%d)", n.Index, n.Attempt)
+	}
+	return n, nil
+}

@@ -95,6 +95,13 @@ const (
 	DefaultCacheBudgetBytes = 64 << 20
 )
 
+// DefaultPipelineCredits is the chunk-granular flow-control window when
+// Config.PipelineCredits is zero: the sender of a pipelined rendezvous may
+// have at most this many chunks in flight before the receiver's staging
+// slots (and their credits) return. It is clamped to PoolBuffers, since a
+// credit is exactly a claim on one receive-side staging buffer.
+const DefaultPipelineCredits = 4
+
 // Config configures an Engine.
 type Config struct {
 	// Mode selects off / naive / optimized integration.
@@ -141,6 +148,14 @@ type Config struct {
 	// Zero disables pipelining (whole-message compression, as in the
 	// paper's Figure 4).
 	PipelineChunkBytes int
+	// PipelineCredits is the chunk-granular flow-control window of the
+	// pipelined rendezvous path: at most this many chunks may be in
+	// flight toward a receiver, each holding one of the receiver's
+	// staging slots; the credit returns when the receiver drains the
+	// slot. Zero selects DefaultPipelineCredits; values above PoolBuffers
+	// are clamped to it (a credit is a staging buffer); negative disables
+	// credit gating entirely (unlimited in-flight chunks).
+	PipelineCredits int
 	// CacheEntries caps the engine's compress-once cache (cache.go):
 	// the number of recently compressed wire payloads retained for reuse
 	// by fan-out collectives and warm benchmark iterations. Zero selects
@@ -171,6 +186,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cc.PoolBufBytes == 0 {
 		cc.PoolBufBytes = DefaultPoolBufBytes
+	}
+	if cc.PipelineCredits == 0 {
+		cc.PipelineCredits = DefaultPipelineCredits
+	}
+	if cc.PipelineCredits > cc.PoolBuffers {
+		cc.PipelineCredits = cc.PoolBuffers
 	}
 	if cc.CacheEntries == 0 {
 		cc.CacheEntries = DefaultCacheEntries

@@ -112,6 +112,10 @@ type Engine struct {
 	// PipelinedChunks counts chunk-granularity pipeline steps: chunked
 	// rendezvous sends plus pipelined ring-allreduce chunks.
 	PipelinedChunks int
+	// pipe accumulates the chunk-granular transport reliability counters
+	// (retransmits, credit stalls, window shrinks, degrades, bypasses);
+	// PipeSnapshot exposes them (pipestats.go).
+	pipe PipelineStats
 	// Tracer, when non-nil, receives every phase interval for timeline
 	// inspection; Track labels this engine's timeline row.
 	Tracer *trace.Collector
@@ -150,6 +154,7 @@ func (e *Engine) ResetCounters() {
 	e.BytesIn, e.BytesOut = 0, 0
 	e.CacheHits, e.CacheMisses, e.CacheInvalidations, e.CacheEvictions = 0, 0, 0, 0
 	e.RelayedBytes, e.PipelinedChunks = 0, 0
+	e.pipe = PipelineStats{}
 	e.Host = HostStats{}
 	// Cache entries deliberately survive: a warmed cache is the steady
 	// state a measurement window should observe, exactly like the warmed

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChunkIdentityCollisionFree is the regression test for the packed
+// chunk identity the transport used to hash: deliverData was called with
+// seq<<16|chunk, so (seq=1, chunk=0) and (seq=0, chunk=65536) were the
+// same event and always shared one fate. Distinct (seq, chunk) pairs that
+// collide under that packing must now decide independently.
+func TestChunkIdentityCollisionFree(t *testing.T) {
+	inj := New(Config{Seed: 7, ChunkDropRate: 0.5})
+	type id struct {
+		seq   uint64
+		chunk int
+	}
+	agree, n := 0, 0
+	for s := uint64(1); s <= 64; s++ {
+		// Both identities pack to s<<16 under the old scheme.
+		a := id{seq: s, chunk: 0}
+		b := id{seq: 0, chunk: int(s << 16)}
+		da := inj.ShouldDropChunk(1, 2, a.seq, a.chunk, 0)
+		db := inj.ShouldDropChunk(1, 2, b.seq, b.chunk, 0)
+		if da == db {
+			agree++
+		}
+		n++
+	}
+	if agree == n {
+		t.Fatalf("all %d old-scheme-colliding chunk pairs share a fate; chunk identity still aliases", n)
+	}
+}
+
+// TestChunkDecisionsDeterministic: identical (seed, identity) tuples must
+// decide identically across injectors and call orders, for every
+// chunk-granular fate.
+func TestChunkDecisionsDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 21, ChunkDropRate: 0.3, ChunkCorruptRate: 0.3,
+		ChunkDuplicateRate: 0.3, ChunkReorderRate: 0.3, CodecRate: 0.3,
+	}
+	a, b := New(cfg), New(cfg)
+	payload := bytes.Repeat([]byte{0x5A}, 64)
+	type result struct {
+		drop, corrupted, codec, dup, reorder bool
+		wire, codecWire                      []byte
+	}
+	query := func(inj *Injector, seq uint64, chunk, attempt int) result {
+		var r result
+		r.drop = inj.ShouldDropChunk(0, 1, seq, chunk, attempt)
+		r.wire, r.corrupted = inj.CorruptChunk(payload, 0, 1, seq, chunk, attempt)
+		r.codecWire, r.codec = inj.CorruptCodecChunk(payload, 0, 1, seq, chunk, attempt, 0)
+		r.dup, r.reorder = inj.ChunkFate(0, 1, seq, chunk)
+		return r
+	}
+	const n = 64
+	got := make([]result, n)
+	for i := 0; i < n; i++ {
+		got[i] = query(a, uint64(i/8), i%8, i%3)
+	}
+	for i := n - 1; i >= 0; i-- {
+		r := query(b, uint64(i/8), i%8, i%3)
+		if r.drop != got[i].drop || r.corrupted != got[i].corrupted ||
+			r.codec != got[i].codec || r.dup != got[i].dup || r.reorder != got[i].reorder {
+			t.Fatalf("event %d: chunk decisions diverged between injectors", i)
+		}
+		if !bytes.Equal(r.wire, got[i].wire) || !bytes.Equal(r.codecWire, got[i].codecWire) {
+			t.Fatalf("event %d: chunk corruption pattern diverged", i)
+		}
+	}
+}
+
+// TestChunkRatesFallBackToMessageRates: with no chunk-specific rate set,
+// the generic drop/corrupt rates govern chunks too, so "drop=0.01" in a
+// fault spec exercises the pipelined path without extra keys.
+func TestChunkRatesFallBackToMessageRates(t *testing.T) {
+	inj := New(Config{Seed: 3, DropRate: 1, CorruptRate: 1})
+	if !inj.ShouldDropChunk(0, 1, 9, 2, 0) {
+		t.Error("DropRate=1 did not drop a chunk")
+	}
+	payload := []byte{1, 2, 3, 4}
+	if _, hit := inj.CorruptChunk(payload, 0, 1, 9, 2, 1); !hit {
+		t.Error("CorruptRate=1 did not corrupt a chunk")
+	}
+	// Chunk-specific rates win when set.
+	quiet := New(Config{Seed: 3, DropRate: 1, ChunkDropRate: 0.0000001})
+	drops := 0
+	for c := 0; c < 64; c++ {
+		if quiet.ShouldDropChunk(0, 1, 9, c, 0) {
+			drops++
+		}
+	}
+	if drops > 1 {
+		t.Errorf("near-zero ChunkDropRate dropped %d/64 chunks under DropRate=1", drops)
+	}
+}
+
+// TestChunkFateCountsAndRates: fates draw once per chunk at roughly the
+// configured rates, land in the stats, and clear on reset.
+func TestChunkFateCountsAndRates(t *testing.T) {
+	inj := New(Config{Seed: 13, ChunkDuplicateRate: 0.25, ChunkReorderRate: 0.1})
+	const n = 20000
+	dups, reorders := 0, 0
+	for c := 0; c < n; c++ {
+		d, r := inj.ChunkFate(0, 1, uint64(c/64), c%64)
+		if d {
+			dups++
+		}
+		if r {
+			reorders++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if frac < want*0.85 || frac > want*1.15 {
+			t.Errorf("%s rate %.4f, want ~%.2f", name, frac, want)
+		}
+	}
+	check("duplicate", dups, 0.25)
+	check("reorder", reorders, 0.1)
+	st := inj.Stats()
+	if st.Duplicates != int64(dups) || st.Reorders != int64(reorders) {
+		t.Fatalf("stats %+v disagree with observed %d/%d", st, dups, reorders)
+	}
+	inj.ResetStats()
+	st = inj.Stats()
+	if st.Duplicates != 0 || st.Reorders != 0 {
+		t.Errorf("fate counters survived reset: %+v", st)
+	}
+}
+
+// TestChunkNilAndDisabled: the nil injector and chunk-rate-free configs
+// must leave chunks untouched, and chunk rates alone must enable a config.
+func TestChunkNilAndDisabled(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.ShouldDropChunk(0, 1, 0, 0, 0) {
+		t.Error("nil injector dropped a chunk")
+	}
+	p := []byte{1, 2, 3}
+	if _, hit := nilInj.CorruptChunk(p, 0, 1, 0, 0, 0); hit {
+		t.Error("nil injector corrupted a chunk")
+	}
+	if _, hit := nilInj.CorruptCodecChunk(p, 0, 1, 0, 0, 0, 0); hit {
+		t.Error("nil injector codec-corrupted a chunk")
+	}
+	if d, r := nilInj.ChunkFate(0, 1, 0, 0); d || r {
+		t.Error("nil injector drew a chunk fate")
+	}
+	for _, cfg := range []Config{
+		{ChunkDropRate: 0.1},
+		{ChunkCorruptRate: 0.1},
+		{ChunkDuplicateRate: 0.1},
+		{ChunkReorderRate: 0.1},
+	} {
+		if !cfg.Enabled() {
+			t.Errorf("config %+v not enabled", cfg)
+		}
+		if New(cfg) == nil {
+			t.Errorf("config %+v yielded a nil injector", cfg)
+		}
+	}
+	// ReorderDelay defaults when any chunk fate is possible.
+	if got := New(Config{ChunkReorderRate: 0.1}).Config().ReorderDelay; got != DefaultReorderDelay {
+		t.Errorf("ReorderDelay defaulted to %v, want %v", got, DefaultReorderDelay)
+	}
+}
+
+// TestChunkKindsDecideIndependently: a chunk's drop, corruption, and fate
+// draws must not correlate with each other or with the whole-message data
+// fate of the same (src, dst, seq).
+func TestChunkKindsDecideIndependently(t *testing.T) {
+	inj := New(Config{Seed: 5, DropRate: 0.5, ChunkDropRate: 0.5, ChunkDuplicateRate: 0.5})
+	sameMsg, sameFate := 0, 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		chunkDrop := inj.ShouldDropChunk(1, 2, uint64(i), 0, 0)
+		msgDrop := inj.ShouldDrop(KindData, 1, 2, uint64(i), 0)
+		dup, _ := inj.ChunkFate(1, 2, uint64(i), 0)
+		if chunkDrop == msgDrop {
+			sameMsg++
+		}
+		if chunkDrop == dup {
+			sameFate++
+		}
+	}
+	//simlint:orderok error reporting over a 2-entry map; order does not affect outcomes
+	for name, same := range map[string]int{"chunk-vs-message": sameMsg, "drop-vs-fate": sameFate} {
+		if same < n*2/5 || same > n*3/5 {
+			t.Errorf("%s correlated: %d/%d agreements at rate 0.5", name, same, n)
+		}
+	}
+}

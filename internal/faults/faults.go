@@ -47,6 +47,15 @@ const (
 	// compression engine), so falling back to the uncompressed path
 	// genuinely avoids it — unlike wire corruption, which hits any bytes.
 	KindCodec
+	// KindChunk is one chunk of a pipelined (or chunked-relay) transfer.
+	// Chunk decisions key on a dedicated identity that carries the chunk
+	// index as its own hash field (chunkKey), so chunk fates never alias
+	// each other or any whole-message event regardless of how large the
+	// sequence number or chunk count grows.
+	KindChunk
+	// KindChunkFate covers the chunk-specific delivery fates — duplicate
+	// and reorder — drawn once per chunk (not per attempt).
+	KindChunkFate
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +75,10 @@ func (k Kind) String() string {
 		return "silence"
 	case KindCodec:
 		return "codec"
+	case KindChunk:
+		return "chunk"
+	case KindChunkFate:
+		return "chunk-fate"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -129,12 +142,37 @@ type Config struct {
 	// whose ready instant is before this virtual time — a flaky codec
 	// that heals, used to exercise breaker half-open -> closed.
 	CodecUntil simtime.Duration
+	// ChunkDropRate / ChunkCorruptRate are the per-attempt probabilities
+	// that one chunk of a pipelined transfer is lost or bit-flipped.
+	// Zero falls back to DropRate / CorruptRate, so a generic lossy-wire
+	// config exercises the chunked path too; a non-zero value targets
+	// chunks specifically.
+	ChunkDropRate    float64
+	ChunkCorruptRate float64
+	// ChunkDuplicateRate is the per-chunk probability that the fabric
+	// delivers a chunk twice: the duplicate burns wire bandwidth but the
+	// receiver discards it by (seq, chunk) identity.
+	ChunkDuplicateRate float64
+	// ChunkReorderRate is the per-chunk probability that a chunk is held
+	// back in the fabric by ReorderDelay, landing after its successors —
+	// the receiver must reassemble out of order.
+	ChunkReorderRate float64
+	// ReorderDelay is the holdback applied to a reordered chunk (0 means
+	// DefaultReorderDelay).
+	ReorderDelay simtime.Duration
 }
+
+// DefaultReorderDelay is the fabric holdback of a reordered chunk when
+// Config.ReorderDelay is zero: long enough to land a chunk after several
+// successors at realistic chunk transfer times.
+const DefaultReorderDelay = 200 * simtime.Microsecond
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.CorruptRate > 0 || c.DropRate > 0 || c.DegradeRate > 0 ||
-		c.CrashRate > 0 || c.SilentRate > 0 || c.CodecRate > 0
+		c.CrashRate > 0 || c.SilentRate > 0 || c.CodecRate > 0 ||
+		c.ChunkDropRate > 0 || c.ChunkCorruptRate > 0 ||
+		c.ChunkDuplicateRate > 0 || c.ChunkReorderRate > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +187,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailWindow <= 0 {
 		c.FailWindow = DefaultFailWindow
+	}
+	if c.ReorderDelay <= 0 {
+		c.ReorderDelay = DefaultReorderDelay
 	}
 	return c
 }
@@ -171,6 +212,11 @@ type Stats struct {
 	// CodecCorruptions counts compressed-payload corruptions injected by
 	// the codec fault path.
 	CodecCorruptions int64
+	// Duplicates / Reorders count the chunk-specific delivery fates:
+	// chunks the fabric delivered twice, and chunks held back to land
+	// after their successors.
+	Duplicates int64
+	Reorders   int64
 }
 
 // Injector makes the per-event fault decisions. All methods are safe for
@@ -186,6 +232,8 @@ type Injector struct {
 	crashes     atomic.Int64
 	silences    atomic.Int64
 	codecCorr   atomic.Int64
+	duplicates  atomic.Int64
+	reorders    atomic.Int64
 }
 
 // New builds an injector for cfg. It returns nil when cfg injects nothing,
@@ -218,6 +266,8 @@ func (i *Injector) Stats() Stats {
 		Crashes:          i.crashes.Load(),
 		Silences:         i.silences.Load(),
 		CodecCorruptions: i.codecCorr.Load(),
+		Duplicates:       i.duplicates.Load(),
+		Reorders:         i.reorders.Load(),
 	}
 }
 
@@ -232,6 +282,8 @@ func (i *Injector) ResetStats() {
 	i.degrades.Store(0)
 	i.bitsFlipped.Store(0)
 	i.codecCorr.Store(0)
+	i.duplicates.Store(0)
+	i.reorders.Store(0)
 	// Crashes/Silences are per-run fate counts, not per-event counters, so
 	// they survive a reset: a benchmark repetition does not re-roll fates.
 }
@@ -349,6 +401,115 @@ func (i *Injector) BandwidthFactor(srcNode, dstNode int, at simtime.Time) float6
 		return i.cfg.DegradeFactor
 	}
 	return 1
+}
+
+// --- chunk-granular fates ---
+//
+// Chunk decisions hash a dedicated identity (chunkKey) that mixes the
+// chunk index as its own field, never packed into the sequence number:
+// the old seq<<16|index packing aliased (seq=0, chunk=65536) with
+// (seq=1, chunk=0) and silently truncated once a sequence number reached
+// the high bits. Distinct (seq, chunk) pairs now feed distinct hash
+// inputs, so chunk fates are collision-free and independent of every
+// whole-message event of the same message.
+
+// ShouldDropChunk decides whether attempt `attempt` of chunk `chunk` of
+// message (src, dst, seq) is lost. ChunkDropRate governs when set;
+// otherwise the generic DropRate applies to chunks too.
+func (i *Injector) ShouldDropChunk(src, dst int, seq uint64, chunk, attempt int) bool {
+	if i == nil {
+		return false
+	}
+	rate := i.cfg.ChunkDropRate
+	if rate <= 0 {
+		rate = i.cfg.DropRate
+	}
+	if rate <= 0 {
+		return false
+	}
+	if i.uniform(chunkKey(uint64(KindChunk), 0x7d0b, src, dst, seq, chunk, attempt)) < rate {
+		i.drops.Add(1)
+		return true
+	}
+	return false
+}
+
+// CorruptChunk is Corrupt for one chunk of a pipelined transfer, keyed by
+// the collision-free chunk identity. ChunkCorruptRate governs when set;
+// otherwise the generic CorruptRate applies.
+func (i *Injector) CorruptChunk(payload []byte, src, dst int, seq uint64, chunk, attempt int) ([]byte, bool) {
+	if i == nil || len(payload) == 0 {
+		return payload, false
+	}
+	rate := i.cfg.ChunkCorruptRate
+	if rate <= 0 {
+		rate = i.cfg.CorruptRate
+	}
+	if rate <= 0 {
+		return payload, false
+	}
+	key := chunkKey(0xc0, 0x1232, src, dst, seq, chunk, attempt)
+	if i.uniform(key) >= rate {
+		return payload, false
+	}
+	wire, flips := i.flipBits(payload, key)
+	i.corruptions.Add(1)
+	i.bitsFlipped.Add(int64(flips))
+	return wire, true
+}
+
+// CorruptCodecChunk is CorruptCodec for one chunk: same CodecRate and
+// CodecUntil healing, chunk-granular identity. Callers must only invoke it
+// for compressed chunks.
+func (i *Injector) CorruptCodecChunk(payload []byte, src, dst int, seq uint64, chunk, attempt int, at simtime.Time) ([]byte, bool) {
+	if i == nil || i.cfg.CodecRate <= 0 || len(payload) == 0 {
+		return payload, false
+	}
+	if i.cfg.CodecUntil > 0 && at >= simtime.Time(i.cfg.CodecUntil) {
+		return payload, false
+	}
+	key := chunkKey(uint64(KindCodec), 0x5ec7, src, dst, seq, chunk, attempt)
+	if i.uniform(key) >= i.cfg.CodecRate {
+		return payload, false
+	}
+	wire, flips := i.flipBits(payload, key)
+	i.codecCorr.Add(1)
+	i.bitsFlipped.Add(int64(flips))
+	return wire, true
+}
+
+// ChunkFate draws chunk (src, dst, seq, chunk)'s delivery fate, once per
+// chunk (not per attempt): duplicate means the fabric delivers the chunk
+// twice (the copy burns bandwidth; the receiver discards it by identity);
+// reorder means the chunk is held back by Config.ReorderDelay so it lands
+// after its successors. The fates are independent rolls and may combine.
+func (i *Injector) ChunkFate(src, dst int, seq uint64, chunk int) (duplicate, reorder bool) {
+	if i == nil {
+		return false, false
+	}
+	if i.cfg.ChunkDuplicateRate > 0 &&
+		i.uniform(chunkKey(uint64(KindChunkFate), 0xd0b1, src, dst, seq, chunk, 0)) < i.cfg.ChunkDuplicateRate {
+		i.duplicates.Add(1)
+		duplicate = true
+	}
+	if i.cfg.ChunkReorderRate > 0 &&
+		i.uniform(chunkKey(uint64(KindChunkFate), 0x0ede, src, dst, seq, chunk, 0)) < i.cfg.ChunkReorderRate {
+		i.reorders.Add(1)
+		reorder = true
+	}
+	return duplicate, reorder
+}
+
+// chunkKey is eventKey with the chunk index as a dedicated hash field —
+// the collision-free chunk identity space.
+func chunkKey(kind, salt uint64, src, dst int, seq uint64, chunk, attempt int) uint64 {
+	h := splitmix64(kind ^ salt<<8)
+	h = splitmix64(h ^ uint64(uint32(src)))
+	h = splitmix64(h ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ seq)
+	h = splitmix64(h ^ uint64(uint32(chunk)))
+	h = splitmix64(h ^ uint64(uint32(attempt)))
+	return h
 }
 
 // uniform maps an event key to [0, 1) under the injector's seed.

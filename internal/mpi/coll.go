@@ -121,6 +121,9 @@ func (r *Rank) consumeRaw(raw rawResult, dst *gpusim.Buffer) error {
 // decompressing their own copy), and every rank decompresses exactly once.
 // This is the collective co-design the paper's framework enables — the
 // header carried with each payload makes relayed messages self-describing.
+// Relayed payloads at least twice the pipeline chunk size ride the
+// chunk-granular reliability path (per-chunk CRC, selective retransmit,
+// credit window) hop by hop, exactly like pipelined point-to-point sends.
 func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
@@ -691,6 +694,11 @@ func (r *Rank) ringReduceStep(right, left int, src, recvBuf *gpusim.Buffer, sOff
 // recompression — exactly like Bcast's relay path. Reduction results
 // are bit-identical to RingAllreduceSumBlocking for lossless configs:
 // the per-element float additions happen in the same order.
+//
+// Both phases inherit the transport's chunk-granular reliability: every
+// point-to-point step above twice the chunk size moves as independently
+// CRC-protected, selectively retransmitted, credit-windowed chunks, so a
+// lossy link slows one step instead of failing the collective.
 func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	v, err := r.collView()
 	if err != nil {

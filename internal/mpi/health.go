@@ -257,6 +257,18 @@ func (w *World) failSend(env *envelope, onset simtime.Time, err error) {
 		return
 	}
 	t := simtime.Max(env.rtsArrival, onset).Add(w.health.Deadline)
+	if env.pipelined {
+		// Retire the envelope's lane ticket so later pipelined sends to
+		// the pair — which will fail the same way — are not parked behind
+		// it forever.
+		lane := &w.ranks[env.src].pipeTx[env.dst]
+		lane.retire(env.ticket, func() {
+			env.senderDone <- sendOutcome{t: t, err: err}
+			close(env.done)
+		})
+		w.watchdogWakeups.Add(1)
+		return
+	}
 	env.senderDone <- sendOutcome{t: t, err: err}
 	w.watchdogWakeups.Add(1)
 }

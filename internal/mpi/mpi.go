@@ -64,6 +64,12 @@ type RetryPolicy struct {
 	// Backoff is the delay before the first retransmission, doubling
 	// with each subsequent one. Zero selects DefaultRetryBackoff.
 	Backoff simtime.Duration
+	// ChunkLimit is the per-chunk retransmission budget of the pipelined
+	// path: each chunk of a chunked transfer retries independently up to
+	// this many times (selective retransmission — delivered chunks never
+	// cross the wire again). Zero inherits the effective Limit; negative
+	// disables chunk retries.
+	ChunkLimit int
 }
 
 // limit returns the effective retransmission budget.
@@ -75,6 +81,17 @@ func (p RetryPolicy) limit() int {
 		return DefaultRetryLimit
 	}
 	return p.Limit
+}
+
+// chunkLimit returns the effective per-chunk retransmission budget.
+func (p RetryPolicy) chunkLimit() int {
+	if p.ChunkLimit < 0 {
+		return 0
+	}
+	if p.ChunkLimit == 0 {
+		return p.limit()
+	}
+	return p.ChunkLimit
 }
 
 // delay returns the backoff before retransmission attempt+1 (attempt is
@@ -211,6 +228,8 @@ func NewWorld(opt Options) (*World, error) {
 			Engine:  eng,
 			box:     newMailbox(w),
 			sendSeq: make([]uint64, w.size),
+			pipe:    make([]pipePeer, w.size),
+			pipeTx:  make([]pipeLane, w.size),
 		}
 		w.ranks = append(w.ranks, r)
 	}
@@ -348,6 +367,16 @@ type Rank struct {
 	// (src, dst, seq) identity — which the fault injector hashes — is
 	// deterministic regardless of host scheduling.
 	sendSeq []uint64
+	// pipe[dst] tracks the chunk-stream health toward each peer for the
+	// transport's degrade ladder (pipeline.go). It is read and written
+	// only from this rank's own goroutine — at send eligibility checks
+	// and at Wait — so the ladder's decisions follow program order and
+	// stay deterministic.
+	pipe []pipePeer
+	// pipeTx[dst] orders pipelined match completions toward dst in this
+	// rank's program order, keeping concurrent chunk timelines' fabric
+	// reservations deterministic (see pipeLane in pipeline.go).
+	pipeTx []pipeLane
 }
 
 // nextSeq allocates the next per-destination message sequence number.

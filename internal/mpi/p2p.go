@@ -19,10 +19,13 @@ import (
 var ErrDeliveryFailed = errors.New("mpi: message delivery failed (retry budget exhausted)")
 
 // sendOutcome is the sender-side completion record: the instant the send
-// buffer became reusable, and the delivery error if the transport gave up.
+// buffer became reusable, the delivery error if the transport gave up, and
+// (pipelined sends) the chunk retransmissions the message consumed — the
+// signal Wait feeds into the per-peer degrade ladder.
 type sendOutcome struct {
-	t   simtime.Time
-	err error
+	t           simtime.Time
+	err         error
+	retransmits int
 }
 
 // envelope is one in-flight message's control state. For eager messages it
@@ -34,7 +37,10 @@ type sendOutcome struct {
 // further sender involvement.
 type envelope struct {
 	src, tag int
-	eager    bool
+	// dst is the destination rank; pipelined sends read it back in Wait to
+	// feed the per-peer degrade ladder.
+	dst   int
+	eager bool
 	// seq is the sender's per-destination message number; together with
 	// (src, dst) it is the identity the fault injector hashes.
 	seq uint64
@@ -64,9 +70,20 @@ type envelope struct {
 	// eager timeline
 	arrival simtime.Time
 
-	// pipelined rendezvous (chunked) state
-	pipelined bool
-	chunks    []chunkPart
+	// pipelined rendezvous (chunked) state. relayChunks marks a relayed
+	// wire payload traveling as segments (reassembled, then decoded against
+	// hdr); stagedChunks holds the credit window's worth of staging slots a
+	// chunked compression stream cycles through.
+	pipelined    bool
+	relayChunks  bool
+	chunks       []chunkPart
+	stagedChunks []*gpusim.Buffer
+	// ticket orders this envelope's match completion on the sender's
+	// per-destination pipeLane (pipeline.go); done closes once the
+	// completion has run, and the receiver's Wait gates on it before
+	// reading the timeline it filled.
+	ticket uint64
+	done   chan struct{}
 
 	// fb, when non-nil, regenerates this message as an uncompressed wire
 	// payload (the sender still owns the user buffer until Wait). The
@@ -444,7 +461,7 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 		return &Request{rank: r, isSend: true, done: true, err: err}, nil
 	}
 
-	if r.pipelineEligible(buf) {
+	if r.pipelineEligible(dst, buf.Len()) {
 		return r.isendPipelined(dst, tag, buf, seq)
 	}
 
@@ -581,6 +598,10 @@ func (r *Rank) Wait(req *Request) error {
 		// transfer has drained (or the transport gave up).
 		out := <-req.env.senderDone
 		r.Clock.AdvanceTo(out.t)
+		if req.env.pipelined {
+			// Feed the degrade ladder in the sender's program order.
+			r.notePipeOutcome(req.env.dst, out.retransmits, out.err != nil)
+		}
 		req.err = out.err
 		return out.err
 	}
@@ -698,6 +719,12 @@ func (r *Rank) isendPayload(dst, tag int, payload []byte, hdr core.Header) (*Req
 	seq := r.nextSeq(dst)
 	r.Engine.NoteRelay(len(payload))
 	r.Clock.Advance(simtime.FromMicroseconds(0.3))
+	if r.pipelineEligible(dst, len(payload)) {
+		// Large relayed payloads ride the chunk-granular reliability path:
+		// segmented with per-chunk CRCs, selectively retransmitted, and
+		// credit-windowed exactly like a pipelined compression stream.
+		return r.isendPayloadChunked(dst, tag, payload, hdr, seq)
+	}
 	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
 		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
@@ -761,6 +788,9 @@ func (r *Rank) waitRecvRaw(req *Request) error {
 			hdr:     core.Header{Algo: core.AlgoNone, OrigBytes: len(env.payload), CompBytes: len(env.payload), Checksum: env.crc},
 		}
 		return nil
+	}
+	if env.pipelined {
+		return r.waitRecvRawChunked(req, env)
 	}
 	r.Clock.AdvanceTo(simtime.Max(env.matchTime, env.dataArrival))
 	if env.deliveryErr != nil {
