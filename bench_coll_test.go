@@ -1,15 +1,22 @@
 // Collective fast-path benchmarks: before/after evidence for the
-// compress-once cache and the pipelined/relay ring allreduce.
+// compress-once cache, the pipelined/relay ring allreduce, and the
+// datatype-aware pack+compress fusion.
 //
 // TestWriteBenchColl (env-gated: BENCH_COLL=1) measures simulated
 // latency and host wall-clock for bcast, hierarchical bcast, allgather,
-// and ring-allreduce at 1 MB and 8 MB on an 8-rank (4x2) Longhorn
-// world, writing BENCH_coll.json. "Before" arms run with the
+// alltoallv, and ring-allreduce at 1 MB and 8 MB on an 8-rank (4x2)
+// Longhorn world, writing BENCH_coll.json. "Before" arms run with the
 // compress-once cache disabled — and, for the ring, the blocking
 // whole-block algorithm — i.e. the code paths as they were before the
 // fast paths landed; "after" arms run the defaults. The ring row at
 // 8 MB also differentially verifies that the pipelined/relay ring and
 // its blocking oracle produce byte-identical reductions.
+//
+// A final awpodc-halo row compares the staged halo exchange (pack and
+// unpack kernels charged honestly, HaloPacked=true) against the fused
+// typed path (Subarray3D boundary views, zero staging copies): the
+// typed arm must be bit-identical on the wire and >= 15% faster on
+// per-step halo latency.
 package mpicomp_test
 
 import (
@@ -20,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"mpicomp/internal/awpodc"
 	"mpicomp/internal/core"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/hw"
@@ -131,6 +139,7 @@ func TestWriteBenchColl(t *testing.T) {
 		{"bcast", arm{before: omb.BcastLatency, after: omb.BcastLatency}},
 		{"bcast-hier", arm{before: omb.BcastHierarchicalLatency, after: omb.BcastHierarchicalLatency}},
 		{"allgather", arm{before: omb.AllgatherLatency, after: omb.AllgatherLatency}},
+		{"alltoallv", arm{before: omb.AlltoallvLatency, after: omb.AlltoallvLatency}},
 		{"ring-allreduce", arm{before: omb.RingAllreduceBlockingLatency, after: omb.RingAllreduceLatency}},
 	}
 	doc := benchCollDoc{
@@ -196,6 +205,62 @@ func TestWriteBenchColl(t *testing.T) {
 				coll.name, size, e.BeforeUs, e.AfterUs, e.SpeedupPct, cs.Hits, cs.RelayedBytes)
 		}
 	}
+	// Fused typed halo vs the staged baseline. Same world shape as the
+	// collectives above; the halo is the awpodc X/Y face exchange, the
+	// per-row metric the slowest rank's per-step halo latency.
+	haloCfg := awpodc.Config{NX: 128, NY: 128, NZ: 64, Fields: 9, Steps: 4}
+	stagedCfg := haloCfg
+	stagedCfg.HaloPacked = true
+
+	wallStart := time.Now()
+	resB, err := awpodc.Run(benchCollWorld(t, 0), stagedCfg)
+	if err != nil {
+		t.Fatalf("awpodc-halo staged: %v", err)
+	}
+	beforeWall := time.Since(wallStart)
+
+	wallStart = time.Now()
+	after := benchCollWorld(t, 0)
+	resA, err := awpodc.Run(after, haloCfg)
+	if err != nil {
+		t.Fatalf("awpodc-halo typed: %v", err)
+	}
+	afterWall := time.Since(wallStart)
+
+	var cs core.CacheStats
+	for i := 0; i < after.Size(); i++ {
+		cs.Add(after.Rank(i).Engine.CacheSnapshot())
+	}
+	halo := benchCollEntry{
+		Coll:         "awpodc-halo",
+		Bytes:        haloCfg.HaloBytesX(),
+		BeforeUs:     resB.CommTime.Microseconds(),
+		AfterUs:      resA.CommTime.Microseconds(),
+		BeforeWallMs: float64(beforeWall.Microseconds()) / 1e3,
+		AfterWallMs:  float64(afterWall.Microseconds()) / 1e3,
+		CacheHits:    cs.Hits,
+		CacheMisses:  cs.Misses,
+	}
+	if halo.BeforeUs > 0 {
+		halo.SpeedupPct = (halo.BeforeUs - halo.AfterUs) / halo.BeforeUs * 100
+	}
+	identical := resA.Checksum == resB.Checksum && resA.WireBytes == resB.WireBytes
+	halo.BitIdentical = &identical
+	if !identical {
+		t.Errorf("awpodc-halo: typed path not bit-identical to staged (checksum %v vs %v, wire %d vs %d)",
+			resA.Checksum, resB.Checksum, resA.WireBytes, resB.WireBytes)
+	}
+	if halo.SpeedupPct < 15 {
+		t.Errorf("awpodc-halo: %.1f%% improvement, want >= 15%% (staged %.1fus, typed %.1fus)",
+			halo.SpeedupPct, halo.BeforeUs, halo.AfterUs)
+	}
+	if resA.StagingBytes != 0 {
+		t.Errorf("awpodc-halo: typed path moved %d staging bytes, want 0", resA.StagingBytes)
+	}
+	doc.Results = append(doc.Results, halo)
+	t.Logf("awpodc-halo: staged %.1fus typed %.1fus (%.1f%%), staging saved %dB",
+		halo.BeforeUs, halo.AfterUs, halo.SpeedupPct, resB.StagingBytes)
+
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -26,7 +26,7 @@ import (
 //
 //simlint:wallclock bench harness reports real elapsed time alongside simulated results
 func main() {
-	bench := flag.String("bench", "latency", "benchmark: latency | bw | bibw | bcast | bcast-hier | allgather | allreduce | ring-allreduce | ring-allreduce-blocking | reduce | gather | scatter | alltoall")
+	bench := flag.String("bench", "latency", "benchmark: latency | bw | bibw | bcast | bcast-hier | allgather | allreduce | ring-allreduce | ring-allreduce-blocking | reduce | gather | scatter | alltoall | alltoallv")
 	cluster := flag.String("cluster", "longhorn", "cluster model: longhorn | frontera | lassen | ri2")
 	nodes := flag.Int("nodes", 2, "number of nodes")
 	ppn := flag.Int("ppn", 1, "processes (GPUs) per node")
@@ -176,6 +176,7 @@ var collBenches = map[string]func(*mpi.World, int, int, int, omb.DataGen) (omb.C
 	"gather":                  omb.GatherLatency,
 	"scatter":                 omb.ScatterLatency,
 	"alltoall":                omb.AlltoallLatency,
+	"alltoallv":               omb.AlltoallvLatency,
 }
 
 // printCacheStats reports compress-once cache and relay activity summed

@@ -4,6 +4,11 @@
 // in Figures 12/13: higher sustained GPU computing FLOPS purely from
 // cheaper communication.
 //
+// The halo travels as typed sends of Subarray3D boundary views — the
+// gather rides the compression kernel's read pass — so no staging
+// buffers and no pack/unpack kernels exist. A final staged-path run
+// (HaloPacked) shows what that fusion saves.
+//
 //	go run ./examples/halo3d
 package main
 
@@ -17,6 +22,7 @@ import (
 	"mpicomp/internal/core"
 	"mpicomp/internal/hw"
 	"mpicomp/internal/mpi"
+	"mpicomp/internal/simtime"
 )
 
 func main() {
@@ -41,6 +47,7 @@ func main() {
 
 	t := cli.NewTable("Configuration", "TFLOPS", "ms/step", "comm/step", "ratio", "checksum")
 	var baseline awpodc.Result
+	var zfpComm simtime.Duration
 	for i, c := range configs {
 		world, err := mpi.NewWorld(mpi.Options{Cluster: hw.Lassen(), Nodes: nodes, PPN: ppn, Engine: c.cfg})
 		if err != nil {
@@ -52,6 +59,9 @@ func main() {
 		}
 		if i == 0 {
 			baseline = res
+		}
+		if i == len(configs)-1 {
+			zfpComm = res.CommTime
 		}
 		t.Row(c.name,
 			fmt.Sprintf("%.2f", res.TFlops),
@@ -71,4 +81,24 @@ func main() {
 	fmt.Println("effect) while the dynamic engine detects this per message, bypasses,")
 	fmt.Println("and matches the baseline. ZFP-OPT's cheaper kernels win outright —")
 	fmt.Println("the paper's conclusion that ZFP-OPT helps almost everywhere.")
+
+	// The staged arm: identical physics and wire bytes, but every face
+	// is packed into a staging buffer (one kernel per wavefield
+	// component) before sending and unpacked after receiving.
+	stagedApp := app
+	stagedApp.HaloPacked = true
+	world, err := mpi.NewWorld(mpi.Options{Cluster: hw.Lassen(), Nodes: nodes, PPN: ppn,
+		Engine: core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 8}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	staged, err := awpodc.Run(world, stagedApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("Typed halo (Subarray3D views) vs staged pack+send, ZFP-OPT rate 8:\n")
+	fmt.Printf("  staging copies eliminated: %s (%s per step)\n",
+		cli.FormatBytes(int(staged.StagingBytes)), cli.FormatBytes(int(staged.StagingBytes)/app.Steps))
+	fmt.Printf("  comm/step: staged %v -> typed %v\n", staged.CommTime, zfpComm)
 }

@@ -166,6 +166,53 @@ func TestWeakScalingHoldsTimePerStep(t *testing.T) {
 	}
 }
 
+// TestTypedHaloMatchesPackedBaseline is the differential oracle of the
+// pack+compress fusion: the typed halo (Subarray3D boundary views, no
+// staging copies) must reproduce the staged pack-then-send baseline's
+// physics trajectory exactly and put the same bytes on the wire, with
+// zero staging traffic.
+func TestTypedHaloMatchesPackedBaseline(t *testing.T) {
+	engines := map[string]core.Config{
+		"off": {},
+		"mpc": testEngine(core.ModeOpt, core.AlgoMPC, 0),
+		"zfp": testEngine(core.ModeOpt, core.AlgoZFP, 16),
+	}
+	for name, engine := range engines {
+		packedCfg := testCfg()
+		packedCfg.HaloPacked = true
+		packed := runWorld(t, 2, 2, engine, packedCfg)
+		typed := runWorld(t, 2, 2, engine, testCfg())
+		if typed.Checksum != packed.Checksum {
+			t.Errorf("%s: typed halo altered the physics: %v vs %v", name, typed.Checksum, packed.Checksum)
+		}
+		if typed.WireBytes != packed.WireBytes {
+			t.Errorf("%s: typed halo wire bytes %d != staged %d", name, typed.WireBytes, packed.WireBytes)
+		}
+		if typed.StagingBytes != 0 {
+			t.Errorf("%s: typed halo moved %d staging bytes, want 0", name, typed.StagingBytes)
+		}
+		if packed.StagingBytes == 0 {
+			t.Errorf("%s: staged halo reported no staging traffic", name)
+		}
+		if name == "mpc" && typed.Ratio <= 2 {
+			t.Errorf("typed MPC halo ratio %v, want > 2", typed.Ratio)
+		}
+	}
+}
+
+// TestTypedHaloFasterThanStaged pins the perf claim behind the fusion:
+// dropping the per-face pack/unpack kernels must cut halo latency.
+func TestTypedHaloFasterThanStaged(t *testing.T) {
+	engine := testEngine(core.ModeOpt, core.AlgoMPC, 0)
+	packedCfg := testCfg()
+	packedCfg.HaloPacked = true
+	packed := runWorld(t, 2, 2, engine, packedCfg)
+	typed := runWorld(t, 2, 2, engine, testCfg())
+	if typed.CommTime >= packed.CommTime {
+		t.Fatalf("typed halo comm %v not faster than staged %v", typed.CommTime, packed.CommTime)
+	}
+}
+
 func TestHaloRatioInPaperRange(t *testing.T) {
 	// The paper observed MPC compression ratios between 3 and 31 on
 	// AWP-ODC halo data; a realistically proportioned mesh is mostly

@@ -40,12 +40,18 @@ import (
 // range of a tracked allocation, compressed for a given link class.
 // bw is the link bandwidth's bit pattern when dynamic selection is on
 // (the gate's decision depends on it); zero otherwise, so all links
-// share one entry.
+// share one entry. For typed (derived-datatype) compressions, sig is the
+// layout's signature and poff the packed byte offset of the chunk within
+// the layout's packed stream — so repeated halo sends of an unchanged
+// strided face hit the same entry, while contiguous entries (sig 0)
+// never collide with typed ones.
 type cacheKey struct {
-	id  uint64
-	off int
-	n   int
-	bw  uint64
+	id   uint64
+	off  int
+	n    int
+	bw   uint64
+	sig  uint64
+	poff int
 }
 
 // cacheEntry is one CompressedRef: the wire payload and header produced

@@ -279,9 +279,9 @@ func (e *Engine) compressLocked(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte,
 	var hdr Header
 	switch e.cfg.Algorithm {
 	case AlgoMPC:
-		payload, hdr = e.compressMPC(clk, buf)
+		payload, hdr = e.compressMPC(clk, buf.Data, buf.Len(), typedView{})
 	case AlgoZFP:
-		payload, hdr = e.compressZFP(clk, buf)
+		payload, hdr = e.compressZFP(clk, buf.Data, buf.Len(), typedView{})
 	default:
 		panic("core: unreachable algorithm")
 	}
@@ -424,9 +424,14 @@ func (e *Engine) VerifyPayload(clk *simtime.Clock, hdr Header, payload []byte) e
 }
 
 // compressMPC implements both the naive MPC path and MPC-OPT. The
-// returned payload aliases the engine arena.
-func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
-	nWords := buf.Len() / 4
+// returned payload aliases the engine arena. src holds the message bytes
+// (contiguous when view is zero; otherwise the full source buffer whose
+// strided runs the workers gather during their read pass), and n is the
+// packed message size — every kernel charge and partition decision is
+// over packed bytes, so a typed message costs exactly what the same
+// bytes would cost pre-packed.
+func (e *Engine) compressMPC(clk *simtime.Clock, src []byte, n int, view typedView) ([]byte, Header) {
+	nWords := n / 4
 	opt := e.cfg.Mode == ModeOpt
 
 	// --- temporary device buffers (compressed output + d_off) ---
@@ -448,7 +453,7 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	// --- compression kernel(s) ---
 	parts := 1
 	if opt {
-		parts = DefaultPartitions(buf.Len(), e.cfg.MaxPartitions)
+		parts = DefaultPartitions(n, e.cfg.MaxPartitions)
 	}
 	ranges := e.ar.rangesFor(nWords, parts)
 
@@ -458,7 +463,7 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 		// inter-block synchronization.
 		e.dev.LaunchKernel(clk, e.dev.Stream(0), gpusim.KernelSpec{
 			Blocks:         e.dev.Spec.SMs,
-			Bytes:          buf.Len(),
+			Bytes:          n,
 			ThroughputGbps: e.dev.Spec.MPCCompressGbps,
 			BusyWaitSync:   true,
 		})
@@ -495,7 +500,7 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 		off += b
 	}
 	e.mpcC = mpcCompressJob{
-		src: buf.Data, ranges: ranges, dim: e.cfg.MPCDim,
+		src: src, ranges: ranges, dim: e.cfg.MPCDim, view: view,
 		outs: outs, errs: e.ar.errsFor(parts),
 	}
 	e.runCodec(parts, &e.mpcC)
@@ -519,7 +524,7 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	// --- combine partitions into one contiguous buffer (Figure 7) ---
 	hdr := Header{
 		Algo: AlgoMPC, Compressed: true,
-		OrigBytes: buf.Len(), Dim: e.cfg.MPCDim,
+		OrigBytes: n, Dim: e.cfg.MPCDim,
 	}
 	hdr.PartBytes = e.ar.partBytesFor(parts)
 	var payload []byte
@@ -566,9 +571,10 @@ func (e *Engine) compressMPC(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 }
 
 // compressZFP implements the naive ZFP path and ZFP-OPT. The returned
-// payload aliases the engine arena.
-func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, Header) {
-	nVals := buf.Len() / 4
+// payload aliases the engine arena; src, n, and view follow the
+// compressMPC contract.
+func (e *Engine) compressZFP(clk *simtime.Clock, src []byte, n int, view typedView) ([]byte, Header) {
+	nVals := n / 4
 	opt := e.cfg.Mode == ModeOpt
 
 	// --- zfp_stream / zfp_field construction (CPU-side) ---
@@ -599,7 +605,7 @@ func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	t = startTimer(clk)
 	e.dev.LaunchKernel(clk, e.dev.Stream(0), gpusim.KernelSpec{
 		Blocks:         e.dev.Spec.SMs,
-		Bytes:          buf.Len(),
+		Bytes:          n,
 		ThroughputGbps: zfpKernelGbps(e.dev.Spec.ZFPCompressGbps, e.cfg.ZFPRate),
 	})
 	e.dev.StreamSync(clk, e.dev.Stream(0))
@@ -610,8 +616,8 @@ func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	nChunks := (nVals + zfpChunkValues - 1) / zfpChunkValues
 	payload := e.ar.compFor(compSize)
 	e.zfpC = zfpCompressJob{
-		src: buf.Data, out: payload, rate: e.cfg.ZFPRate,
-		nVals: nVals, errs: e.ar.errsFor(nChunks),
+		src: src, out: payload, rate: e.cfg.ZFPRate,
+		nVals: nVals, view: view, errs: e.ar.errsFor(nChunks),
 	}
 	e.runCodec(nChunks, &e.zfpC)
 	if i, err := firstErr(e.zfpC.errs); err != nil {
@@ -623,7 +629,7 @@ func (e *Engine) compressZFP(clk *simtime.Clock, buf *gpusim.Buffer) ([]byte, He
 	// (Section III-A).
 	hdr := Header{
 		Algo: AlgoZFP, Compressed: true,
-		OrigBytes: buf.Len(), CompBytes: len(payload), Rate: e.cfg.ZFPRate,
+		OrigBytes: n, CompBytes: len(payload), Rate: e.cfg.ZFPRate,
 	}
 
 	t = startTimer(clk)
@@ -704,9 +710,9 @@ func (e *Engine) Decompress(clk *simtime.Clock, hdr Header, payload []byte, dst 
 	var err error
 	switch hdr.Algo {
 	case AlgoMPC:
-		err = e.decompressMPC(clk, hdr, payload, dst)
+		err = e.decompressMPC(clk, hdr, payload, dst.Data[:hdr.OrigBytes], typedView{})
 	case AlgoZFP:
-		err = e.decompressZFP(clk, hdr, payload, dst)
+		err = e.decompressZFP(clk, hdr, payload, dst.Data[:hdr.OrigBytes], typedView{})
 	default:
 		return fmt.Errorf("core: unknown algorithm %v in header", hdr.Algo)
 	}
@@ -718,7 +724,11 @@ func (e *Engine) Decompress(clk *simtime.Clock, hdr Header, payload []byte, dst 
 	return err
 }
 
-func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, dst *gpusim.Buffer) error {
+// decompressMPC restores hdr.OrigBytes packed bytes into dst: written
+// contiguously when view is zero, scattered into strided runs (starting
+// at packed offset view.base) otherwise, during the decoder's existing
+// write-back pass.
+func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, dst []byte, view typedView) error {
 	opt := e.cfg.Mode == ModeOpt
 	nWords := hdr.OrigBytes / 4
 	parts := len(hdr.PartBytes)
@@ -788,7 +798,7 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 	// the first-by-index error is deterministic for any worker count.
 	e.mpcD = mpcDecompressJob{
 		payload: payload, offs: offs, ranges: ranges, dim: hdr.Dim,
-		dst: dst.Data[:hdr.OrigBytes], errs: e.ar.errsFor(parts),
+		view: view, dst: dst, errs: e.ar.errsFor(parts),
 	}
 	e.runCodec(parts, &e.mpcD)
 	if i, err := firstErr(e.mpcD.errs); err != nil {
@@ -806,7 +816,8 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 	return nil
 }
 
-func (e *Engine) decompressZFP(clk *simtime.Clock, hdr Header, payload []byte, dst *gpusim.Buffer) error {
+// decompressZFP follows the decompressMPC dst/view contract.
+func (e *Engine) decompressZFP(clk *simtime.Clock, hdr Header, payload []byte, dst []byte, view typedView) error {
 	opt := e.cfg.Mode == ModeOpt
 	n := hdr.OrigBytes / 4
 	// Validate rate and total size up front so the parallel chunks can
@@ -838,8 +849,8 @@ func (e *Engine) decompressZFP(clk *simtime.Clock, hdr Header, payload []byte, d
 	// sender used decode concurrently into disjoint ranges of dst.
 	nChunks := (n + zfpChunkValues - 1) / zfpChunkValues
 	e.zfpD = zfpDecompressJob{
-		comp: payload, dst: dst.Data[:hdr.OrigBytes], rate: hdr.Rate,
-		nVals: n, errs: e.ar.errsFor(nChunks),
+		comp: payload, dst: dst, rate: hdr.Rate,
+		nVals: n, view: view, errs: e.ar.errsFor(nChunks),
 	}
 	e.runCodec(nChunks, &e.zfpD)
 	if i, err := firstErr(e.zfpD.errs); err != nil {

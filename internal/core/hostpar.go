@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"mpicomp/internal/codecpool"
 	"mpicomp/internal/mpc"
@@ -53,6 +54,13 @@ type arena struct {
 	offs      []int
 	outs      [][]byte
 	errs      []error
+	// truns/troffs hold the current typed message's contiguous source
+	// runs and their cumulative packed byte offsets (typed.go).
+	truns  [][2]int
+	troffs []int
+	// packed stages the gathered bytes of a typed message that bypasses
+	// compression (the typed analogue of the AlgoNone view of buf.Data).
+	packed []byte
 }
 
 func (a *arena) compFor(n int) []byte {
@@ -98,6 +106,14 @@ func (a *arena) outsFor(n int) [][]byte {
 	}
 	a.outs = a.outs[:n]
 	return a.outs
+}
+
+func (a *arena) packedFor(n int) []byte {
+	if cap(a.packed) < n {
+		a.packed = make([]byte, n)
+	}
+	a.packed = a.packed[:n]
+	return a.packed
 }
 
 // errsFor returns a cleared length-n error slice (stale results from the
@@ -152,14 +168,153 @@ func floatsToBytesAt(dst []byte, f []float32) {
 	}
 }
 
+// typedView routes a codec job's reads (compress) or writes (decompress)
+// through a strided layout instead of a contiguous byte range. runs are
+// the layout's maximal contiguous byte runs over the buffer, offs their
+// cumulative packed byte offsets (len(runs)+1 entries), and base the
+// packed byte offset of this message's first byte within the layout's
+// packed stream (nonzero for pipelined typed chunks). A zero typedView
+// (runs == nil) means contiguous — the pre-existing fast path.
+//
+// This is the pack+compress fusion point: the gather happens inside the
+// codec's existing byte-to-word read pass (and the scatter inside its
+// write-back pass), so a strided message costs the same number of passes
+// and the same scratch as a contiguous one. Runs and offs alias the
+// engine arena; workers only ever read them.
+type typedView struct {
+	runs [][2]int
+	offs []int
+	base int
+}
+
+// runAt locates the run containing packed byte offset p.
+func runAt(offs []int, p int) int {
+	// offs has len(runs)+1 entries; find the first run ending past p.
+	return sort.Search(len(offs)-1, func(i int) bool { return offs[i+1] > p })
+}
+
+// gatherWordsAt fills dst with the packed words starting at word w0 of
+// the layout's packed stream, reading strided source runs. Run offsets
+// and lengths are multiples of 4 by construction (word-granular
+// layouts), so word boundaries never split a run element.
+func gatherWordsAt(dst []uint32, src []byte, runs [][2]int, offs []int, w0 int) {
+	p := 4 * w0
+	k := runAt(offs, p)
+	for di := 0; di < len(dst); k++ {
+		rg := runs[k]
+		ro := p - offs[k]
+		take := (rg[1] - ro) / 4
+		if rem := len(dst) - di; take > rem {
+			take = rem
+		}
+		bytesToWordsAt(dst[di:di+take], src[rg[0]+ro:rg[0]+ro+4*take])
+		di += take
+		p += 4 * take
+	}
+}
+
+// scatterWordsAt writes w as the packed words starting at word w0 of the
+// layout's packed stream, storing into strided destination runs — the
+// mirror of gatherWordsAt.
+func scatterWordsAt(dst []byte, runs [][2]int, offs []int, w0 int, w []uint32) {
+	p := 4 * w0
+	k := runAt(offs, p)
+	for si := 0; si < len(w); k++ {
+		rg := runs[k]
+		ro := p - offs[k]
+		take := (rg[1] - ro) / 4
+		if rem := len(w) - si; take > rem {
+			take = rem
+		}
+		wordsToBytesAt(dst[rg[0]+ro:rg[0]+ro+4*take], w[si:si+take])
+		si += take
+		p += 4 * take
+	}
+}
+
+// gatherFloatsAt is gatherWordsAt for float32 destinations (the ZFP path).
+func gatherFloatsAt(dst []float32, src []byte, runs [][2]int, offs []int, v0 int) {
+	p := 4 * v0
+	k := runAt(offs, p)
+	for di := 0; di < len(dst); k++ {
+		rg := runs[k]
+		ro := p - offs[k]
+		take := (rg[1] - ro) / 4
+		if rem := len(dst) - di; take > rem {
+			take = rem
+		}
+		bytesToFloatsAt(dst[di:di+take], src[rg[0]+ro:rg[0]+ro+4*take])
+		di += take
+		p += 4 * take
+	}
+}
+
+// scatterFloatsAt is scatterWordsAt for float32 sources (the ZFP path).
+func scatterFloatsAt(dst []byte, runs [][2]int, offs []int, v0 int, f []float32) {
+	p := 4 * v0
+	k := runAt(offs, p)
+	for si := 0; si < len(f); k++ {
+		rg := runs[k]
+		ro := p - offs[k]
+		take := (rg[1] - ro) / 4
+		if rem := len(f) - si; take > rem {
+			take = rem
+		}
+		floatsToBytesAt(dst[rg[0]+ro:rg[0]+ro+4*take], f[si:si+take])
+		si += take
+		p += 4 * take
+	}
+}
+
+// gatherBytesAt copies n packed bytes starting at packed offset base into
+// dst — byte-granular, so typed bypass payloads of any (mis)alignment
+// pack correctly.
+func gatherBytesAt(dst []byte, src []byte, runs [][2]int, offs []int, base int) {
+	p := base
+	k := runAt(offs, p)
+	for di := 0; di < len(dst); k++ {
+		rg := runs[k]
+		ro := p - offs[k]
+		take := rg[1] - ro
+		if rem := len(dst) - di; take > rem {
+			take = rem
+		}
+		copy(dst[di:di+take], src[rg[0]+ro:rg[0]+ro+take])
+		di += take
+		p += take
+	}
+}
+
+// scatterBytesAt copies src into the layout's positions starting at
+// packed offset base — the mirror of gatherBytesAt, used by typed
+// receives of uncompressed payloads.
+func scatterBytesAt(dst []byte, runs [][2]int, offs []int, base int, src []byte) {
+	p := base
+	k := runAt(offs, p)
+	for si := 0; si < len(src); k++ {
+		rg := runs[k]
+		ro := p - offs[k]
+		take := rg[1] - ro
+		if rem := len(src) - si; take > rem {
+			take = rem
+		}
+		copy(dst[rg[0]+ro:rg[0]+ro+take], src[si:si+take])
+		si += take
+		p += take
+	}
+}
+
 // mpcCompressJob compresses the partition ranges of one message
 // concurrently. Part i converts its own byte range to words in worker
 // scratch and encodes into outs[i], a region of the arena's comp buffer
 // pre-sliced with cap mpc.Bound(partWords) — partitions cannot collide.
+// A non-nil view gathers each partition's words from strided source runs
+// during the same read pass (pack+compress fusion).
 type mpcCompressJob struct {
 	src    []byte
 	ranges [][2]int
 	dim    int
+	view   typedView
 	outs   [][]byte
 	errs   []error
 }
@@ -167,7 +322,11 @@ type mpcCompressJob struct {
 func (j *mpcCompressJob) RunPart(i int, s *codecpool.Scratch) {
 	rg := j.ranges[i]
 	w := s.Words(rg[1] - rg[0])
-	bytesToWordsAt(w, j.src[4*rg[0]:4*rg[1]])
+	if j.view.runs == nil {
+		bytesToWordsAt(w, j.src[4*rg[0]:4*rg[1]])
+	} else {
+		gatherWordsAt(w, j.src, j.view.runs, j.view.offs, j.view.base/4+rg[0])
+	}
 	out, err := mpc.AppendCompressWords(j.outs[i][:0], w, j.dim)
 	j.outs[i] = out
 	j.errs[i] = err
@@ -183,6 +342,7 @@ type mpcDecompressJob struct {
 	offs    []int // len(parts)+1 cumulative payload offsets
 	ranges  [][2]int
 	dim     int
+	view    typedView
 	dst     []byte
 	errs    []error
 }
@@ -194,7 +354,11 @@ func (j *mpcDecompressJob) RunPart(i int, s *codecpool.Scratch) {
 		j.errs[i] = err
 		return
 	}
-	wordsToBytesAt(j.dst[4*rg[0]:4*rg[1]], w)
+	if j.view.runs == nil {
+		wordsToBytesAt(j.dst[4*rg[0]:4*rg[1]], w)
+	} else {
+		scatterWordsAt(j.dst, j.view.runs, j.view.offs, j.view.base/4+rg[0], w)
+	}
 }
 
 // zfpCompressJob encodes independent chunk rows of one message
@@ -207,6 +371,7 @@ type zfpCompressJob struct {
 	out   []byte
 	rate  int
 	nVals int
+	view  typedView
 	errs  []error
 }
 
@@ -217,7 +382,11 @@ func (j *zfpCompressJob) RunPart(i int, s *codecpool.Scratch) {
 		v1 = j.nVals
 	}
 	f := s.Floats(v1 - v0)
-	bytesToFloatsAt(f, j.src[4*v0:4*v1])
+	if j.view.runs == nil {
+		bytesToFloatsAt(f, j.src[4*v0:4*v1])
+	} else {
+		gatherFloatsAt(f, j.src, j.view.runs, j.view.offs, j.view.base/4+v0)
+	}
 	off := i * (zfpChunkValues * j.rate / 8)
 	want, err := zfp.CompressedSize(v1-v0, j.rate)
 	if err != nil {
@@ -241,6 +410,7 @@ type zfpDecompressJob struct {
 	dst   []byte
 	rate  int
 	nVals int
+	view  typedView
 	errs  []error
 }
 
@@ -261,5 +431,9 @@ func (j *zfpDecompressJob) RunPart(i int, s *codecpool.Scratch) {
 		j.errs[i] = err
 		return
 	}
-	floatsToBytesAt(j.dst[4*v0:4*v1], f)
+	if j.view.runs == nil {
+		floatsToBytesAt(j.dst[4*v0:4*v1], f)
+	} else {
+		scatterFloatsAt(j.dst, j.view.runs, j.view.offs, j.view.base/4+v0, f)
+	}
 }

@@ -1,0 +1,263 @@
+package dtype
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131 + 7)
+	}
+	return b
+}
+
+func TestContiguous(t *testing.T) {
+	ty := Contiguous{Words: 6}
+	if ty.Size() != 24 {
+		t.Fatalf("size = %d, want 24", ty.Size())
+	}
+	if err := ty.Validate(24); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	runs := ty.AppendRuns(nil)
+	if len(runs) != 1 || runs[0] != [2]int{0, 24} {
+		t.Fatalf("runs = %v, want [{0 24}]", runs)
+	}
+}
+
+func TestVectorRuns(t *testing.T) {
+	ty := Vector{Count: 3, BlockLen: 2, Stride: 5}
+	if ty.Size() != 24 {
+		t.Fatalf("size = %d, want 24", ty.Size())
+	}
+	runs := ty.AppendRuns(nil)
+	want := [][2]int{{0, 8}, {20, 8}, {40, 8}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+func TestVectorCoalesce(t *testing.T) {
+	// Stride == BlockLen: the blocks are contiguous and must merge into
+	// one run so the codec sees the largest possible copy granule.
+	ty := Vector{Count: 4, BlockLen: 3, Stride: 3}
+	runs := ty.AppendRuns(nil)
+	if len(runs) != 1 || runs[0] != [2]int{0, 48} {
+		t.Fatalf("runs = %v, want single coalesced run {0 48}", runs)
+	}
+}
+
+func TestSubarrayRuns(t *testing.T) {
+	// Full x rows coalesce across y when the box spans the whole x axis.
+	full := Subarray3D{Dims: [3]int{4, 3, 2}, Sub: [3]int{4, 3, 1}, Start: [3]int{0, 0, 1}}
+	runs := full.AppendRuns(nil)
+	if len(runs) != 1 || runs[0] != [2]int{4 * 12, 4 * 12} {
+		t.Fatalf("full-plane runs = %v, want single run", runs)
+	}
+
+	face := Subarray3D{Dims: [3]int{4, 3, 2}, Sub: [3]int{1, 3, 2}, Start: [3]int{2, 0, 0}}
+	runs = face.AppendRuns(nil)
+	if len(runs) != 6 {
+		t.Fatalf("face runs = %v, want 6 single-word runs", runs)
+	}
+	for i, rg := range runs {
+		if rg[1] != 4 {
+			t.Fatalf("face run %d = %v, want length 4", i, rg)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		ty     Type
+		bufLen int
+	}{
+		{"contig zero", Contiguous{Words: 0}, 64},
+		{"contig overflow", Contiguous{Words: 17}, 64},
+		{"vector zero count", Vector{Count: 0, BlockLen: 1, Stride: 1}, 64},
+		{"vector zero blocklen", Vector{Count: 2, BlockLen: 0, Stride: 1}, 64},
+		{"vector negative stride", Vector{Count: 2, BlockLen: 1, Stride: -3}, 64},
+		{"vector overlapping stride", Vector{Count: 2, BlockLen: 4, Stride: 2}, 64},
+		{"vector overflow", Vector{Count: 4, BlockLen: 2, Stride: 5}, 64},
+		{"subarray zero dim", Subarray3D{Dims: [3]int{0, 1, 1}, Sub: [3]int{1, 1, 1}}, 64},
+		{"subarray zero sub", Subarray3D{Dims: [3]int{2, 2, 2}, Sub: [3]int{1, 0, 1}}, 64},
+		{"subarray negative start", Subarray3D{Dims: [3]int{2, 2, 2}, Sub: [3]int{1, 1, 1}, Start: [3]int{0, -1, 0}}, 64},
+		{"subarray exceeds extent", Subarray3D{Dims: [3]int{2, 2, 2}, Sub: [3]int{2, 2, 2}, Start: [3]int{1, 0, 0}}, 64},
+		{"subarray exceeds buffer", Subarray3D{Dims: [3]int{4, 4, 4}, Sub: [3]int{1, 1, 1}}, 64},
+	}
+	for _, tc := range cases {
+		err := tc.ty.Validate(tc.bufLen)
+		if err == nil {
+			t.Errorf("%s: Validate(%d) = nil, want error", tc.name, tc.bufLen)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: error %v does not wrap ErrInvalid", tc.name, err)
+		}
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	types := []Type{
+		Contiguous{Words: 6},
+		Contiguous{Words: 7},
+		Vector{Count: 3, BlockLen: 2, Stride: 5},
+		Vector{Count: 3, BlockLen: 2, Stride: 6},
+		Vector{Count: 2, BlockLen: 3, Stride: 5},
+		Subarray3D{Dims: [3]int{4, 3, 2}, Sub: [3]int{1, 3, 2}, Start: [3]int{2, 0, 0}},
+		Subarray3D{Dims: [3]int{4, 3, 2}, Sub: [3]int{1, 3, 2}, Start: [3]int{1, 0, 0}},
+	}
+	seen := map[uint64]int{}
+	for i, ty := range types {
+		sig := ty.Signature()
+		if sig == 0 {
+			t.Fatalf("type %d: zero signature", i)
+		}
+		if sig != ty.Signature() {
+			t.Fatalf("type %d: signature not stable", i)
+		}
+		if j, dup := seen[sig]; dup {
+			t.Fatalf("types %d and %d collide on signature %#x", j, i, sig)
+		}
+		seen[sig] = i
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	types := []Type{
+		Contiguous{Words: 16},
+		Vector{Count: 5, BlockLen: 3, Stride: 7},
+		Subarray3D{Dims: [3]int{6, 5, 4}, Sub: [3]int{2, 3, 2}, Start: [3]int{3, 1, 1}},
+	}
+	for i, ty := range types {
+		src := fill(4 * 6 * 5 * 4)
+		packed := make([]byte, ty.Size())
+		if err := Pack(packed, src, ty); err != nil {
+			t.Fatalf("type %d: pack: %v", i, err)
+		}
+		dst := make([]byte, len(src))
+		if err := Unpack(dst, packed, ty); err != nil {
+			t.Fatalf("type %d: unpack: %v", i, err)
+		}
+		repacked := make([]byte, ty.Size())
+		if err := Pack(repacked, dst, ty); err != nil {
+			t.Fatalf("type %d: repack: %v", i, err)
+		}
+		if !bytes.Equal(packed, repacked) {
+			t.Fatalf("type %d: pack -> unpack -> pack not identity", i)
+		}
+	}
+}
+
+func TestPackMatchesManualGather(t *testing.T) {
+	ty := Vector{Count: 3, BlockLen: 2, Stride: 4}
+	src := fill(4 * ty.extentWords())
+	packed := make([]byte, ty.Size())
+	if err := Pack(packed, src, ty); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	var want []byte
+	for i := 0; i < ty.Count; i++ {
+		off := 4 * i * ty.Stride
+		want = append(want, src[off:off+4*ty.BlockLen]...)
+	}
+	if !bytes.Equal(packed, want) {
+		t.Fatalf("pack = %x, want %x", packed, want)
+	}
+}
+
+func TestPackShortDst(t *testing.T) {
+	ty := Contiguous{Words: 4}
+	if err := Pack(make([]byte, 8), fill(16), ty); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("short dst: err = %v, want ErrInvalid", err)
+	}
+	if err := Unpack(fill(16), make([]byte, 8), ty); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("short src: err = %v, want ErrInvalid", err)
+	}
+}
+
+// FuzzPackUnpack round-trips arbitrary Vector and Subarray3D layouts
+// through Pack -> Unpack -> Pack and checks the packed bytes are a
+// fixed point. Invalid layouts must be rejected by Validate, never
+// panic or read out of bounds.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(3, 2, 5, uint8(0))
+	f.Add(4, 1, 1, uint8(1))
+	f.Add(2, 3, 3, uint8(1))
+	f.Fuzz(func(t *testing.T, a, b, c int, kind uint8) {
+		var ty Type
+		if kind%2 == 0 {
+			ty = Vector{Count: a, BlockLen: b, Stride: c}
+		} else {
+			ty = Subarray3D{
+				Dims:  [3]int{8, 8, 8},
+				Sub:   [3]int{clampDim(a), clampDim(b), clampDim(c)},
+				Start: [3]int{abs(a) % 8, abs(b) % 8, abs(c) % 8},
+			}
+		}
+		src := fill(4 * 8 * 8 * 8)
+		if err := ty.Validate(len(src)); err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("validation error %v does not wrap ErrInvalid", err)
+			}
+			return
+		}
+		if ty.Size() <= 0 || ty.Size() > len(src) {
+			t.Fatalf("valid layout with bad size %d", ty.Size())
+		}
+		packed := make([]byte, ty.Size())
+		if err := Pack(packed, src, ty); err != nil {
+			t.Fatalf("pack: %v", err)
+		}
+		dst := make([]byte, len(src))
+		if err := Unpack(dst, packed, ty); err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		repacked := make([]byte, ty.Size())
+		if err := Pack(repacked, dst, ty); err != nil {
+			t.Fatalf("repack: %v", err)
+		}
+		if !bytes.Equal(packed, repacked) {
+			t.Fatal("pack -> unpack -> pack not a fixed point")
+		}
+		// Runs must be word-aligned, in packed order, and sum to Size.
+		total, prevEnd := 0, -1
+		for _, rg := range ty.AppendRuns(nil) {
+			if rg[0]%4 != 0 || rg[1]%4 != 0 || rg[1] <= 0 {
+				t.Fatalf("misaligned run %v", rg)
+			}
+			if rg[0] == prevEnd {
+				t.Fatalf("uncoalesced adjacent run at %d", rg[0])
+			}
+			total += rg[1]
+			prevEnd = rg[0] + rg[1]
+		}
+		if total != ty.Size() {
+			t.Fatalf("runs sum to %d, want %d", total, ty.Size())
+		}
+	})
+}
+
+func clampDim(v int) int {
+	v = abs(v) % 9
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/datasets"
+	"mpicomp/internal/dtype"
 	"mpicomp/internal/faults"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/hw"
@@ -367,6 +369,77 @@ func TestUserTagValidation(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChaosTypedHaloCrash drives the fused typed halo pattern — ring
+// neighbors exchanging Subarray3D faces via SendrecvTyped — under
+// seeded crash-stop and silent-peer fates, on both the rendezvous and
+// the chunk-pipelined tier. The contract matches the collective soak:
+// failures only in worlds with fated ranks, every error wraps a typed
+// sentinel, and no rank goroutine outlives the run. Seeds can be
+// overridden with CHAOS_SEED.
+func TestChaosTypedHaloCrash(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		seeds = nil
+		for _, s := range strings.Split(env, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				t.Fatalf("CHAOS_SEED %q: %v", env, err)
+			}
+			seeds = append(seeds, v)
+		}
+	}
+	const nx, ny, nz = 40, 32, 32
+	sendFace := dtype.Subarray3D{Dims: [3]int{nx, ny, nz}, Sub: [3]int{4, ny, nz}, Start: [3]int{4, 0, 0}}
+	recvFace := dtype.Subarray3D{Dims: [3]int{nx, ny, nz}, Sub: [3]int{4, ny, nz}, Start: [3]int{0, 0, 0}}
+	engines := []struct {
+		name   string
+		engine core.Config
+	}{
+		{"rendezvous", core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC, Threshold: 2 << 10}},
+		{"pipelined", core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC,
+			Threshold: 2 << 10, PipelineChunkBytes: 4 << 10}},
+	}
+	for _, seed := range seeds {
+		for _, eng := range engines {
+			fcfg := &faults.Config{
+				Seed: seed, CrashRate: 0.18, SilentRate: 0.08,
+				FailWindow: 200 * simtime.Microsecond,
+			}
+			w := mustWorld(t, Options{
+				Cluster: hw.Longhorn(), Nodes: 2, PPN: 2,
+				Engine: eng.engine, Faults: fcfg,
+				Health: HealthPolicy{Deadline: 150 * simtime.Microsecond},
+			})
+			doomed := w.HealthStats().Doomed
+			_, errs := w.RunAll(func(r *Rank) error {
+				vals := datasets.Smooth(nx*ny*nz, uint64(seed)+uint64(r.ID()), 1e-3)
+				grid := devBuf(r, vals)
+				right := (r.ID() + 1) % r.Size()
+				left := (r.ID() - 1 + r.Size()) % r.Size()
+				for it := 0; it < 6; it++ {
+					if err := r.SendrecvTyped(right, it, grid, sendFace, left, it, grid, recvFace); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			assertNoRankGoroutines(t)
+			for id, err := range errs {
+				if err == nil {
+					continue
+				}
+				if len(doomed) == 0 {
+					t.Errorf("seed %d %s: rank %d failed in a fault-free world: %v", seed, eng.name, id, err)
+					continue
+				}
+				if !(errors.Is(err, ErrPeerFailed) || errors.Is(err, ErrRankCrashed) || errors.Is(err, ErrRankSilent)) {
+					t.Errorf("seed %d %s: rank %d returned an untyped error: %v", seed, eng.name, id, err)
+				}
+			}
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ const (
 	tagReduce
 	tagAlltoall
 	tagAllreduce
+	tagAlltoallv
 )
 
 // collView is the dense rank space a collective runs over: the full world
@@ -446,6 +447,171 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 		rb := recvBuf.Slice(src*blk, blk)
 		if err := r.sendrecv(dst, tagAlltoall, sb, src, tagAlltoall, rb); err != nil {
 			return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+// sendBlocking is a blocking send on the collectives' internal tag
+// namespace: it returns only once every fabric booking of the transfer
+// has been placed (the wave discipline in Alltoallv depends on that).
+func (r *Rank) sendBlocking(dst int, buf *gpusim.Buffer) error {
+	req, err := r.isend(dst, tagAlltoallv, buf)
+	if err != nil {
+		return err
+	}
+	return r.Wait(req)
+}
+
+// checkAlltoallv validates one side's count/displacement vectors against
+// its buffer: world-size length, non-negative entries, every segment
+// within the buffer.
+func checkAlltoallv(side string, buf *gpusim.Buffer, counts, displs []int, size int) error {
+	if len(counts) != size || len(displs) != size {
+		return fmt.Errorf("mpi: alltoallv %s vectors must have %d entries (got %d counts, %d displacements)",
+			side, size, len(counts), len(displs))
+	}
+	for i := 0; i < size; i++ {
+		if counts[i] < 0 || displs[i] < 0 {
+			return fmt.Errorf("mpi: alltoallv %s segment %d is negative (count %d, displacement %d)",
+				side, i, counts[i], displs[i])
+		}
+		if displs[i] > buf.Len()-counts[i] {
+			return fmt.Errorf("mpi: alltoallv %s segment %d [%d, %d) exceeds %d-byte buffer",
+				side, i, displs[i], displs[i]+counts[i], buf.Len())
+		}
+	}
+	return nil
+}
+
+// Alltoallv is the vector all-to-all: rank i sends sendCounts[j] bytes
+// at sendDispls[j] of sendBuf to each rank j, receiving recvCounts[j]
+// bytes at recvDispls[j] of recvBuf from it (counts and displacements
+// in bytes). Pairwise-exchange schedule, the same as Alltoall's; every
+// per-destination segment rides the compression-enabled point-to-point
+// path, so each peer's segment is compressed independently — the
+// TEMPI-style compressed Alltoallv. Like the other world-indexed
+// collectives, it keeps abort semantics under failures.
+//
+// Unlike the symmetric collectives, alltoallv's ragged segments make
+// adapter contention order-sensitive: two co-located ranks booking
+// different-sized transfers on their node's shared egress calendar
+// would serialize in host-scheduling order, not a deterministic one
+// (equal-sized transfers mask this — any arrival order yields the
+// same timeline — which is why Alltoall needs no special care). Each
+// exchange step therefore runs in barrier-separated waves, one per
+// node-local rank index: within a wave no two in-flight transfers
+// share an egress, ingress, or intra-node calendar (pairs span
+// distinct nodes; ring-schedule senders with the same local index
+// target distinct nodes), and an intra-node pair serializes its two
+// directions (lower rank sends first) because both would otherwise
+// share the node's one GPU-link calendar. The barrier tokens are
+// 1-byte messages whose transfer time truncates to zero, so they
+// reserve no calendar time themselves. This models one active port
+// per adapter — the cost of determinism is lost overlap between
+// co-located senders, which the shared HCA would serialize anyway.
+func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, recvBuf *gpusim.Buffer, recvCounts, recvDispls []int) error {
+	if err := r.checkHealth(); err != nil {
+		return err
+	}
+	size := r.Size()
+	if err := checkAlltoallv("send", sendBuf, sendCounts, sendDispls, size); err != nil {
+		return err
+	}
+	if err := checkAlltoallv("recv", recvBuf, recvCounts, recvDispls, size); err != nil {
+		return err
+	}
+	if sendCounts[r.id] != recvCounts[r.id] {
+		return fmt.Errorf("mpi: alltoallv self segment mismatch: sending %d bytes, receiving %d",
+			sendCounts[r.id], recvCounts[r.id])
+	}
+	// Local segment (device-local copy).
+	if n := sendCounts[r.id]; n > 0 {
+		copy(recvBuf.Slice(recvDispls[r.id], n).Data, sendBuf.Slice(sendDispls[r.id], n).Data)
+		recvBuf.MarkDirty()
+	}
+	if size == 1 {
+		return nil
+	}
+	pow2 := size&(size-1) == 0
+	ppn := r.world.ppn
+	for step := 1; step < size; step++ {
+		var dst, src int
+		if pow2 {
+			// XOR pairing: both sides of each pair exchange directly.
+			dst = r.id ^ step
+			src = dst
+		} else {
+			// General ring: send to rank+step, receive from rank-step.
+			dst = (r.id + step) % size
+			src = (r.id - step + size) % size
+		}
+		sb := sendBuf.Slice(sendDispls[dst], sendCounts[dst])
+		rb := recvBuf.Slice(recvDispls[src], recvCounts[src])
+		// Post the receive before any wave: a sender whose wave comes
+		// earlier than ours must find it matched.
+		rreq, err := r.irecv(src, tagAlltoallv, rb)
+		if err != nil {
+			return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+		}
+		// Our active wave: XOR pairs act in the pair's wave (both sides
+		// agree on the lower rank's local index); ring senders act in
+		// their own local index's wave.
+		wave := r.id % ppn
+		if pow2 && dst < r.id {
+			wave = dst % ppn
+		}
+		recvDone := false
+		for wv := 0; wv < ppn; wv++ {
+			if err := r.Barrier(); err != nil {
+				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+			}
+			if wv != wave {
+				continue
+			}
+			if pow2 && r.world.nodeOf(dst) == r.Node() {
+				// Intra-node pair: both directions would share the
+				// node's GPU-link calendar, so they go one at a time.
+				if r.id < dst {
+					if err := r.sendBlocking(dst, sb); err != nil {
+						return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+					}
+					if err := r.Wait(rreq); err != nil {
+						return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+					}
+				} else {
+					if err := r.Wait(rreq); err != nil {
+						return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+					}
+					if err := r.sendBlocking(dst, sb); err != nil {
+						return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+					}
+				}
+				recvDone = true
+				continue
+			}
+			sreq, err := r.isend(dst, tagAlltoallv, sb)
+			if err != nil {
+				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+			}
+			if pow2 {
+				// The peer acts in this same wave; wait the whole
+				// exchange here so every booking lands inside it.
+				if err := r.Waitall(sreq, rreq); err != nil {
+					return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+				}
+				recvDone = true
+			} else if err := r.Wait(sreq); err != nil {
+				// Ring: our source may act in a later wave — waiting
+				// for the receive here would stall its barrier. Only
+				// the send must complete inside the wave.
+				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+			}
+		}
+		if !recvDone {
+			if err := r.Wait(rreq); err != nil {
+				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+			}
 		}
 	}
 	return nil

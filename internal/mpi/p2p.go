@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"mpicomp/internal/core"
+	"mpicomp/internal/dtype"
 	"mpicomp/internal/faults"
 	"mpicomp/internal/gpusim"
 	"mpicomp/internal/simtime"
@@ -394,6 +395,10 @@ type Request struct {
 	buf   *gpusim.Buffer
 	post  *recvPost
 	early *envelope // match found at post time
+	// typ, when non-nil, marks a typed receive (IrecvTyped): incoming
+	// packed words scatter into the layout's positions in buf instead of
+	// filling it contiguously.
+	typ dtype.Type
 	// raw receive (collective relay path)
 	wantRaw bool
 	raw     rawResult
@@ -624,14 +629,18 @@ func (r *Rank) waitRecv(req *Request) error {
 		if env.deliveryErr != nil {
 			return env.deliveryErr
 		}
-		if len(env.payload) > req.buf.Len() {
-			return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", len(env.payload), req.buf.Len())
+		if len(env.payload) > r.recvCapacity(req) {
+			return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", len(env.payload), r.recvCapacity(req))
 		}
 		// End-to-end integrity: verify the eager payload before unpacking.
 		if err := r.Engine.VerifyPayload(r.Clock, core.Header{Checksum: env.crc}, env.payload); err != nil {
 			return fmt.Errorf("mpi: eager message from rank %d: %w", env.src, err)
 		}
-		copy(req.buf.Data, env.payload)
+		if req.typ != nil {
+			scatterPrefix(req.buf.Data, env.payload, req.typ)
+		} else {
+			copy(req.buf.Data, env.payload)
+		}
 		req.buf.MarkDirty()
 		return nil
 	}
@@ -646,9 +655,9 @@ func (r *Rank) waitRecv(req *Request) error {
 		r.Engine.ReleaseRecv(r.Clock, env.staged)
 		return env.deliveryErr
 	}
-	if env.hdr.OrigBytes > req.buf.Len() {
+	if env.hdr.OrigBytes > r.recvCapacity(req) {
 		r.Engine.ReleaseRecv(r.Clock, env.staged)
-		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, req.buf.Len())
+		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, r.recvCapacity(req))
 	}
 	if env.hdr.Fallback {
 		r.Engine.NoteFallbackRecv()
@@ -662,12 +671,50 @@ func (r *Rank) waitRecv(req *Request) error {
 		r.Engine.ReleaseRecv(r.Clock, env.staged)
 		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
-	if err := r.Engine.Decompress(r.Clock, env.hdr, env.payload, req.buf); err != nil {
+	if err := r.decompressInto(req, env.hdr, env.payload); err != nil {
 		r.Engine.ReleaseRecv(r.Clock, env.staged)
 		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
 	r.Engine.ReleaseRecv(r.Clock, env.staged)
 	return nil
+}
+
+// recvCapacity is the number of packed bytes a receive can absorb: the
+// layout's packed size for typed receives, the buffer length otherwise.
+func (r *Rank) recvCapacity(req *Request) int {
+	if req.typ != nil {
+		return req.typ.Size()
+	}
+	return req.buf.Len()
+}
+
+// decompressInto routes a whole-message payload into the receive buffer:
+// typed receives scatter through the layout during the decoder's
+// write-back pass, plain receives fill the buffer contiguously.
+func (r *Rank) decompressInto(req *Request, hdr core.Header, payload []byte) error {
+	if req.typ != nil {
+		return r.Engine.DecompressTyped(r.Clock, hdr, payload, req.buf, req.typ)
+	}
+	return r.Engine.Decompress(r.Clock, hdr, payload, req.buf)
+}
+
+// scatterPrefix places the leading len(src) packed bytes into the
+// layout's positions in dst (eager typed receives; the payload may be
+// shorter than the layout's full packed size, like a short contiguous
+// receive).
+func scatterPrefix(dst, src []byte, t dtype.Type) {
+	p := 0
+	for _, rg := range t.AppendRuns(nil) {
+		n := rg[1]
+		if p+n > len(src) {
+			n = len(src) - p
+		}
+		if n <= 0 {
+			return
+		}
+		copy(dst[rg[0]:rg[0]+n], src[p:p+n])
+		p += n
+	}
 }
 
 // Waitall completes all requests (in order).

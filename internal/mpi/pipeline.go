@@ -585,8 +585,8 @@ func (r *Rank) waitRecvPipelined(req *Request, env *envelope) error {
 	for i := range env.chunks {
 		total += env.chunks[i].origBytes
 	}
-	if total > req.buf.Len() {
-		return fmt.Errorf("mpi: pipelined message of %d bytes truncated into %d-byte buffer", total, req.buf.Len())
+	if total > r.recvCapacity(req) {
+		return fmt.Errorf("mpi: pipelined message of %d bytes truncated into %d-byte buffer", total, r.recvCapacity(req))
 	}
 	r.Clock.AdvanceTo(env.matchTime)
 	if env.deliveryErr != nil {
@@ -610,15 +610,22 @@ func (r *Rank) waitRecvPipelined(req *Request, env *envelope) error {
 		if c.hdr.Fallback {
 			sawFallback = true
 		}
-		dst := req.buf.Slice(ch.Offset, ch.OrigBytes)
-		// Verify, then decode, chunk by chunk.
+		// Verify, then decode, chunk by chunk. Typed receives scatter each
+		// chunk's words from its packed offset; plain receives decode into
+		// the matching slice of the user buffer.
 		if err := r.Engine.VerifyPayload(r.Clock, c.hdr, c.payload); err != nil {
 			r.releasePipelineStaging(env)
 			return fmt.Errorf("mpi: pipelined chunk %d: %w", i, err)
 		}
-		if err := r.Engine.Decompress(r.Clock, c.hdr, c.payload, dst); err != nil {
+		var decErr error
+		if req.typ != nil {
+			decErr = r.Engine.DecompressTypedChunk(r.Clock, c.hdr, c.payload, req.buf, req.typ, ch.Offset)
+		} else {
+			decErr = r.Engine.Decompress(r.Clock, c.hdr, c.payload, req.buf.Slice(ch.Offset, ch.OrigBytes))
+		}
+		if decErr != nil {
 			r.releasePipelineStaging(env)
-			return fmt.Errorf("mpi: pipelined chunk %d: %w", i, err)
+			return fmt.Errorf("mpi: pipelined chunk %d: %w", i, decErr)
 		}
 	}
 	if sawFallback {
@@ -658,9 +665,9 @@ func (r *Rank) waitRecvRelayChunked(req *Request, env *envelope) error {
 		r.releasePipelineStaging(env)
 		return env.deliveryErr
 	}
-	if env.hdr.OrigBytes > req.buf.Len() {
+	if env.hdr.OrigBytes > r.recvCapacity(req) {
 		r.releasePipelineStaging(env)
-		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, req.buf.Len())
+		return fmt.Errorf("mpi: message of %d bytes truncated into %d-byte buffer", env.hdr.OrigBytes, r.recvCapacity(req))
 	}
 	payload, err := r.reassembleRelay(env)
 	if err != nil {
@@ -677,7 +684,7 @@ func (r *Rank) waitRecvRelayChunked(req *Request, env *envelope) error {
 		r.releasePipelineStaging(env)
 		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
-	if err := r.Engine.Decompress(r.Clock, env.hdr, payload, req.buf); err != nil {
+	if err := r.decompressInto(req, env.hdr, payload); err != nil {
 		r.releasePipelineStaging(env)
 		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}

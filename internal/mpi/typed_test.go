@@ -1,0 +1,271 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpicomp/internal/core"
+	"mpicomp/internal/datasets"
+	"mpicomp/internal/dtype"
+	"mpicomp/internal/gpusim"
+	"mpicomp/internal/hw"
+)
+
+// typedP2PLayout builds a layout sized to exercise one protocol tier:
+// eager (< 16 KB packed), rendezvous, or pipelined (>= 2 chunks).
+func typedP2PLayout(packedWords int) (dtype.Type, int) {
+	// A vector of 64-word blocks with a 96-word stride: strided enough to
+	// differ from contiguous, coarse enough for word-run gathers.
+	count := packedWords / 64
+	ty := dtype.Vector{Count: count, BlockLen: 64, Stride: 96}
+	return ty, (count-1)*96 + 64
+}
+
+// TestTypedSendRecvMatchesPacked is the end-to-end differential oracle
+// over every protocol tier: a typed send must deliver exactly the bytes
+// an explicit Pack + contiguous send delivers, into exactly the
+// layout's positions, for eager, rendezvous, and pipelined messages.
+func TestTypedSendRecvMatchesPacked(t *testing.T) {
+	cases := []struct {
+		name        string
+		packedWords int
+		cfg         core.Config
+	}{
+		{"eager", 1 << 10, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC}},
+		{"rendezvous", 1 << 18, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC}},
+		{"rendezvous-zfp", 1 << 18, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 8}},
+		{"rendezvous-off", 1 << 18, core.Config{}},
+		{"pipelined", 1 << 18, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC, PipelineChunkBytes: 256 << 10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ty, extentWords := typedP2PLayout(tc.packedWords)
+			vals := datasets.Smooth(extentWords, 7, 1e-3)
+			w := mustWorld(t, Options{Cluster: hw.Longhorn(), Nodes: 2, PPN: 1, Engine: tc.cfg})
+			var typedDst, packedDst []byte
+			_, err := w.Run(func(r *Rank) error {
+				if r.ID() == 0 {
+					src := devBuf(r, vals)
+					if err := r.SendTyped(1, 1, src, ty); err != nil {
+						return err
+					}
+					// Reference message: explicitly packed, sent contiguously.
+					packed := emptyDevBuf(r, ty.Size()/4)
+					if err := dtype.Pack(packed.Data, src.Data, ty); err != nil {
+						return err
+					}
+					return r.Send(1, 2, packed)
+				}
+				dst := emptyDevBuf(r, extentWords)
+				if err := r.RecvTyped(0, 1, dst, ty); err != nil {
+					return err
+				}
+				ref := emptyDevBuf(r, ty.Size()/4)
+				if err := r.Recv(0, 2, ref); err != nil {
+					return err
+				}
+				typedDst = make([]byte, ty.Size())
+				if err := dtype.Pack(typedDst, dst.Data, ty); err != nil {
+					return err
+				}
+				packedDst = ref.Data
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(typedDst, packedDst) {
+				t.Fatalf("%s: typed transfer differs from pack-then-send", tc.name)
+			}
+		})
+	}
+}
+
+// TestTypedSendWireBytesIdentical pins the acceptance gate at the wire
+// level: the typed rendezvous send must put the same number of bytes on
+// the wire (same compressed payload) as pack-then-send — compression
+// stats on both sides must agree exactly.
+func TestTypedSendWireBytesIdentical(t *testing.T) {
+	ty, extentWords := typedP2PLayout(1 << 18)
+	vals := datasets.Smooth(extentWords, 3, 1e-3)
+	cfg := core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC}
+
+	wireBytes := func(typed bool) int64 {
+		w := mustWorld(t, Options{Cluster: hw.Longhorn(), Nodes: 2, PPN: 1, Engine: cfg})
+		if _, err := w.Run(func(r *Rank) error {
+			if r.ID() == 0 {
+				src := devBuf(r, vals)
+				if typed {
+					return r.SendTyped(1, 1, src, ty)
+				}
+				packed := emptyDevBuf(r, ty.Size()/4)
+				if err := dtype.Pack(packed.Data, src.Data, ty); err != nil {
+					return err
+				}
+				return r.Send(1, 1, packed)
+			}
+			dst := emptyDevBuf(r, extentWords)
+			if typed {
+				return r.RecvTyped(0, 1, dst, ty)
+			}
+			return r.Recv(0, 1, dst.Slice(0, ty.Size()))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Rank(0).Engine.BytesOut
+	}
+
+	typed, packed := wireBytes(true), wireBytes(false)
+	if typed != packed || typed == 0 {
+		t.Fatalf("typed send put %d bytes on the wire, pack-then-send %d", typed, packed)
+	}
+}
+
+// TestTypedValidationAtBoundary: invalid layouts are rejected before any
+// protocol state exists, wrapping dtype.ErrInvalid like the negative-tag
+// errors wrap nothing but carry the same boundary discipline.
+func TestTypedValidationAtBoundary(t *testing.T) {
+	w := mustWorld(t, Options{Cluster: hw.Longhorn(), Nodes: 2, PPN: 1})
+	if _, err := w.Run(func(r *Rank) error {
+		if r.ID() != 0 {
+			return nil
+		}
+		buf := emptyDevBuf(r, 256)
+		bad := []dtype.Type{
+			dtype.Vector{Count: 2, BlockLen: 1, Stride: -3},                                       // negative stride
+			dtype.Vector{Count: 2, BlockLen: 0, Stride: 1},                                        // zero blocklen
+			dtype.Contiguous{Words: 1 << 20},                                                      // exceeds buffer
+			dtype.Subarray3D{Dims: [3]int{8, 8, 8}, Sub: [3]int{4, 4, 4}, Start: [3]int{6, 0, 0}}, // sub exceeds dims
+		}
+		for i, ty := range bad {
+			if _, err := r.IsendTyped(1, 0, buf, ty); !errors.Is(err, dtype.ErrInvalid) {
+				return fmt.Errorf("layout %d: Isend error %v does not wrap dtype.ErrInvalid", i, err)
+			}
+			if _, err := r.IrecvTyped(1, 0, buf, ty); !errors.Is(err, dtype.ErrInvalid) {
+				return fmt.Errorf("layout %d: Irecv error %v does not wrap dtype.ErrInvalid", i, err)
+			}
+		}
+		if _, err := r.IsendTyped(1, -5, buf, dtype.Contiguous{Words: 4}); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedHaloExchange drives SendrecvTyped with subarray faces on a
+// 2-rank brick — the awpodc pattern in miniature.
+func TestTypedHaloExchange(t *testing.T) {
+	const nx, ny, nz = 36, 32, 32
+	sendFace := dtype.Subarray3D{Dims: [3]int{nx, ny, nz}, Sub: [3]int{2, ny, nz}, Start: [3]int{2, 0, 0}}
+	recvFace := dtype.Subarray3D{Dims: [3]int{nx, ny, nz}, Sub: [3]int{2, ny, nz}, Start: [3]int{0, 0, 0}}
+	cfg := core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC}
+	w := mustWorld(t, Options{Cluster: hw.Longhorn(), Nodes: 2, PPN: 1, Engine: cfg})
+	if _, err := w.Run(func(r *Rank) error {
+		vals := datasets.Smooth(nx*ny*nz, uint64(r.ID()+1), 1e-3)
+		grid := devBuf(r, vals)
+		peer := 1 - r.ID()
+		if err := r.SendrecvTyped(peer, 3, grid, sendFace, peer, 3, grid, recvFace); err != nil {
+			return err
+		}
+		// The received ghost face must equal the peer's interior face.
+		peerVals := datasets.Smooth(nx*ny*nz, uint64(peer+1), 1e-3)
+		peerGrid := core.FloatsToBytes(nil, peerVals)
+		want := make([]byte, sendFace.Size())
+		if err := dtype.Pack(want, peerGrid, sendFace); err != nil {
+			return err
+		}
+		got := make([]byte, recvFace.Size())
+		if err := dtype.Pack(got, grid.Data, recvFace); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("rank %d: ghost face does not match peer interior", r.ID())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallvCorrectness checks the vector all-to-all with ragged
+// per-peer segment sizes on pow2 and non-pow2 worlds, compressed and
+// not.
+func TestAlltoallvCorrectness(t *testing.T) {
+	for _, size := range []struct{ nodes, ppn int }{{4, 1}, {3, 2}} {
+		for _, cfg := range []core.Config{
+			{},
+			{Mode: core.ModeOpt, Algorithm: core.AlgoMPC, Threshold: 1 << 10},
+		} {
+			w := mustWorld(t, Options{Cluster: hw.Longhorn(), Nodes: size.nodes, PPN: size.ppn, Engine: cfg})
+			P := w.Size()
+			// Segment i->j holds 4*(1024*(i+j+1)) bytes of smooth data
+			// seeded by (i, j): ragged, and both ends can compute it.
+			segWords := func(i, j int) int { return 1024 * (i + j + 1) }
+			segData := func(i, j int) []byte {
+				return core.FloatsToBytes(nil, datasets.Smooth(segWords(i, j), uint64(101+i*31+j), 1e-3))
+			}
+			if _, err := w.Run(func(r *Rank) error {
+				sendCounts := make([]int, P)
+				sendDispls := make([]int, P)
+				recvCounts := make([]int, P)
+				recvDispls := make([]int, P)
+				stot, rtot := 0, 0
+				for j := 0; j < P; j++ {
+					sendDispls[j], recvDispls[j] = stot, rtot
+					sendCounts[j] = 4 * segWords(r.ID(), j)
+					recvCounts[j] = 4 * segWords(j, r.ID())
+					stot += sendCounts[j]
+					rtot += recvCounts[j]
+				}
+				sendBuf := &gpusim.Buffer{Data: make([]byte, stot), Loc: gpusim.Device, Dev: r.Dev}
+				recvBuf := &gpusim.Buffer{Data: make([]byte, rtot), Loc: gpusim.Device, Dev: r.Dev}
+				for j := 0; j < P; j++ {
+					copy(sendBuf.Data[sendDispls[j]:], segData(r.ID(), j))
+				}
+				if err := r.Alltoallv(sendBuf, sendCounts, sendDispls, recvBuf, recvCounts, recvDispls); err != nil {
+					return err
+				}
+				for j := 0; j < P; j++ {
+					got := recvBuf.Data[recvDispls[j] : recvDispls[j]+recvCounts[j]]
+					if !bytes.Equal(got, segData(j, r.ID())) {
+						return fmt.Errorf("rank %d: segment from %d corrupted", r.ID(), j)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("world %dx%d cfg %+v: %v", size.nodes, size.ppn, cfg.Algorithm, err)
+			}
+		}
+	}
+}
+
+// TestAlltoallvValidation: malformed count/displacement vectors fail
+// fast on every rank, before any message moves.
+func TestAlltoallvValidation(t *testing.T) {
+	w := mustWorld(t, Options{Cluster: hw.Longhorn(), Nodes: 2, PPN: 1})
+	if _, err := w.Run(func(r *Rank) error {
+		buf := emptyDevBuf(r, 1024)
+		good := []int{2048, 2048}
+		goodD := []int{0, 2048}
+		cases := []struct {
+			name   string
+			sc, sd []int
+		}{
+			{"short vectors", []int{2048}, []int{0}},
+			{"negative count", []int{-4, 2048}, goodD},
+			{"segment past end", good, []int{0, 4000}},
+		}
+		for _, tc := range cases {
+			if err := r.Alltoallv(buf, tc.sc, tc.sd, buf, good, goodD); err == nil {
+				return fmt.Errorf("%s accepted", tc.name)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -373,6 +373,48 @@ func AlltoallLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollR
 	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
 }
 
+// AlltoallvLatency runs an osu_alltoallv-style measurement: rank i
+// sends each peer j a ragged segment whose size follows a deterministic
+// (i+j)-keyed pattern averaging `bytes` — the vector collective's
+// defining feature, and what the TEMPI-style compressed Alltoallv must
+// get right per destination. Requires bytes >= 8.
+func AlltoallvLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	if bytes < 8 {
+		return CollResult{}, fmt.Errorf("omb: alltoallv needs bytes >= 8, got %d", bytes)
+	}
+	// Segment i->j in words: bytes/8 * {1,2,3} keyed by (i+j) — ragged,
+	// deterministic, mean close to `bytes`.
+	segWords := func(i, j int) int { return bytes / 8 * (1 + (i+j)%3) }
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) (func() error, error) {
+		size := r.Size()
+		me := r.ID()
+		sendCounts := make([]int, size)
+		sendDispls := make([]int, size)
+		recvCounts := make([]int, size)
+		recvDispls := make([]int, size)
+		stot, rtot := 0, 0
+		for j := 0; j < size; j++ {
+			sendDispls[j], recvDispls[j] = stot, rtot
+			sendCounts[j] = 4 * segWords(me, j)
+			recvCounts[j] = 4 * segWords(j, me)
+			stot += sendCounts[j]
+			rtot += recvCounts[j]
+		}
+		send := deviceBuffer(r, gen(stot/4))
+		recv := emptyDeviceBuffer(r, rtot)
+		return func() error {
+			return r.Alltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls)
+		}, nil
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
 // AllreduceLatency runs an osu_allreduce-style measurement (float32 sum).
 func AllreduceLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
 	if gen == nil {

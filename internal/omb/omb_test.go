@@ -231,6 +231,38 @@ func TestAlltoallAndAllreduce(t *testing.T) {
 	}
 }
 
+func TestAlltoallvDeterministicAndCompressible(t *testing.T) {
+	// The ragged vector collective: same seeds must give the same
+	// simulated latency, and compression must win on smooth data.
+	base := newW(t, hw.FronteraLiquid(), 4, 1, core.Config{})
+	comp := newW(t, hw.FronteraLiquid(), 4, 1, core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoZFP, ZFPRate: 8})
+
+	v0, err := AlltoallvLatency(base, 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := AlltoallvLatency(comp, 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Latency >= v0.Latency {
+		t.Fatalf("compressed alltoallv should win on FDR: %v vs %v", v1.Latency, v0.Latency)
+	}
+	if v1.Ratio < 3.9 {
+		t.Fatalf("ZFP r8 ratio should be 4: %v", v1.Ratio)
+	}
+	again, err := AlltoallvLatency(newW(t, hw.FronteraLiquid(), 4, 1, core.Config{}), 2<<20, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Latency != v0.Latency {
+		t.Fatalf("alltoallv latency not deterministic: %v vs %v", again.Latency, v0.Latency)
+	}
+	if _, err := AlltoallvLatency(base, 4, 0, 1, nil); err == nil {
+		t.Fatal("bytes < 8 should fail")
+	}
+}
+
 func TestBiBandwidthExceedsUnidirectional(t *testing.T) {
 	// Full-duplex adapters: bidirectional aggregate beats one direction.
 	w := newW(t, hw.Longhorn(), 2, 1, core.Config{})
