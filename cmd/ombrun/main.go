@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mpicomp/internal/cli"
@@ -39,6 +40,9 @@ func main() {
 	faultsFlag := flag.String("faults", "", "fault injection spec, e.g. seed=7,drop=0.01,corrupt=0.005,degrade=0.1 (empty = off)")
 	crashFlag := flag.String("crash", "", "process-failure spec, e.g. seed=7,crash=0.125,silent=0.06,window=2ms,codec=0.5,until=1ms (empty = off)")
 	healthFlag := flag.String("health", "", "failure-handling spec, e.g. deadline=500us,shrink=true (empty = defaults)")
+	partitionFlag := flag.String("partition", "", "link/partition fault spec, e.g. linkdown=0.25,flap=0.1,groups=0:1|2:3,at=200us,heal=1ms (empty = off)")
+	healFlag := flag.String("heal", "", "self-heal spec, e.g. on=true,attempts=4 (empty = off)")
+	detectorFlag := flag.String("detector", "", "failure-detector spec, e.g. lease=200us,confirm=300us (empty = off)")
 	breakerFlag := flag.String("breaker", "", "codec circuit-breaker spec, e.g. threshold=3,cooldown=2ms,seed=11 (empty = off)")
 	retries := flag.Int("retries", 0, "retransmission budget per protocol stage (0 = default, negative = retries off)")
 	chunkRetry := flag.Int("chunk-retry", 0, "per-chunk retransmission budget on the pipelined path (0 = inherit -retries, negative = off)")
@@ -55,7 +59,13 @@ func main() {
 	cli.Fatal(err)
 	faultCfg, err = cli.ParseCrash(*crashFlag, faultCfg)
 	cli.Fatal(err)
+	faultCfg, err = cli.ParsePartition(*partitionFlag, faultCfg)
+	cli.Fatal(err)
 	health, err := cli.ParseHealth(*healthFlag)
+	cli.Fatal(err)
+	health, err = cli.ParseHeal(*healFlag, health)
+	cli.Fatal(err)
+	health.Detector, err = cli.ParseDetector(*detectorFlag)
 	cli.Fatal(err)
 	breaker, err := cli.ParseBreaker(*breakerFlag)
 	cli.Fatal(err)
@@ -80,14 +90,13 @@ func main() {
 	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s, codec workers=%d\n",
 		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo, w.Rank(0).Engine.CodecWorkers())
 	if w.FaultsEnabled() {
-		spec := *faultsFlag
-		if *crashFlag != "" {
-			if spec != "" {
-				spec += " "
+		var specs []string
+		for _, s := range []string{*faultsFlag, *crashFlag, *partitionFlag} {
+			if s != "" {
+				specs = append(specs, s)
 			}
-			spec += *crashFlag
 		}
-		fmt.Printf("# fault injection on: %s\n", spec)
+		fmt.Printf("# fault injection on: %s\n", strings.Join(specs, " "))
 	}
 
 	start := time.Now()
@@ -148,6 +157,7 @@ func main() {
 			st.Drops, st.Corruptions, st.BitsFlipped, st.Degrades, st.Crashes, st.Silences, st.CodecCorruptions, st.Duplicates, st.Reorders)
 	}
 	printPipelineStats(w, cfg)
+	printRecoveryStats(w, health)
 	if cfg.Breaker.Enabled() {
 		bs, recvs := breakerTotals(w)
 		fmt.Printf("# breaker: opens=%d closes=%d probes=%d fallback-sends=%d fallback-recvs=%d\n",
@@ -207,6 +217,21 @@ func printPipelineStats(w *mpi.World, cfg core.Config) {
 	fmt.Printf("# pipeline: chunks=%d relay-chunks=%d retransmits=%d retransmit-bytes=%d credit-stalls=%d window-shrinks=%d degrades=%d bypass-small=%d bypass-degraded=%d\n",
 		ps.Chunks, ps.RelayChunks, ps.Retransmits, ps.RetransmitBytes,
 		ps.CreditStalls, ps.WindowShrinks, ps.DegradeEvents, ps.BypassSmall, ps.BypassDegraded)
+}
+
+// printRecoveryStats reports self-healing and failure-detector activity
+// when either is armed. Every counter derives from seeded fate draws and
+// virtual-clock arithmetic, so the line is byte-identical across same-seed
+// runs and codec worker counts.
+func printRecoveryStats(w *mpi.World, health mpi.HealthPolicy) {
+	if !health.SelfHeal && !health.Detector.Enabled() {
+		return
+	}
+	rs := w.RecoveryStats()
+	fmt.Printf("# recovery: reroutes=%d shrink-completions=%d revoked-ops=%d suspects=%d false-suspects=%d confirms=%d resourced-chunks=%d link-drops=%d recovery-time=%.2fus\n",
+		rs.Reroutes, rs.ShrinkCompletions, rs.RevokedOps,
+		rs.Suspects, rs.FalseSuspects, rs.Confirms,
+		rs.ResourcedChunks, rs.LinkDrops, rs.RecoveryTime.Microseconds())
 }
 
 // breakerTotals aggregates codec-breaker activity across every rank's

@@ -265,6 +265,177 @@ func ParseCrash(s string, cfg *faults.Config) (*faults.Config, error) {
 	return cfg, nil
 }
 
+// ParsePartition parses a link/partition fault spec of the form
+// "seed=3,linkdown=0.25,outage=600us,flap=0.1,period=400us,duty=0.25,
+// window=2ms,groups=0:1|2:3,at=200us,heal=1ms" and merges it into cfg
+// (which may be nil — a Config is allocated then). linkdown/flap are
+// per-node-pair probabilities; groups is a |-separated list of :-separated
+// node-id groups naming an explicit partition plan; at/heal bound the
+// partition window. An empty spec returns cfg unchanged.
+func ParsePartition(s string, cfg *faults.Config) (*faults.Config, error) {
+	if strings.TrimSpace(s) == "" {
+		return cfg, nil
+	}
+	if cfg == nil {
+		cfg = &faults.Config{}
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad partition option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad partition seed %q: %w", val, err)
+			}
+			cfg.Seed = n
+		case "linkdown", "flap", "duty":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("partition option %s=%q must be in [0,1]", key, val)
+			}
+			switch key {
+			case "linkdown":
+				cfg.LinkDownRate = f
+			case "flap":
+				cfg.LinkFlapRate = f
+			case "duty":
+				cfg.FlapDuty = f
+			}
+		case "outage", "period", "window", "at", "heal":
+			d, err := ParseSimDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("partition option %s: %w", key, err)
+			}
+			switch key {
+			case "outage":
+				cfg.LinkOutage = d
+			case "period":
+				cfg.FlapPeriod = d
+			case "window":
+				cfg.LinkWindow = d
+			case "at":
+				cfg.PartitionAt = d
+			case "heal":
+				cfg.PartitionHeal = d
+			}
+		case "groups":
+			groups, err := parseGroups(val)
+			if err != nil {
+				return nil, err
+			}
+			cfg.PartitionGroups = groups
+		default:
+			return nil, fmt.Errorf("unknown partition option %q (want seed, linkdown, outage, flap, period, duty, window, groups, at, heal)", key)
+		}
+	}
+	return cfg, nil
+}
+
+// parseGroups parses a partition plan like "0:1|2:3" into node-id groups.
+func parseGroups(s string) ([][]int, error) {
+	var groups [][]int
+	for _, g := range strings.Split(s, "|") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		var nodes []int
+		for _, id := range strings.Split(g, ":") {
+			n, err := strconv.Atoi(strings.TrimSpace(id))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad partition group node %q (want a non-negative node id)", id)
+			}
+			nodes = append(nodes, n)
+		}
+		groups = append(groups, nodes)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("partition groups %q need at least two |-separated groups", s)
+	}
+	return groups, nil
+}
+
+// ParseHeal parses a self-heal spec of the form "on=true,attempts=4" and
+// merges it into pol (typically the policy from -health). An empty spec
+// returns pol unchanged.
+func ParseHeal(s string, pol mpi.HealthPolicy) (mpi.HealthPolicy, error) {
+	if strings.TrimSpace(s) == "" {
+		return pol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return pol, fmt.Errorf("bad heal option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "on":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return pol, fmt.Errorf("heal option on=%q must be a boolean", val)
+			}
+			pol.SelfHeal = b
+		case "attempts":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return pol, fmt.Errorf("heal option attempts=%q must be a non-negative integer", val)
+			}
+			pol.MaxAttempts = n
+		default:
+			return pol, fmt.Errorf("unknown heal option %q (want on, attempts)", key)
+		}
+	}
+	return pol, nil
+}
+
+// ParseDetector parses a failure-detector spec of the form
+// "lease=200us,confirm=300us" into an mpi.DetectorPolicy. An empty string
+// yields the zero policy (detector off).
+func ParseDetector(s string) (mpi.DetectorPolicy, error) {
+	var pol mpi.DetectorPolicy
+	if strings.TrimSpace(s) == "" {
+		return pol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return pol, fmt.Errorf("bad detector option %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[0])), strings.TrimSpace(kv[1])
+		switch key {
+		case "lease", "confirm":
+			d, err := ParseSimDuration(val)
+			if err != nil {
+				return pol, fmt.Errorf("detector option %s: %w", key, err)
+			}
+			if key == "lease" {
+				pol.Lease = d
+			} else {
+				pol.Confirm = d
+			}
+		default:
+			return pol, fmt.Errorf("unknown detector option %q (want lease, confirm)", key)
+		}
+	}
+	return pol, nil
+}
+
 // ParseHealth parses a failure-handling spec of the form
 // "deadline=500us,shrink=true" into an mpi.HealthPolicy. An empty string
 // yields the zero policy (library defaults).

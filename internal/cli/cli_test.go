@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"flag"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -194,7 +195,7 @@ func TestParseCrash(t *testing.T) {
 		FailWindow: 2 * simtime.Millisecond,
 		CodecRate:  0.5, CodecUntil: simtime.Millisecond,
 	}
-	if *cfg != want {
+	if !reflect.DeepEqual(*cfg, want) {
 		t.Errorf("ParseCrash = %+v, want %+v", *cfg, want)
 	}
 
@@ -214,6 +215,95 @@ func TestParseCrash(t *testing.T) {
 	} {
 		if _, err := ParseCrash(in, nil); err == nil {
 			t.Errorf("ParseCrash(%q) accepted", in)
+		}
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	// Empty spec leaves cfg alone, including a nil one.
+	if cfg, err := ParsePartition("", nil); err != nil || cfg != nil {
+		t.Errorf("empty spec gave cfg=%v err=%v", cfg, err)
+	}
+
+	cfg, err := ParsePartition(
+		"seed=3,linkdown=0.25,outage=600us,flap=0.1,period=400us,duty=0.25,window=2ms,groups=0:1|2:3,at=200us,heal=1ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Config{
+		Seed: 3, LinkDownRate: 0.25,
+		LinkOutage:      600 * simtime.Microsecond,
+		LinkFlapRate:    0.1,
+		FlapPeriod:      400 * simtime.Microsecond,
+		FlapDuty:        0.25,
+		LinkWindow:      2 * simtime.Millisecond,
+		PartitionGroups: [][]int{{0, 1}, {2, 3}},
+		PartitionAt:     200 * simtime.Microsecond,
+		PartitionHeal:   simtime.Millisecond,
+	}
+	if !reflect.DeepEqual(*cfg, want) {
+		t.Errorf("ParsePartition = %+v, want %+v", *cfg, want)
+	}
+	if !cfg.LinkFaults() {
+		t.Error("parsed config should enable link faults")
+	}
+
+	// Merging into an existing config (from -faults/-crash) keeps its fields.
+	base := &faults.Config{Seed: 1, CrashRate: 0.5}
+	cfg, err = ParsePartition("linkdown=0.125", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != base || cfg.CrashRate != 0.5 || cfg.LinkDownRate != 0.125 || cfg.Seed != 1 {
+		t.Errorf("merge mangled the base config: %+v", *cfg)
+	}
+
+	for _, in := range []string{
+		"linkdown", "linkdown=2", "flap=-0.1", "duty=x", "outage=5",
+		"at=-1ms", "groups=0:1", "groups=0:x|2", "seed=abc", "bogus=1",
+	} {
+		if _, err := ParsePartition(in, nil); err == nil {
+			t.Errorf("ParsePartition(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseHeal(t *testing.T) {
+	base := mpi.HealthPolicy{Deadline: 500 * simtime.Microsecond}
+	if pol, err := ParseHeal("", base); err != nil || pol != base {
+		t.Errorf("empty spec gave %+v err=%v", pol, err)
+	}
+	pol, err := ParseHeal("on=true,attempts=3", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.SelfHeal || pol.MaxAttempts != 3 || pol.Deadline != base.Deadline {
+		t.Errorf("ParseHeal = %+v", pol)
+	}
+	for _, in := range []string{"on=maybe", "attempts=-1", "attempts=x", "on", "retry=2"} {
+		if _, err := ParseHeal(in, base); err == nil {
+			t.Errorf("ParseHeal(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseDetector(t *testing.T) {
+	if pol, err := ParseDetector(""); err != nil || pol.Enabled() {
+		t.Errorf("empty spec gave %+v err=%v", pol, err)
+	}
+	pol, err := ParseDetector("lease=200us,confirm=300us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Lease != 200*simtime.Microsecond || pol.Confirm != 300*simtime.Microsecond {
+		t.Errorf("ParseDetector = %+v", pol)
+	}
+	if !pol.Enabled() {
+		t.Error("parsed detector should be enabled")
+	}
+	for _, in := range []string{"lease=5", "confirm", "window=1ms"} {
+		if _, err := ParseDetector(in); err == nil {
+			t.Errorf("ParseDetector(%q) accepted", in)
 		}
 	}
 }

@@ -378,6 +378,19 @@ func (e *Engine) BreakerSuccess(dst int) {
 // BreakerSnapshot returns the breaker's counters (zero when disabled).
 func (e *Engine) BreakerSnapshot() BreakerStats { return e.brk.Stats() }
 
+// PoolBalance reports the staging pool's free and total buffer counts
+// (both zero without a pool). A quiesced runtime must show free == total:
+// the health tests assert this after every aborted collective to catch
+// staged buffers leaked by an abandoned request.
+func (e *Engine) PoolBalance() (free, total int) {
+	if e == nil || e.pool == nil {
+		return 0, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pool.FreeCount(), e.cfg.PoolBuffers
+}
+
 // poolExhaustedLocked reports whether the ModeOpt staging pool cannot
 // serve a compression without growing.
 func (e *Engine) poolExhaustedLocked() bool {

@@ -56,6 +56,15 @@ const (
 	// KindChunkFate covers the chunk-specific delivery fates — duplicate
 	// and reorder — drawn once per chunk (not per attempt).
 	KindChunkFate
+	// KindLink is a link-level fabric fate: a node pair's link goes hard
+	// down for a seeded outage window (and deterministically heals), or
+	// flaps with a seeded phase — periodically down for a duty fraction of
+	// each cycle. Link fates are drawn once per unordered node pair.
+	KindLink
+	// KindPartition is an operator-specified network partition: every link
+	// crossing the configured node groups is down for the [PartitionAt,
+	// PartitionHeal) window. No randomness — the plan IS the fate.
+	KindPartition
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +88,10 @@ func (k Kind) String() string {
 		return "chunk"
 	case KindChunkFate:
 		return "chunk-fate"
+	case KindLink:
+		return "link"
+	case KindPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -160,6 +173,35 @@ type Config struct {
 	// ReorderDelay is the holdback applied to a reordered chunk (0 means
 	// DefaultReorderDelay).
 	ReorderDelay simtime.Duration
+	// LinkDownRate is the per-node-pair probability that the pair's link
+	// suffers a hard outage: down from a seeded onset within LinkWindow,
+	// healed deterministically LinkOutage later. Intra-node "links" (a
+	// rank pair on one node) never draw link fates.
+	LinkDownRate float64
+	// LinkOutage is the duration of a hard link outage (0 means
+	// DefaultLinkOutage).
+	LinkOutage simtime.Duration
+	// LinkFlapRate is the per-node-pair probability the link flaps:
+	// periodically down for FlapDuty of each FlapPeriod cycle, with a
+	// seeded phase. Evaluated only for pairs that did not draw an outage.
+	LinkFlapRate float64
+	// FlapPeriod is the flap cycle length (0 means DefaultFlapPeriod).
+	FlapPeriod simtime.Duration
+	// FlapDuty is the down fraction of each flap cycle, clamped to
+	// (0, 1); 0 means DefaultFlapDuty.
+	FlapDuty float64
+	// LinkWindow is the virtual-time horizon within which outage onsets
+	// are drawn (0 means DefaultFailWindow, matching rank fates).
+	LinkWindow simtime.Duration
+	// PartitionGroups, when non-empty, is an explicit partition plan over
+	// node ids: during [PartitionAt, PartitionHeal) every link between
+	// nodes in *different* groups is down. Nodes absent from every group
+	// keep all their links (only listed cross-group pairs sever).
+	PartitionGroups [][]int
+	// PartitionAt / PartitionHeal bound the partition window. A heal at
+	// or before the onset gets DefaultPartitionSpan added at the onset.
+	PartitionAt   simtime.Duration
+	PartitionHeal simtime.Duration
 }
 
 // DefaultReorderDelay is the fabric holdback of a reordered chunk when
@@ -167,12 +209,38 @@ type Config struct {
 // successors at realistic chunk transfer times.
 const DefaultReorderDelay = 200 * simtime.Microsecond
 
+// DefaultLinkOutage is a hard link outage's duration when Config.LinkOutage
+// is zero: long enough that several delivery attempts hit the dead link,
+// short enough that the transport's exponential backoff (20us doubling to a
+// 10ms cap, 8 attempts) can ride it out without exhausting the budget.
+const DefaultLinkOutage = 600 * simtime.Microsecond
+
+// DefaultFlapPeriod is the flap cycle length when Config.FlapPeriod is zero.
+const DefaultFlapPeriod = 400 * simtime.Microsecond
+
+// DefaultFlapDuty is the down fraction of a flap cycle when Config.FlapDuty
+// is zero or out of range: down 1/4 of every cycle.
+const DefaultFlapDuty = 0.25
+
+// DefaultPartitionSpan is the partition window length when the configured
+// heal instant does not lie after the onset.
+const DefaultPartitionSpan = simtime.Millisecond
+
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.CorruptRate > 0 || c.DropRate > 0 || c.DegradeRate > 0 ||
 		c.CrashRate > 0 || c.SilentRate > 0 || c.CodecRate > 0 ||
 		c.ChunkDropRate > 0 || c.ChunkCorruptRate > 0 ||
-		c.ChunkDuplicateRate > 0 || c.ChunkReorderRate > 0
+		c.ChunkDuplicateRate > 0 || c.ChunkReorderRate > 0 ||
+		c.LinkDownRate > 0 || c.LinkFlapRate > 0 || len(c.PartitionGroups) > 0
+}
+
+// LinkFaults reports whether the configuration can take links down at all
+// (outages, flaps, or an explicit partition plan). The transport only
+// consults the link model — and collectives only build a non-identity
+// routing view — when this is set, so fault-free runs stay bit-identical.
+func (c Config) LinkFaults() bool {
+	return c.LinkDownRate > 0 || c.LinkFlapRate > 0 || len(c.PartitionGroups) > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +258,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReorderDelay <= 0 {
 		c.ReorderDelay = DefaultReorderDelay
+	}
+	if c.LinkOutage <= 0 {
+		c.LinkOutage = DefaultLinkOutage
+	}
+	if c.FlapPeriod <= 0 {
+		c.FlapPeriod = DefaultFlapPeriod
+	}
+	if c.FlapDuty <= 0 || c.FlapDuty >= 1 {
+		c.FlapDuty = DefaultFlapDuty
+	}
+	if c.LinkWindow <= 0 {
+		c.LinkWindow = c.FailWindow
+	}
+	if len(c.PartitionGroups) > 0 && c.PartitionHeal <= c.PartitionAt {
+		c.PartitionHeal = c.PartitionAt + DefaultPartitionSpan
 	}
 	return c
 }
@@ -217,6 +300,15 @@ type Stats struct {
 	// after their successors.
 	Duplicates int64
 	Reorders   int64
+	// LinkOutages / LinkFlaps count node pairs fated to a hard outage or
+	// to flap this run (counted when LinkFate assigns the fate, once per
+	// pair, like Crashes/Silences — they survive ResetStats).
+	LinkOutages int64
+	LinkFlaps   int64
+	// LinkDrops counts transmission attempts refused because the link was
+	// down at the attempt's ready instant (outage, flap window, or
+	// partition alike). Per-event, so ResetStats zeroes it.
+	LinkDrops int64
 }
 
 // Injector makes the per-event fault decisions. All methods are safe for
@@ -234,6 +326,9 @@ type Injector struct {
 	codecCorr   atomic.Int64
 	duplicates  atomic.Int64
 	reorders    atomic.Int64
+	linkOutages atomic.Int64
+	linkFlaps   atomic.Int64
+	linkDrops   atomic.Int64
 }
 
 // New builds an injector for cfg. It returns nil when cfg injects nothing,
@@ -268,6 +363,9 @@ func (i *Injector) Stats() Stats {
 		CodecCorruptions: i.codecCorr.Load(),
 		Duplicates:       i.duplicates.Load(),
 		Reorders:         i.reorders.Load(),
+		LinkOutages:      i.linkOutages.Load(),
+		LinkFlaps:        i.linkFlaps.Load(),
+		LinkDrops:        i.linkDrops.Load(),
 	}
 }
 
@@ -284,8 +382,10 @@ func (i *Injector) ResetStats() {
 	i.codecCorr.Store(0)
 	i.duplicates.Store(0)
 	i.reorders.Store(0)
-	// Crashes/Silences are per-run fate counts, not per-event counters, so
-	// they survive a reset: a benchmark repetition does not re-roll fates.
+	i.linkDrops.Store(0)
+	// Crashes/Silences and LinkOutages/LinkFlaps are per-run fate counts,
+	// not per-event counters, so they survive a reset: a benchmark
+	// repetition does not re-roll fates.
 }
 
 // ShouldDrop decides whether transmission attempt `attempt` of message
@@ -498,6 +598,159 @@ func (i *Injector) ChunkFate(src, dst int, seq uint64, chunk int) (duplicate, re
 		reorder = true
 	}
 	return duplicate, reorder
+}
+
+// --- link-level fates ---
+//
+// Link fates are per unordered node pair and, like rank fates, static: the
+// draw is a pure hash of (seed, pair), the outage/flap windows are pure
+// arithmetic on the virtual clock, and healing is deterministic. Whether a
+// transfer attempt sees a dead link therefore depends only on the plan —
+// never on host scheduling — which is what lets the self-healing
+// collectives promise bit-identical recovery across worker counts.
+
+// LinkFate describes a node pair's static link fate.
+type LinkFate struct {
+	// Down reports a hard outage: the link is dead during
+	// [DownAt, HealAt) and healthy outside it.
+	Down   bool
+	DownAt simtime.Time
+	HealAt simtime.Time
+	// Flap reports a flapping link: down whenever
+	// ((at - Phase) mod Period) < Duty*Period.
+	Flap   bool
+	Period simtime.Duration
+	Duty   float64
+	Phase  simtime.Duration
+}
+
+// LinkFate draws the static fate of the (a, b) node link, counting outage/
+// flap fates as it does (fate assignment IS the injection, like RankFate) —
+// call it exactly once per unordered pair per run (mpi.NewWorld does).
+// Intra-node pairs (a == b) and nil injectors are always healthy. Use
+// LinkDown / LinkLost for per-attempt queries; they redraw the fate without
+// touching the counters.
+func (i *Injector) LinkFate(a, b int) LinkFate {
+	f := i.linkFate(a, b)
+	if f.Down {
+		i.linkOutages.Add(1)
+	}
+	if f.Flap {
+		i.linkFlaps.Add(1)
+	}
+	return f
+}
+
+// linkFate is the pure (uncounted) fate draw behind LinkFate and LinkDown.
+func (i *Injector) linkFate(a, b int) LinkFate {
+	if i == nil || a == b {
+		return LinkFate{}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	var f LinkFate
+	if i.cfg.LinkDownRate > 0 &&
+		i.uniform(eventKey(uint64(KindLink), 0xdead, a, b, 0, 0)) < i.cfg.LinkDownRate {
+		u := i.uniform(eventKey(uint64(KindLink), 0x0a5e, a, b, 1, 0))
+		f.Down = true
+		f.DownAt = simtime.Time(float64(i.cfg.LinkWindow) * u)
+		f.HealAt = f.DownAt.Add(i.cfg.LinkOutage)
+		return f
+	}
+	if i.cfg.LinkFlapRate > 0 &&
+		i.uniform(eventKey(uint64(KindLink), 0xf1a9, a, b, 0, 0)) < i.cfg.LinkFlapRate {
+		u := i.uniform(eventKey(uint64(KindLink), 0x9a5e, a, b, 1, 0))
+		f.Flap = true
+		f.Period = i.cfg.FlapPeriod
+		f.Duty = i.cfg.FlapDuty
+		f.Phase = simtime.Duration(float64(f.Period) * u)
+	}
+	return f
+}
+
+// IsDown reports whether the fate makes the link dead at instant `at`.
+func (f LinkFate) IsDown(at simtime.Time) bool {
+	if f.Down && at >= f.DownAt && at < f.HealAt {
+		return true
+	}
+	if f.Flap {
+		pos := (simtime.Duration(at) - f.Phase) % f.Period
+		if pos < 0 {
+			pos += f.Period
+		}
+		if float64(pos) < f.Duty*float64(f.Period) {
+			return true
+		}
+	}
+	return false
+}
+
+// partitioned reports whether the explicit partition plan severs the (a, b)
+// node link at instant `at`: both nodes listed, in different groups, inside
+// the [PartitionAt, PartitionHeal) window.
+func (c Config) partitioned(a, b int, at simtime.Time) bool {
+	if len(c.PartitionGroups) == 0 ||
+		at < simtime.Time(c.PartitionAt) || at >= simtime.Time(c.PartitionHeal) {
+		return false
+	}
+	ga, gb := -1, -1
+	for g, nodes := range c.PartitionGroups {
+		for _, n := range nodes {
+			if n == a {
+				ga = g
+			}
+			if n == b {
+				gb = g
+			}
+		}
+	}
+	return ga >= 0 && gb >= 0 && ga != gb
+}
+
+// LinkDown reports whether the (a, b) node link is down at instant `at` —
+// hard outage window, flap down-phase, or explicit partition. Pure query:
+// no counters move, so routing views and tests can probe freely.
+func (i *Injector) LinkDown(a, b int, at simtime.Time) bool {
+	if i == nil || a == b {
+		return false
+	}
+	if i.cfg.partitioned(a, b, at) {
+		return true
+	}
+	return i.linkFate(a, b).IsDown(at)
+}
+
+// PeekLinkFate is LinkFate without the counter side effects: the pure
+// static fate of the (a, b) node link, for routing views and monitors that
+// probe pairs repeatedly.
+func (i *Injector) PeekLinkFate(a, b int) LinkFate {
+	return i.linkFate(a, b)
+}
+
+// LinkFaulted reports whether the (a, b) node link is fated to go down at
+// any point this run — hard outage, flap, or severed by the partition plan.
+// Static (no time argument): this is what routing views are rebuilt from,
+// so a rebuilt route is itself a pure function of the seed.
+func (i *Injector) LinkFaulted(a, b int) bool {
+	if i == nil || a == b {
+		return false
+	}
+	f := i.linkFate(a, b)
+	return f.Down || f.Flap || i.cfg.partitioned(a, b, simtime.Time(i.cfg.PartitionAt))
+}
+
+// LinkLost is LinkDown for an actual transmission attempt: when the link is
+// down it counts the refused attempt in Stats.LinkDrops and returns true.
+// The transport calls this, treats true as a wire drop, and retries after
+// backoff — deterministic heal times mean the retry schedule can ride out
+// an outage.
+func (i *Injector) LinkLost(a, b int, at simtime.Time) bool {
+	if i != nil && i.LinkDown(a, b, at) {
+		i.linkDrops.Add(1)
+		return true
+	}
+	return false
 }
 
 // chunkKey is eventKey with the chunk index as a dedicated hash field —

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"testing"
+
+	"mpicomp/internal/simtime"
+)
+
+// findLinkSeed returns a seed for which the (0,1) node pair draws a hard
+// outage under cfg, so tests can pin behavior without hardcoding a seed
+// that a hash tweak would silently invalidate.
+func findLinkSeed(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 20000; seed++ {
+		c := cfg
+		c.Seed = seed
+		if New(c).linkFate(0, 1).Down {
+			return seed
+		}
+	}
+	t.Fatal("no seed under 20000 fates link (0,1) down")
+	return 0
+}
+
+func TestLinkFateDeterministicAndSymmetric(t *testing.T) {
+	cfg := Config{Seed: 7, LinkDownRate: 0.3, LinkFlapRate: 0.3}
+	a := New(cfg)
+	b := New(cfg)
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 6; y++ {
+			fa := a.linkFate(x, y)
+			if fb := b.linkFate(x, y); fa != fb {
+				t.Fatalf("fate(%d,%d) differs across injectors: %+v vs %+v", x, y, fa, fb)
+			}
+			if sym := a.linkFate(y, x); fa != sym {
+				t.Fatalf("fate(%d,%d) not symmetric: %+v vs %+v", x, y, fa, sym)
+			}
+		}
+	}
+	if f := a.linkFate(3, 3); f.Down || f.Flap {
+		t.Fatalf("intra-node pair drew a link fate: %+v", f)
+	}
+}
+
+func TestLinkOutageWindowAndHeal(t *testing.T) {
+	cfg := Config{LinkDownRate: 0.5, LinkOutage: 300 * simtime.Microsecond}
+	cfg.Seed = findLinkSeed(t, cfg)
+	inj := New(cfg)
+	f := inj.linkFate(0, 1)
+	if !f.Down || f.HealAt != f.DownAt.Add(300*simtime.Microsecond) {
+		t.Fatalf("outage fate wrong: %+v", f)
+	}
+	if inj.LinkDown(0, 1, f.DownAt.Add(-1)) {
+		t.Fatal("down before onset")
+	}
+	if !inj.LinkDown(0, 1, f.DownAt) || !inj.LinkDown(0, 1, f.HealAt.Add(-1)) {
+		t.Fatal("not down inside the outage window")
+	}
+	if inj.LinkDown(0, 1, f.HealAt) {
+		t.Fatal("heal is not deterministic: still down at HealAt")
+	}
+}
+
+func TestLinkFlapDuty(t *testing.T) {
+	cfg := Config{Seed: 1, LinkFlapRate: 1, FlapPeriod: 100 * simtime.Microsecond, FlapDuty: 0.25}
+	inj := New(cfg)
+	f := inj.linkFate(0, 1)
+	if !f.Flap || f.Phase < 0 || f.Phase >= f.Period {
+		t.Fatalf("flap fate wrong: %+v", f)
+	}
+	// Sample one full cycle at 1us granularity: the down fraction must
+	// match the duty, and the pattern must repeat each period.
+	down := 0
+	for us := 0; us < 100; us++ {
+		at := f.DownAt.Add(simtime.Duration(us) * simtime.Microsecond)
+		if f.IsDown(at) {
+			down++
+		}
+		if f.IsDown(at) != f.IsDown(at.Add(f.Period)) {
+			t.Fatalf("flap pattern not periodic at %v", at)
+		}
+	}
+	if down != 25 {
+		t.Fatalf("duty 0.25 over a 100us period: %d samples down, want 25", down)
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	cfg := Config{
+		Seed:            3,
+		PartitionGroups: [][]int{{0, 1}, {2, 3}},
+		PartitionAt:     500 * simtime.Microsecond,
+		PartitionHeal:   simtime.Duration(1500 * simtime.Microsecond),
+	}
+	inj := New(cfg)
+	mid := simtime.Time(simtime.Millisecond)
+	if inj.LinkDown(0, 1, mid) || inj.LinkDown(2, 3, mid) {
+		t.Fatal("intra-group link severed")
+	}
+	if !inj.LinkDown(0, 2, mid) || !inj.LinkDown(1, 3, mid) || !inj.LinkDown(2, 0, mid) {
+		t.Fatal("cross-group link up inside the partition window")
+	}
+	if inj.LinkDown(0, 2, simtime.Time(cfg.PartitionAt)-1) {
+		t.Fatal("partitioned before onset")
+	}
+	if inj.LinkDown(0, 2, simtime.Time(cfg.PartitionHeal)) {
+		t.Fatal("partitioned at heal instant")
+	}
+	// Node 4 appears in no group: all its links survive.
+	if inj.LinkDown(0, 4, mid) || inj.LinkDown(4, 2, mid) {
+		t.Fatal("unlisted node lost links")
+	}
+}
+
+func TestPartitionHealDefault(t *testing.T) {
+	cfg := Config{Seed: 1, PartitionGroups: [][]int{{0}, {1}}, PartitionAt: simtime.Duration(simtime.Millisecond)}
+	inj := New(cfg)
+	eff := inj.Config()
+	if eff.PartitionHeal != cfg.PartitionAt+DefaultPartitionSpan {
+		t.Fatalf("heal default: %v", eff.PartitionHeal)
+	}
+}
+
+func TestLinkLostCountsAndFateCounters(t *testing.T) {
+	cfg := Config{LinkDownRate: 0.5}
+	cfg.Seed = findLinkSeed(t, cfg)
+	inj := New(cfg)
+	f := inj.LinkFate(0, 1) // the one counted draw
+	if got := inj.Stats().LinkOutages; got != 1 {
+		t.Fatalf("LinkOutages after fate draw: %d", got)
+	}
+	if !inj.LinkLost(0, 1, f.DownAt) || !inj.LinkLost(1, 0, f.DownAt) {
+		t.Fatal("LinkLost false inside outage")
+	}
+	if inj.LinkLost(0, 1, f.HealAt) {
+		t.Fatal("LinkLost true after heal")
+	}
+	s := inj.Stats()
+	if s.LinkDrops != 2 {
+		t.Fatalf("LinkDrops: %d, want 2", s.LinkDrops)
+	}
+	inj.ResetStats()
+	s = inj.Stats()
+	if s.LinkDrops != 0 || s.LinkOutages != 1 {
+		t.Fatalf("after reset: drops=%d outages=%d (fates must survive, events must not)", s.LinkDrops, s.LinkOutages)
+	}
+}
+
+func TestLinkFaultsEnabled(t *testing.T) {
+	if (Config{}).LinkFaults() {
+		t.Fatal("zero config reports link faults")
+	}
+	if !(Config{LinkFlapRate: 0.1}).Enabled() {
+		t.Fatal("flap-only config not Enabled")
+	}
+	if New(Config{PartitionGroups: [][]int{{0}, {1}}}) == nil {
+		t.Fatal("partition-only config yields nil injector")
+	}
+	var nilInj *Injector
+	if nilInj.LinkDown(0, 1, 0) || nilInj.LinkLost(0, 1, 0) {
+		t.Fatal("nil injector takes links down")
+	}
+	if f := nilInj.LinkFate(0, 1); f.Down || f.Flap {
+		t.Fatal("nil injector draws link fates")
+	}
+}

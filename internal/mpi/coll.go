@@ -9,20 +9,12 @@ import (
 	"mpicomp/internal/gpusim"
 )
 
-// Collective tags live in their own namespace; a generation counter would
-// be needed for overlapping collectives, but ranks here execute
-// collectives in program order so fixed tags per algorithm step suffice.
-const (
-	tagBarrier = internalTagBase - iota
-	tagBcast
-	tagAllgather
-	tagGather
-	tagScatter
-	tagReduce
-	tagAlltoall
-	tagAllreduce
-	tagAlltoallv
-)
+// Collective tags live in their own namespace, built by collTag (heal.go)
+// from the algorithm's base offset plus this rank's (recovery epoch,
+// operation index) context. Ranks execute collectives in program order, so
+// the context stays in lockstep without communication; a retried attempt
+// after a mid-operation failure uses a fresh epoch, which is what keeps a
+// revoked attempt's stale envelopes from ever matching the retry.
 
 // collView is the dense rank space a collective runs over: the full world
 // normally, or the surviving subset once the world has shrunk (ULFM's
@@ -60,16 +52,30 @@ func (v collView) vof(world int) int {
 // collView computes this rank's collective view. Fault-free worlds (and
 // worlds that have not shrunk) take the identity fast path; under an
 // active shrink, fated ranks are excluded and get an immediate error
-// (their quiesce cascades so survivors never wait on them).
+// (their quiesce cascades so survivors never wait on them). Once a
+// self-heal recovery has advanced this rank's epoch, the view follows the
+// fabric's fault-avoiding route order (heal.go), so a rebuilt ring walks
+// healthy links.
 func (r *Rank) collView() (collView, error) {
 	if err := r.checkHealth(); err != nil {
 		return collView{}, err
 	}
 	w := r.world
 	if len(w.doomed) == 0 || !w.shrinkEnabled() {
+		if w.healOn && r.healEpoch > 0 && w.routeView != nil {
+			// Link-only recovery: every rank survives, but the ring order
+			// reroutes around the failed links.
+			v := collView{size: w.size, live: w.routeOrdered(w.everyone)}
+			v.vrank = v.vof(r.id)
+			return v, nil
+		}
 		return collView{size: w.size, vrank: r.id}, nil
 	}
-	v := collView{size: len(w.live), live: w.live}
+	live := w.live
+	if w.healOn && r.healEpoch > 0 {
+		live = w.routeOrdered(live)
+	}
+	v := collView{size: len(live), live: live}
 	v.vrank = v.vof(r.id)
 	if v.vrank < 0 {
 		return collView{}, fmt.Errorf("mpi: rank %d is fated and excluded from the shrunk communicator: %w", r.id, ErrPeerFailed)
@@ -80,6 +86,10 @@ func (r *Rank) collView() (collView, error) {
 // Barrier synchronizes all ranks (dissemination algorithm, O(log P)
 // rounds of small host messages).
 func (r *Rank) Barrier() error {
+	return r.healRun(r.barrier)
+}
+
+func (r *Rank) barrier() error {
 	v, err := r.collView()
 	if err != nil {
 		return err
@@ -88,12 +98,13 @@ func (r *Rank) Barrier() error {
 	if size == 1 {
 		return nil
 	}
+	tag := r.collTag(baseBarrier)
 	token := gpusim.NewHostBuffer(1)
 	scratch := gpusim.NewHostBuffer(1)
 	for k := 1; k < size; k <<= 1 {
 		dst := v.real((v.vrank + k) % size)
 		src := v.real((v.vrank - k + size) % size)
-		if err := r.sendrecv(dst, tagBarrier, token, src, tagBarrier, scratch); err != nil {
+		if err := r.sendrecv(dst, tag, token, src, tag, scratch); err != nil {
 			return fmt.Errorf("mpi: barrier: %w", err)
 		}
 	}
@@ -107,11 +118,12 @@ func (r *Rank) Barrier() error {
 // run host-parallel), while the simulated kernel accounting stays on this
 // rank's goroutine.
 func (r *Rank) consumeRaw(raw rawResult, dst *gpusim.Buffer) error {
-	if err := r.Engine.Decompress(r.Clock, raw.hdr, raw.payload, dst); err != nil {
-		return err
-	}
+	err := r.Engine.Decompress(r.Clock, raw.hdr, raw.payload, dst)
+	// Hand the staging slot back even when the decode fails — an aborting
+	// collective must not leak pool credits.
 	r.Engine.ReleaseRecv(r.Clock, raw.staged)
-	return nil
+	r.dropRawStaged(raw.staged)
+	return err
 }
 
 // Bcast broadcasts root's buf to every rank using a binomial tree — the
@@ -126,6 +138,10 @@ func (r *Rank) consumeRaw(raw rawResult, dst *gpusim.Buffer) error {
 // chunk-granular reliability path (per-chunk CRC, selective retransmit,
 // credit window) hop by hop, exactly like pipelined point-to-point sends.
 func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.bcast(root, buf) })
+}
+
+func (r *Rank) bcast(root int, buf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
@@ -142,6 +158,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 		return nil
 	}
 	vrank := (v.vrank - vroot + size) % size
+	tag := r.collTag(baseBcast)
 
 	var payload []byte
 	var hdr core.Header
@@ -159,7 +176,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 		for mask < size {
 			if vrank&mask != 0 {
 				parent := v.real(((vrank - mask) + vroot) % size)
-				req, err := r.irecvRaw(parent, tagBcast)
+				req, err := r.irecvRaw(parent, tag)
 				if err != nil {
 					return err
 				}
@@ -180,7 +197,7 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vrank+mask < size {
 			child := v.real((vrank + mask + vroot) % size)
-			req, err := r.isendPayload(child, tagBcast, payload, hdr)
+			req, err := r.isendPayload(child, tag, payload, hdr)
 			if err != nil {
 				return fmt.Errorf("mpi: bcast send: %w", err)
 			}
@@ -202,6 +219,10 @@ func (r *Rank) Bcast(root int, buf *gpusim.Buffer) error {
 // surviving subset; block offsets stay world-rank indexed, so fated
 // ranks' blocks are simply left untouched.
 func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.allgather(sendBuf, recvBuf) })
+}
+
+func (r *Rank) allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 	v, err := r.collView()
 	if err != nil {
 		return err
@@ -243,13 +264,14 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 		dst *gpusim.Buffer
 	}
 	var todo *pending
+	tag := r.collTag(baseAllgather)
 	for step := 0; step < size-1; step++ {
 		recvIdx := v.real((v.vrank - step - 1 + size) % size)
-		rreq, err := r.irecvRaw(left, tagAllgather)
+		rreq, err := r.irecvRaw(left, tag)
 		if err != nil {
 			return err
 		}
-		sreq, err := r.isendPayload(right, tagAllgather, payload, hdr)
+		sreq, err := r.isendPayload(right, tag, payload, hdr)
 		if err != nil {
 			return fmt.Errorf("mpi: allgather step %d: %w", step, err)
 		}
@@ -280,14 +302,26 @@ func (r *Rank) Allgather(sendBuf, recvBuf *gpusim.Buffer) error {
 // Gather keeps abort semantics under failures (its block layout is
 // world-rank indexed, so there is no meaningful shrunk form): with a
 // fated rank in the world, every survivor's call surfaces ErrPeerFailed
-// within the watchdog deadline rather than hanging.
+// within the watchdog deadline rather than hanging. Under a self-heal
+// recovery the retry completes on the surviving group instead: fated
+// ranks' blocks are skipped and left untouched.
 func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.gather(root, sendBuf, recvBuf) })
+}
+
+func (r *Rank) gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
 	if err := r.checkHealth(); err != nil {
 		return err
 	}
+	w := r.world
+	shr := w.healShrunk()
+	if shr && w.isDoomed(root) {
+		return w.peerError(root)
+	}
+	tag := r.collTag(baseGather)
 	blk := sendBuf.Len()
 	if r.id == root {
 		if recvBuf.Len() != r.Size()*blk {
@@ -295,13 +329,16 @@ func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 		reqs := make([]*Request, 0, r.Size()-1)
 		for src := 0; src < r.Size(); src++ {
+			if shr && w.isDoomed(src) {
+				continue
+			}
 			dst := recvBuf.Slice(src*blk, blk)
 			if src == root {
 				copy(dst.Data, sendBuf.Data)
 				dst.MarkDirty()
 				continue
 			}
-			req, err := r.irecv(src, tagGather, dst)
+			req, err := r.irecv(src, tag, dst)
 			if err != nil {
 				return err
 			}
@@ -309,20 +346,31 @@ func (r *Rank) Gather(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 		return r.Waitall(reqs...)
 	}
-	return r.send(root, tagGather, sendBuf)
+	return r.send(root, tag, sendBuf)
 }
 
 // Scatter distributes root's sendBuf (rank i's block at offset
 // i*len(recvBuf)) into every rank's recvBuf. sendBuf is ignored on
 // non-root ranks. Like Gather, Scatter keeps abort semantics under
-// failures.
+// failures, and like Gather a self-heal retry completes on the surviving
+// group, skipping fated destinations.
 func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.scatter(root, sendBuf, recvBuf) })
+}
+
+func (r *Rank) scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
 	if err := r.checkHealth(); err != nil {
 		return err
 	}
+	w := r.world
+	shr := w.healShrunk()
+	if shr && w.isDoomed(root) {
+		return w.peerError(root)
+	}
+	tag := r.collTag(baseScatter)
 	blk := recvBuf.Len()
 	if r.id == root {
 		if sendBuf.Len() != r.Size()*blk {
@@ -330,13 +378,16 @@ func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 		reqs := make([]*Request, 0, r.Size()-1)
 		for dst := 0; dst < r.Size(); dst++ {
+			if shr && w.isDoomed(dst) {
+				continue
+			}
 			src := sendBuf.Slice(dst*blk, blk)
 			if dst == root {
 				copy(recvBuf.Data, src.Data)
 				recvBuf.MarkDirty()
 				continue
 			}
-			req, err := r.isend(dst, tagScatter, src)
+			req, err := r.isend(dst, tag, src)
 			if err != nil {
 				return err
 			}
@@ -344,12 +395,16 @@ func (r *Rank) Scatter(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 		return r.Waitall(reqs...)
 	}
-	return r.recv(root, tagScatter, recvBuf)
+	return r.recv(root, tag, recvBuf)
 }
 
 // ReduceSum computes the element-wise float32 sum of every rank's sendBuf
 // into root's recvBuf (binomial tree). Buffers must hold float32 data.
 func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.reduceSum(root, sendBuf, recvBuf) })
+}
+
+func (r *Rank) reduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
@@ -363,12 +418,13 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	}
 	size := v.size
 	vrank := (v.vrank - vroot + size) % size
+	tag := r.collTag(baseReduce)
 	// Leaf ranks (odd view rank) forward their contribution unmodified:
 	// sending sendBuf itself instead of a scratch copy lets a tracked,
 	// unchanged buffer reuse its cached compressed form across calls.
 	if size > 1 && vrank&1 == 1 {
 		parent := v.real(((vrank &^ 1) + vroot) % size)
-		return r.send(parent, tagReduce, sendBuf)
+		return r.send(parent, tag, sendBuf)
 	}
 	// Accumulator starts as a copy of the local contribution.
 	acc := append([]byte(nil), sendBuf.Data...)
@@ -378,11 +434,11 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 	for mask := 1; mask < size; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := v.real(((vrank &^ mask) + vroot) % size)
-			return r.send(parent, tagReduce, accBuf)
+			return r.send(parent, tag, accBuf)
 		}
 		if vrank+mask < size {
 			child := v.real((vrank + mask + vroot) % size)
-			if err := r.recv(child, tagReduce, tmp); err != nil {
+			if err := r.recv(child, tag, tmp); err != nil {
 				return fmt.Errorf("mpi: reduce recv: %w", err)
 			}
 			sumFloat32(r, accBuf, tmp.Data)
@@ -403,27 +459,40 @@ func (r *Rank) ReduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 // Allreduce as future work; this gives it the compressed p2p edges).
 // Under an active shrink the reduce roots at the lowest surviving rank.
 func (r *Rank) AllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.allreduceSum(sendBuf, recvBuf) })
+}
+
+func (r *Rank) allreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	root := 0
 	if w := r.world; w.shrinkEnabled() && len(w.live) > 0 {
 		root = w.live[0]
 	}
-	if err := r.ReduceSum(root, sendBuf, recvBuf); err != nil {
+	if err := r.reduceSum(root, sendBuf, recvBuf); err != nil {
 		return err
 	}
-	return r.Bcast(root, recvBuf)
+	return r.bcast(root, recvBuf)
 }
 
 // Alltoall exchanges blocks between all pairs: rank i's j-th send block
 // lands in rank j's i-th receive block. Pairwise-exchange algorithm.
-// Alltoall keeps abort semantics under failures (world-indexed blocks).
+// Alltoall keeps abort semantics under failures (world-indexed blocks);
+// a self-heal retry completes on the surviving group, skipping exchanges
+// with fated peers and leaving their blocks untouched.
 func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.alltoall(sendBuf, recvBuf) })
+}
+
+func (r *Rank) alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 	if err := r.checkHealth(); err != nil {
 		return err
 	}
+	w := r.world
+	shr := w.healShrunk()
 	size := r.Size()
 	if sendBuf.Len()%size != 0 || recvBuf.Len() != sendBuf.Len() {
 		return fmt.Errorf("mpi: alltoall buffers must be equal and divisible by %d ranks", size)
 	}
+	tag := r.collTag(baseAlltoall)
 	blk := sendBuf.Len() / size
 	// Local block.
 	copy(recvBuf.Slice(r.id*blk, blk).Data, sendBuf.Slice(r.id*blk, blk).Data)
@@ -433,19 +502,43 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 		if pow2 {
 			// XOR pairing: both sides of each pair exchange directly.
 			peer := r.id ^ step
+			if shr && w.isDoomed(peer) {
+				continue
+			}
 			sb := sendBuf.Slice(peer*blk, blk)
 			rb := recvBuf.Slice(peer*blk, blk)
-			if err := r.sendrecv(peer, tagAlltoall, sb, peer, tagAlltoall, rb); err != nil {
+			if err := r.sendrecv(peer, tag, sb, peer, tag, rb); err != nil {
 				return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
 			}
 			continue
 		}
-		// General ring: send to rank+step, receive from rank-step.
+		// General ring: send to rank+step, receive from rank-step. Post
+		// and wait orders match sendrecv's (receive posted first, send
+		// waited first) so the skip-free path's timeline is unchanged.
 		dst := (r.id + step) % size
 		src := (r.id - step + size) % size
-		sb := sendBuf.Slice(dst*blk, blk)
-		rb := recvBuf.Slice(src*blk, blk)
-		if err := r.sendrecv(dst, tagAlltoall, sb, src, tagAlltoall, rb); err != nil {
+		var sreq, rreq *Request
+		if !(shr && w.isDoomed(src)) {
+			req, err := r.irecv(src, tag, recvBuf.Slice(src*blk, blk))
+			if err != nil {
+				return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
+			}
+			rreq = req
+		}
+		if !(shr && w.isDoomed(dst)) {
+			req, err := r.isend(dst, tag, sendBuf.Slice(dst*blk, blk))
+			if err != nil {
+				return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
+			}
+			sreq = req
+		}
+		reqs := make([]*Request, 0, 2)
+		for _, req := range []*Request{sreq, rreq} {
+			if req != nil {
+				reqs = append(reqs, req)
+			}
+		}
+		if err := r.Waitall(reqs...); err != nil {
 			return fmt.Errorf("mpi: alltoall step %d: %w", step, err)
 		}
 	}
@@ -456,7 +549,7 @@ func (r *Rank) Alltoall(sendBuf, recvBuf *gpusim.Buffer) error {
 // namespace: it returns only once every fabric booking of the transfer
 // has been placed (the wave discipline in Alltoallv depends on that).
 func (r *Rank) sendBlocking(dst int, buf *gpusim.Buffer) error {
-	req, err := r.isend(dst, tagAlltoallv, buf)
+	req, err := r.isend(dst, r.collTag(baseAlltoallv), buf)
 	if err != nil {
 		return err
 	}
@@ -511,9 +604,17 @@ func checkAlltoallv(side string, buf *gpusim.Buffer, counts, displs []int, size 
 // per adapter — the cost of determinism is lost overlap between
 // co-located senders, which the shared HCA would serialize anyway.
 func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, recvBuf *gpusim.Buffer, recvCounts, recvDispls []int) error {
+	return r.healRun(func() error {
+		return r.alltoallv(sendBuf, sendCounts, sendDispls, recvBuf, recvCounts, recvDispls)
+	})
+}
+
+func (r *Rank) alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, recvBuf *gpusim.Buffer, recvCounts, recvDispls []int) error {
 	if err := r.checkHealth(); err != nil {
 		return err
 	}
+	w := r.world
+	shr := w.healShrunk()
 	size := r.Size()
 	if err := checkAlltoallv("send", sendBuf, sendCounts, sendDispls, size); err != nil {
 		return err
@@ -535,6 +636,7 @@ func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, r
 	}
 	pow2 := size&(size-1) == 0
 	ppn := r.world.ppn
+	tag := r.collTag(baseAlltoallv)
 	for step := 1; step < size; step++ {
 		var dst, src int
 		if pow2 {
@@ -546,13 +648,23 @@ func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, r
 			dst = (r.id + step) % size
 			src = (r.id - step + size) % size
 		}
+		// On a self-heal retry, exchanges with fated peers are skipped and
+		// their segments left untouched — but every live rank still runs
+		// each step's full barrier-wave schedule, so the wave discipline
+		// stays globally aligned.
+		sendOK := !(shr && w.isDoomed(dst))
+		recvOK := !(shr && w.isDoomed(src))
 		sb := sendBuf.Slice(sendDispls[dst], sendCounts[dst])
-		rb := recvBuf.Slice(recvDispls[src], recvCounts[src])
-		// Post the receive before any wave: a sender whose wave comes
-		// earlier than ours must find it matched.
-		rreq, err := r.irecv(src, tagAlltoallv, rb)
-		if err != nil {
-			return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+		var rreq *Request
+		if recvOK {
+			rb := recvBuf.Slice(recvDispls[src], recvCounts[src])
+			// Post the receive before any wave: a sender whose wave comes
+			// earlier than ours must find it matched.
+			req, err := r.irecv(src, tag, rb)
+			if err != nil {
+				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
+			}
+			rreq = req
 		}
 		// Our active wave: XOR pairs act in the pair's wave (both sides
 		// agree on the lower rank's local index); ring senders act in
@@ -566,7 +678,7 @@ func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, r
 			if err := r.Barrier(); err != nil {
 				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
 			}
-			if wv != wave {
+			if wv != wave || !sendOK {
 				continue
 			}
 			if pow2 && r.world.nodeOf(dst) == r.Node() {
@@ -590,7 +702,7 @@ func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, r
 				recvDone = true
 				continue
 			}
-			sreq, err := r.isend(dst, tagAlltoallv, sb)
+			sreq, err := r.isend(dst, tag, sb)
 			if err != nil {
 				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
 			}
@@ -608,7 +720,7 @@ func (r *Rank) Alltoallv(sendBuf *gpusim.Buffer, sendCounts, sendDispls []int, r
 				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
 			}
 		}
-		if !recvDone {
+		if !recvDone && rreq != nil {
 			if err := r.Wait(rreq); err != nil {
 				return fmt.Errorf("mpi: alltoallv step %d: %w", step, err)
 			}
@@ -644,20 +756,24 @@ func sumFloat32(r *Rank, dst *gpusim.Buffer, src []byte) {
 // whose size is not divisible into aligned blocks fall back to the
 // binomial tree.
 func (r *Rank) BcastScatterAllgather(root int, buf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.bcastScatterAllgather(root, buf) })
+}
+
+func (r *Rank) bcastScatterAllgather(root int, buf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
 	// Scatter's block layout has no shrunk form; once the world has
 	// shrunk around failures, fall back to the (view-aware) binomial tree.
 	if w := r.world; w.shrinkEnabled() && len(w.doomed) > 0 {
-		return r.Bcast(root, buf)
+		return r.bcast(root, buf)
 	}
 	size := r.Size()
 	if size == 1 {
 		return nil
 	}
 	if buf.Len()%(4*size) != 0 {
-		return r.Bcast(root, buf)
+		return r.bcast(root, buf)
 	}
 	blk := buf.Len() / size
 	mine := buf.Slice(r.id*blk, blk)
@@ -667,10 +783,10 @@ func (r *Rank) BcastScatterAllgather(root int, buf *gpusim.Buffer) error {
 	} else {
 		src = buf.Slice(0, 0)
 	}
-	if err := r.Scatter(root, src, mine); err != nil {
+	if err := r.scatter(root, src, mine); err != nil {
 		return fmt.Errorf("mpi: bcast-sag scatter: %w", err)
 	}
-	if err := r.Allgather(mine, buf); err != nil {
+	if err := r.allgather(mine, buf); err != nil {
 		return fmt.Errorf("mpi: bcast-sag allgather: %w", err)
 	}
 	return nil
@@ -682,47 +798,81 @@ func (r *Rank) BcastScatterAllgather(root int, buf *gpusim.Buffer) error {
 // intra-node link. With compression enabled, the inter-node stage moves
 // compressed payloads while the NVLink/PCIe stage can stay uncompressed
 // (pair it with Config.Dynamic for exactly that split).
+//
+// Under a shrunken or rerouted view the topology self-heals instead of
+// degrading to the flat tree: each node re-elects its lowest surviving
+// rank as leader, nodes with no survivor drop out of the inter-node
+// tree, and the leader order follows the view (route order after a link
+// recovery). On the identity view this reproduces the historical
+// leader = first-rank-per-node schedule exactly.
 func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.bcastHierarchical(root, buf) })
+}
+
+func (r *Rank) bcastHierarchical(root int, buf *gpusim.Buffer) error {
 	if err := r.checkPeer(root); err != nil {
 		return err
 	}
 	w := r.world
-	// The leader topology assumes every node's first rank is alive; once
-	// the world has shrunk, fall back to the view-aware binomial tree.
-	if w.shrinkEnabled() && len(w.doomed) > 0 {
-		return r.Bcast(root, buf)
+	v, err := r.collView()
+	if err != nil {
+		return err
+	}
+	if v.vof(root) < 0 {
+		return w.peerError(root)
 	}
 	ppn := w.ppn
-	if ppn == 1 || w.nodes == 1 {
-		return r.Bcast(root, buf)
+	if ppn == 1 || w.nodes == 1 || v.size == 1 {
+		return r.bcast(root, buf)
+	}
+	tag := r.collTag(baseBcast)
+
+	// Leader (re-)election over the view: the first surviving rank of a
+	// node in view order leads it (view order within a node is ascending
+	// rank order, so this is the lowest live rank); leaderless nodes drop
+	// out. liveNodes fixes the inter-node tree's node order.
+	nodeIdx := make([]int, w.nodes)
+	leaderOf := make([]int, w.nodes)
+	for i := range nodeIdx {
+		nodeIdx[i] = -1
+	}
+	var liveNodes []int
+	for vr := 0; vr < v.size; vr++ {
+		id := v.real(vr)
+		if n := w.nodeOf(id); nodeIdx[n] < 0 {
+			nodeIdx[n] = len(liveNodes)
+			leaderOf[n] = id
+			liveNodes = append(liveNodes, n)
+		}
 	}
 	rootNode := w.nodeOf(root)
 	myNode := r.Node()
-	leader := myNode * ppn // first rank on my node
+	leader := leaderOf[myNode]
 	onRootNode := myNode == rootNode
 
 	// Stage 0: move the message to the root node's leader if needed.
 	if onRootNode && root != leader {
 		if r.id == root {
-			if err := r.send(leader, tagBcast, buf); err != nil {
+			if err := r.send(leader, tag, buf); err != nil {
 				return err
 			}
 		} else if r.id == leader {
-			if err := r.recv(root, tagBcast, buf); err != nil {
+			if err := r.recv(root, tag, buf); err != nil {
 				return err
 			}
 		}
 	}
 
-	// Stage 1: binomial tree among node leaders (ranks i*ppn).
+	// Stage 1: binomial tree among the surviving node leaders.
 	if r.id == leader {
-		nodes := w.nodes
-		vnode := (myNode - rootNode + nodes) % nodes
+		nodes := len(liveNodes)
+		rootIdx := nodeIdx[rootNode]
+		vnode := (nodeIdx[myNode] - rootIdx + nodes) % nodes
 		mask := 1
 		for mask < nodes {
 			if vnode&mask != 0 {
-				parentNode := ((vnode - mask) + rootNode) % nodes
-				if err := r.recv(parentNode*ppn, tagBcast, buf); err != nil {
+				parentNode := liveNodes[((vnode-mask)+rootIdx)%nodes]
+				if err := r.recv(leaderOf[parentNode], tag, buf); err != nil {
 					return err
 				}
 				break
@@ -731,21 +881,23 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 		}
 		for mask >>= 1; mask > 0; mask >>= 1 {
 			if vnode+mask < nodes {
-				childNode := (vnode + mask + rootNode) % nodes
-				if err := r.send(childNode*ppn, tagBcast, buf); err != nil {
+				childNode := liveNodes[(vnode+mask+rootIdx)%nodes]
+				if err := r.send(leaderOf[childNode], tag, buf); err != nil {
 					return err
 				}
 			}
 		}
 	}
 
-	// Stage 2: node-local fan-out from the leader.
+	// Stage 2: node-local fan-out from the leader to the node's surviving
+	// ranks (view order within a node is ascending rank order).
 	if r.id == leader {
-		for peer := leader + 1; peer < leader+ppn && peer < r.Size(); peer++ {
-			if onRootNode && peer == root {
-				continue // the root already has the data
+		for vr := 0; vr < v.size; vr++ {
+			peer := v.real(vr)
+			if w.nodeOf(peer) != myNode || peer == leader || (onRootNode && peer == root) {
+				continue
 			}
-			if err := r.send(peer, tagBcast, buf); err != nil {
+			if err := r.send(peer, tag, buf); err != nil {
 				return err
 			}
 		}
@@ -754,7 +906,7 @@ func (r *Rank) BcastHierarchical(root int, buf *gpusim.Buffer) error {
 	if onRootNode && r.id == root {
 		return nil
 	}
-	return r.recv(leader, tagBcast, buf)
+	return r.recv(leader, tag, buf)
 }
 
 // ringBlocks partitions n bytes of float32 data into size contiguous
@@ -815,11 +967,12 @@ func ringChunkSpans(n, chunk int) [][2]int {
 // step 0 where the caller may pass the untouched sendBuf (identical
 // bytes, stable epoch) so warm iterations hit the compress-once cache.
 func (r *Rank) ringReduceStep(right, left int, src, recvBuf *gpusim.Buffer, sOff, sN, dOff, dN int, scratch *gpusim.Buffer, chunk int) error {
+	tag := r.collTag(baseAllreduce)
 	rspans := ringChunkSpans(dN, chunk)
 	sspans := ringChunkSpans(sN, chunk)
 	rreqs := make([]*Request, len(rspans))
 	for c, sp := range rspans {
-		req, err := r.irecv(left, tagAllreduce, scratch.Slice(sp[0], sp[1]))
+		req, err := r.irecv(left, tag, scratch.Slice(sp[0], sp[1]))
 		if err != nil {
 			return err
 		}
@@ -827,7 +980,7 @@ func (r *Rank) ringReduceStep(right, left int, src, recvBuf *gpusim.Buffer, sOff
 	}
 	sreqs := make([]*Request, len(sspans))
 	for c, sp := range sspans {
-		req, err := r.isend(right, tagAllreduce, src.Slice(sOff+sp[0], sp[1]))
+		req, err := r.isend(right, tag, src.Slice(sOff+sp[0], sp[1]))
 		if err != nil {
 			return err
 		}
@@ -866,6 +1019,10 @@ func (r *Rank) ringReduceStep(right, left int, src, recvBuf *gpusim.Buffer, sOff
 // CRC-protected, selectively retransmitted, credit-windowed chunks, so a
 // lossy link slows one step instead of failing the collective.
 func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.ringAllreduceSum(sendBuf, recvBuf) })
+}
+
+func (r *Rank) ringAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 	v, err := r.collView()
 	if err != nil {
 		return err
@@ -880,7 +1037,7 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 		return nil
 	}
 	if sendBuf.Len()%4 != 0 || sendBuf.Len()/4 < size {
-		return r.AllreduceSum(sendBuf, recvBuf)
+		return r.allreduceSum(sendBuf, recvBuf)
 	}
 	offs := ringBlocks(sendBuf.Len(), size)
 	copy(recvBuf.Data, sendBuf.Data)
@@ -934,13 +1091,14 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 		dst *gpusim.Buffer
 	}
 	var todo *pending
+	tag := r.collTag(baseAllreduce)
 	for step := 0; step < size-1; step++ {
 		recvIdx := (v.vrank - step + size) % size
-		rreq, err := r.irecvRaw(left, tagAllreduce)
+		rreq, err := r.irecvRaw(left, tag)
 		if err != nil {
 			return err
 		}
-		sreq, err := r.isendPayload(right, tagAllreduce, payload, hdr)
+		sreq, err := r.isendPayload(right, tag, payload, hdr)
 		if err != nil {
 			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
 		}
@@ -971,6 +1129,10 @@ func (r *Rank) RingAllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
 // it exists as the measured baseline for the pipelined/relay fast path
 // and as its differential-testing oracle.
 func (r *Rank) RingAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
+	return r.healRun(func() error { return r.ringAllreduceSumBlocking(sendBuf, recvBuf) })
+}
+
+func (r *Rank) ringAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
 	v, err := r.collView()
 	if err != nil {
 		return err
@@ -985,7 +1147,7 @@ func (r *Rank) RingAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
 		return nil
 	}
 	if sendBuf.Len()%4 != 0 || sendBuf.Len()/4 < size {
-		return r.AllreduceSum(sendBuf, recvBuf)
+		return r.allreduceSum(sendBuf, recvBuf)
 	}
 	offs := ringBlocks(sendBuf.Len(), size)
 	copy(recvBuf.Data, sendBuf.Data)
@@ -999,6 +1161,7 @@ func (r *Rank) RingAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
 		}
 	}
 	scratch := &gpusim.Buffer{Data: make([]byte, maxBlk), Loc: recvBuf.Loc, Dev: recvBuf.Dev}
+	tag := r.collTag(baseAllreduce)
 
 	// Phase 1: reduce-scatter with whole-block blocking exchanges.
 	for step := 0; step < size-1; step++ {
@@ -1007,7 +1170,7 @@ func (r *Rank) RingAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
 		sb := recvBuf.Slice(offs[sendIdx], offs[sendIdx+1]-offs[sendIdx])
 		dN := offs[recvIdx+1] - offs[recvIdx]
 		sc := scratch.Slice(0, dN)
-		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, sc); err != nil {
+		if err := r.sendrecv(right, tag, sb, left, tag, sc); err != nil {
 			return fmt.Errorf("mpi: ring reduce-scatter step %d: %w", step, err)
 		}
 		sumFloat32(r, recvBuf.Slice(offs[recvIdx], dN), sc.Data)
@@ -1019,7 +1182,7 @@ func (r *Rank) RingAllreduceSumBlocking(sendBuf, recvBuf *gpusim.Buffer) error {
 		recvIdx := (v.vrank - step + size) % size
 		sb := recvBuf.Slice(offs[sendIdx], offs[sendIdx+1]-offs[sendIdx])
 		rb := recvBuf.Slice(offs[recvIdx], offs[recvIdx+1]-offs[recvIdx])
-		if err := r.sendrecv(right, tagAllreduce, sb, left, tagAllreduce, rb); err != nil {
+		if err := r.sendrecv(right, tag, sb, left, tag, rb); err != nil {
 			return fmt.Errorf("mpi: ring allgather step %d: %w", step, err)
 		}
 	}

@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"errors"
+
+	"mpicomp/internal/simtime"
+)
+
+// detector is one rank's deterministic heartbeat-lease failure detector.
+// There are no timers and no extra wire traffic: liveness evidence is the
+// virtual completion instant of the operations the rank already runs
+// (every completed receive or send outcome involving a peer is an implicit
+// heartbeat, exactly the piggybacking DESIGN.md §14 describes), so every
+// transition is a pure function of the communication plan.
+//
+//   - Evidence arriving later than the peer's lease allows raises a
+//     suspicion. Fresh successful evidence retracts it — a false
+//     suspicion, the bounded cost of link flap stretching delivery times.
+//   - A failure outcome (watchdog envelope, delivery exhaustion) suspects
+//     the peer; when the peer really is fated the suspicion confirms at
+//     the detection instant, which the watchdog places Lease + Confirm
+//     past the onset.
+//
+// The detector is advisory: it counts, it never announces. Announcement
+// stays with the fated rank's own goroutine (health.go) — that invariant
+// is what keeps whether a receive matches a real message or a failure
+// envelope independent of host scheduling.
+type detector struct {
+	rank  *Rank
+	lease simtime.Duration
+	// lastOK[peer] is the freshest successful evidence instant; seen marks
+	// peers with at least one observation (so the first contact cannot be
+	// "late").
+	lastOK []simtime.Time
+	seen   []bool
+	// suspected / confirmed latch per-peer detector state.
+	suspected []bool
+	confirmed []bool
+
+	suspects      int64
+	falseSuspects int64
+	confirms      int64
+}
+
+func newDetector(r *Rank, p DetectorPolicy) *detector {
+	n := r.world.size
+	return &detector{
+		rank:      r,
+		lease:     p.Lease,
+		lastOK:    make([]simtime.Time, n),
+		seen:      make([]bool, n),
+		suspected: make([]bool, n),
+		confirmed: make([]bool, n),
+	}
+}
+
+// noteOutcome feeds one completed operation involving peer at virtual
+// instant t. Called only from the owning rank's goroutine, in program
+// order.
+func (d *detector) noteOutcome(peer int, t simtime.Time, err error) {
+	if d == nil || peer < 0 || peer >= len(d.lastOK) || peer == d.rank.id {
+		return
+	}
+	if err == nil {
+		if d.seen[peer] && !d.confirmed[peer] && t > d.lastOK[peer].Add(d.lease) {
+			// The lease expired before this evidence arrived: a real
+			// detector would have suspected the peer and retracted now.
+			d.suspects++
+			d.falseSuspects++
+		}
+		if d.suspected[peer] && !d.confirmed[peer] {
+			d.suspected[peer] = false
+			d.falseSuspects++
+		}
+		d.seen[peer] = true
+		if t > d.lastOK[peer] {
+			d.lastOK[peer] = t
+		}
+		return
+	}
+	if !errors.Is(err, ErrPeerFailed) && !errors.Is(err, ErrDeliveryFailed) && !errors.Is(err, ErrCollRevoked) {
+		return
+	}
+	if !d.suspected[peer] {
+		d.suspected[peer] = true
+		d.suspects++
+	}
+	if d.confirmed[peer] {
+		return
+	}
+	// A watchdog envelope names a genuinely fated peer: the suspicion
+	// confirms. Delivery exhaustion and revocation stay suspicions — the
+	// peer may be fine behind a flapping link.
+	if errors.Is(err, ErrPeerFailed) && d.rank.world.isDoomed(peer) {
+		d.confirmed[peer] = true
+		d.confirms++
+	}
+}
+
+// suspecting reports whether any live suspicion is outstanding (heartbeat
+// telemetry for the verdict round).
+func (d *detector) suspecting() bool {
+	if d == nil {
+		return false
+	}
+	for p, s := range d.suspected {
+		if s && !d.confirmed[p] {
+			return true
+		}
+	}
+	return false
+}

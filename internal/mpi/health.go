@@ -22,6 +22,14 @@ var ErrRankCrashed = errors.New("mpi: rank crash-stopped")
 // reaches the fabric (a partitioned NIC), so no operation can complete.
 var ErrRankSilent = errors.New("mpi: rank silent (partitioned)")
 
+// ErrCollRevoked is the sentinel a point-to-point operation surfaces when
+// the collective attempt it belongs to has been revoked for recovery: a
+// peer observed a failure mid-operation and every rank still blocked
+// inside the attempt is woken so it can join the retry verdict instead of
+// waiting on traffic that will never come — the runtime's
+// MPIX_Comm_revoke.
+var ErrCollRevoked = errors.New("mpi: collective attempt revoked")
+
 // PeerError is the failure a surviving rank observes from a blocking
 // operation involving dead peers. Ranks always carries the run's complete
 // fated set (or the single quiesced rank for pure cascades), so every
@@ -46,6 +54,38 @@ func (e *PeerError) Unwrap() error { return ErrPeerFailed }
 // the operation's post and the peer's failure onset.
 const DefaultHealthDeadline = 500 * simtime.Microsecond
 
+// DefaultDetectorLease and DefaultDetectorConfirm split the watchdog
+// deadline into the failure detector's two phases when DetectorPolicy is
+// enabled with zero fields: a peer whose traffic is silent past the lease
+// is suspected; a suspect not retracted within the confirm window is
+// confirmed dead. Lease + Confirm equals DefaultHealthDeadline, so turning
+// the detector on with defaults leaves detection latency unchanged.
+const (
+	DefaultDetectorLease   = 300 * simtime.Microsecond
+	DefaultDetectorConfirm = 200 * simtime.Microsecond
+)
+
+// DetectorPolicy configures the heartbeat-lease failure detector. The
+// detector is deterministic on the virtual clock: liveness evidence is the
+// completion instants of ordinary operations (heartbeats piggyback on the
+// control packets the run already exchanges — no extra wire traffic), a
+// peer is suspected when evidence arrives later than its lease allows, and
+// a suspicion either retracts on fresh evidence (a false suspicion — the
+// bounded cost of link flap) or confirms at Lease + Confirm past the
+// failure onset. The zero value disables the detector.
+type DetectorPolicy struct {
+	// Lease is how stale a peer's liveness evidence may grow before the
+	// detector suspects it (0 with Confirm set selects
+	// DefaultDetectorLease).
+	Lease simtime.Duration
+	// Confirm is the suspect-to-confirm window (0 with Lease set selects
+	// DefaultDetectorConfirm).
+	Confirm simtime.Duration
+}
+
+// Enabled reports whether the detector was configured at all.
+func (p DetectorPolicy) Enabled() bool { return p.Lease > 0 || p.Confirm > 0 }
+
 // HealthPolicy is the per-world failure-handling configuration.
 //
 // The watchdog is event-driven on the virtual clock — there are no
@@ -67,11 +107,41 @@ type HealthPolicy struct {
 	// MPIX_Comm_shrink) instead of the default abort-cleanly semantics
 	// where every survivor returns PeerError with the same failed set.
 	ShrinkCollectives bool
+	// SelfHeal arms mid-collective recovery: a collective that loses a
+	// rank or a link mid-operation revokes the attempt, runs a verdict
+	// round among survivors, rebuilds its route on the shrunken view, and
+	// completes — the degrade ladder's final reroute -> shrink-and-
+	// complete rung (DESIGN.md §14). Implies shrink semantics for the
+	// retried attempt.
+	SelfHeal bool
+	// MaxAttempts bounds how many times one collective may be retried
+	// under SelfHeal (0 means DefaultHealAttempts). The bound is a
+	// backstop; each retry runs on a strictly smaller or rerouted view.
+	MaxAttempts int
+	// Detector tunes the failure detector feeding the watchdog. When
+	// enabled, the effective Deadline becomes Lease + Confirm — detection
+	// is the lease expiring plus the confirm window.
+	Detector DetectorPolicy
 }
 
+// DefaultHealAttempts bounds self-heal retries when MaxAttempts is zero.
+const DefaultHealAttempts = 4
+
 func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.Detector.Enabled() {
+		if p.Detector.Lease <= 0 {
+			p.Detector.Lease = DefaultDetectorLease
+		}
+		if p.Detector.Confirm <= 0 {
+			p.Detector.Confirm = DefaultDetectorConfirm
+		}
+		p.Deadline = p.Detector.Lease + p.Detector.Confirm
+	}
 	if p.Deadline <= 0 {
 		p.Deadline = DefaultHealthDeadline
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultHealAttempts
 	}
 	return p
 }

@@ -164,16 +164,40 @@ type World struct {
 	// Failure handling (see health.go). doomed/live are fixed at
 	// initialization — fate assignment is deterministic per seed — so
 	// every survivor observes the identical failed set.
-	health HealthPolicy
-	doomed []int
-	live   []int
-	shrunk atomic.Bool
+	health   HealthPolicy
+	doomed   []int
+	live     []int
+	everyone []int
+	shrunk   atomic.Bool
 
 	announceMu sync.Mutex
 	announced  map[int]bool
 
 	watchdogWakeups atomic.Int64
 	cascadeQuiets   atomic.Int64
+
+	// Self-healing state (see heal.go). healOn gates every hot-path check
+	// — a world without SelfHeal never takes the revocation branches.
+	// linkFaults gates the transport's per-attempt link queries the same
+	// way. routeView is the fabric's static fault-avoiding node order
+	// (nil = identity); revoked maps recovery epoch -> lowest revoked
+	// collective-op index at that epoch.
+	healOn     bool
+	linkFaults bool
+	routeView  []int
+	revMu      sync.Mutex
+	revoked    map[int]uint64
+
+	reroutes          atomic.Int64
+	shrinkCompletions atomic.Int64
+	revokedOps        atomic.Int64
+	resourcedChunks   atomic.Int64
+	recoveryTime      atomic.Int64
+}
+
+// isDoomed reports whether rank id is fated to fail this run.
+func (w *World) isDoomed(id int) bool {
+	return w.ranks[id].fate != nil
 }
 
 // NewWorld builds the job: fabric, devices, per-rank engines (paying
@@ -233,6 +257,10 @@ func NewWorld(opt Options) (*World, error) {
 		}
 		w.ranks = append(w.ranks, r)
 	}
+	w.everyone = make([]int, w.size)
+	for i := range w.everyone {
+		w.everyone[i] = i
+	}
 	// Draw process-failure fates once per rank (fate assignment IS the
 	// injection; see faults.RankFate). Purely seed-driven, so doomed/live
 	// are identical for any host scheduling or worker-pool size.
@@ -245,6 +273,25 @@ func NewWorld(opt Options) (*World, error) {
 		}
 		if len(w.doomed) > 0 {
 			w.buildLive()
+		}
+		// Draw link fates once per node pair (the counted draw) and take
+		// the fabric's static fault-avoiding node order. Both are pure
+		// functions of the seed, so the routing view every recovery epoch
+		// activates is identical across ranks and host schedules.
+		if w.inj.Config().LinkFaults() {
+			w.linkFaults = true
+			for a := 0; a < w.nodes; a++ {
+				for b := a + 1; b < w.nodes; b++ {
+					w.inj.LinkFate(a, b)
+				}
+			}
+			w.routeView = w.fabric.RouteAround()
+		}
+	}
+	w.healOn = w.health.SelfHeal && w.inj != nil
+	if w.health.Detector.Enabled() {
+		for _, r := range w.ranks {
+			r.det = newDetector(r, w.health.Detector)
 		}
 	}
 	return w, nil
@@ -271,6 +318,15 @@ func (w *World) FaultStats() faults.Stats { return w.inj.Stats() }
 
 // FaultsEnabled reports whether this world injects faults.
 func (w *World) FaultsEnabled() bool { return w.inj != nil }
+
+// SelfHealing reports whether mid-collective recovery is armed (SelfHeal
+// policy with an active fault injector).
+func (w *World) SelfHealing() bool { return w.healOn }
+
+// Fated reports whether rank id is fated to fail this run. Harnesses use
+// it to tell a fated rank's own demise apart from a survivor's failure:
+// under SelfHeal the survivors complete and only fated ranks error out.
+func (w *World) Fated(id int) bool { return w.isDoomed(id) }
 
 // Rank returns rank id's state (for post-run inspection).
 func (w *World) Rank(id int) *Rank { return w.ranks[id] }
@@ -329,11 +385,57 @@ func (w *World) RunAll(fn func(r *Rank) error) ([]simtime.Time, []error) {
 		}(r)
 	}
 	wg.Wait()
+	w.reapInflight()
 	times := make([]simtime.Time, w.size)
 	for i, r := range w.ranks {
 		times[i] = r.Clock.Now()
 	}
 	return times, errs
+}
+
+// reapInflight reclaims the staging buffers of requests abandoned by
+// aborted collectives once every rank goroutine has joined: a receive that
+// matched a rendezvous or pipelined envelope holds pool slots its Wait
+// would have released. The pass is single-threaded and walks ranks and
+// requests in order, resolving only channels that already settled, so it
+// adds no blocking and no nondeterminism — each release lands at the
+// owning rank's final clock.
+func (w *World) reapInflight() {
+	for _, r := range w.ranks {
+		for _, req := range r.inflight {
+			env := req.env
+			if env == nil && req.early != nil {
+				env = req.early
+			}
+			if env == nil && req.post != nil {
+				select {
+				case env = <-req.post.matched:
+				default:
+				}
+			}
+			if env == nil {
+				continue
+			}
+			if req.isSend {
+				continue // senders hold no staging
+			}
+			if env.pipelined {
+				select {
+				case <-env.done:
+				default:
+					continue // match never completed; nothing staged
+				}
+			}
+			r.releasePipelineStaging(env)
+		}
+		r.inflight = nil
+		// A raw receive completed by Wait parks its staging buffer until
+		// consumeRaw hands it back; an abort between the two leaks it.
+		for _, b := range r.rawStaged {
+			r.Engine.ReleaseRecv(r.Clock, b)
+		}
+		r.rawStaged = nil
+	}
 }
 
 // MaxTime returns the latest of the given instants (the job makespan).
@@ -377,6 +479,47 @@ type Rank struct {
 	// rank's program order, keeping concurrent chunk timelines' fabric
 	// reservations deterministic (see pipeLane in pipeline.go).
 	pipeTx []pipeLane
+	// Collective-operation context (heal.go). Collectives are called in
+	// the same program order on every rank, so the per-rank op counter
+	// stays in lockstep without communication; healEpoch advances only on
+	// an agreed recovery verdict, keeping it in lockstep too. opDepth
+	// makes nested collectives inherit the outermost operation's context.
+	opDepth   int
+	curOp     uint64
+	nextOp    uint64
+	healEpoch int
+	// inflight tracks this rank's incomplete requests so an aborted
+	// collective's staging buffers can be reclaimed — drained in place on
+	// a self-heal retry, reaped after the join in abort mode. Touched only
+	// by the owning goroutine (and by RunAll after the join). rawStaged
+	// holds staging buffers of raw receives completed by Wait but not yet
+	// handed back through consumeRaw.
+	inflight  []*Request
+	rawStaged []*gpusim.Buffer
+	// det is the rank's failure detector (nil unless configured).
+	det *detector
+}
+
+// trackInflight registers an incomplete request for abort reclamation.
+// req.inf stores index+1 so the zero value means "untracked".
+func (r *Rank) trackInflight(req *Request) {
+	r.inflight = append(r.inflight, req)
+	req.inf = len(r.inflight)
+}
+
+// untrackInflight drops a request that completed (swap-delete; order of
+// the survivors follows program order of completion, which is
+// deterministic).
+func (r *Rank) untrackInflight(req *Request) {
+	i := req.inf - 1
+	if i < 0 || i >= len(r.inflight) || r.inflight[i] != req {
+		return
+	}
+	last := len(r.inflight) - 1
+	r.inflight[i] = r.inflight[last]
+	r.inflight[i].inf = i + 1
+	r.inflight = r.inflight[:last]
+	req.inf = 0
 }
 
 // nextSeq allocates the next per-destination message sequence number.

@@ -125,6 +125,14 @@ type mailbox struct {
 	failErr    error
 	failedSrcs map[int]srcFail
 
+	// Attempt-quit records (heal.go): quits holds peers that abandoned a
+	// revoked collective attempt (consulted by post, keyed by source);
+	// ownQuits holds the owner's own abandonments (consulted by deliver —
+	// the owner will never post the attempt's receives). Empty outside
+	// self-healing recovery, so the hot paths pay one length test.
+	quits    []attemptQuit
+	ownQuits []attemptQuit
+
 	// world backlinks for the watchdog (deadline, wakeup accounting).
 	world *World
 }
@@ -157,6 +165,17 @@ func (m *mailbox) deliver(env *envelope) {
 			return
 		}
 	}
+	for _, q := range m.ownQuits {
+		if quitCovers(q, env.tag) {
+			// Traffic for an attempt the owner abandoned: a matching receive
+			// will never be posted, so never queue it — the sender (if
+			// rendezvous) unblocks at the same quit-derived instant the
+			// owner's abort sweep would have used.
+			m.mu.Unlock()
+			m.world.failSend(env, q.at, m.world.revokeErr())
+			return
+		}
+	}
 	m.unexpected = append(m.unexpected, env)
 	m.mu.Unlock()
 }
@@ -176,6 +195,15 @@ func (m *mailbox) post(p *recvPost) *envelope {
 			return env
 		}
 	}
+	if q, ok := m.quitFor(p.src, p.tag); ok {
+		// The source already abandoned the attempt this receive belongs to:
+		// wake it immediately with the revocation error, at the same
+		// instant the source's abort sweep would have used had the receive
+		// been posted earlier.
+		m.mu.Unlock()
+		m.world.watchdogWakeups.Add(1)
+		return failEnvelope(p.src, p.tag, simtime.Max(p.postTime, q.at).Add(m.world.health.Deadline), m.world.revokeErr())
+	}
 	if src, f, ok := m.failedFor(p.src); ok {
 		m.mu.Unlock()
 		t := simtime.Max(p.postTime, f.onset).Add(m.world.health.Deadline)
@@ -185,6 +213,19 @@ func (m *mailbox) post(p *recvPost) *envelope {
 	m.posted = append(m.posted, p)
 	m.mu.Unlock()
 	return nil
+}
+
+// quitFor looks up a quit record covering a posted receive: its source
+// abandoned the attempt the receive's tag belongs to. At most one record
+// per (source, epoch) can exist, so the scan's answer is order-free.
+// Called with m.mu held.
+func (m *mailbox) quitFor(postSrc, tag int) (attemptQuit, bool) {
+	for _, q := range m.quits {
+		if q.src == postSrc && quitCovers(q, tag) {
+			return q, true
+		}
+	}
+	return attemptQuit{}, false
 }
 
 // failedFor looks up an announced failure matching a posted source: the
@@ -218,7 +259,7 @@ func (m *mailbox) failedFor(postSrc int) (int, srcFail, bool) {
 func (w *World) controlArrival(kind faults.Kind, src, dst int, seq uint64, fromNode, toNode int, ready simtime.Time) (simtime.Time, error) {
 	limit := w.retry.limit()
 	for attempt := 0; ; attempt++ {
-		if !w.inj.ShouldDrop(kind, src, dst, seq, attempt) {
+		if !w.linkLost(fromNode, toNode, ready) && !w.inj.ShouldDrop(kind, src, dst, seq, attempt) {
 			return w.fabric.ControlMessage(fromNode, toNode, ready), nil
 		}
 		if attempt >= limit {
@@ -227,6 +268,15 @@ func (w *World) controlArrival(kind faults.Kind, src, dst int, seq uint64, fromN
 		}
 		ready = ready.Add(w.retry.delay(attempt))
 	}
+}
+
+// linkLost asks the fabric whether the inter-node link refuses an attempt
+// at instant `ready`. A refused attempt is exactly a wire drop: the sender
+// discovers it by timeout and retries after backoff, so the exponential
+// schedule rides out a deterministic outage or flap window instead of
+// deadlocking on it. Gated so fault-free worlds never make the call.
+func (w *World) linkLost(fromNode, toNode int, ready simtime.Time) bool {
+	return w.linkFaults && w.fabric.LinkLost(fromNode, toNode, ready)
 }
 
 // deliverPayload simulates the bounded-retry transfer of one wire payload:
@@ -239,7 +289,7 @@ func (w *World) controlArrival(kind faults.Kind, src, dst int, seq uint64, fromN
 func (w *World) deliverPayload(kind faults.Kind, src, dst int, seq uint64, srcNode, dstNode int, ready simtime.Time, payload []byte, crc uint32) ([]byte, simtime.Time, error) {
 	limit := w.retry.limit()
 	for attempt := 0; ; attempt++ {
-		if w.inj.ShouldDrop(kind, src, dst, seq, attempt) {
+		if w.linkLost(srcNode, dstNode, ready) || w.inj.ShouldDrop(kind, src, dst, seq, attempt) {
 			if attempt >= limit {
 				return nil, ready, fmt.Errorf("mpi: %v %d->%d seq %d lost after %d attempts: %w",
 					kind, src, dst, seq, attempt+1, ErrDeliveryFailed)
@@ -280,7 +330,7 @@ func (w *World) deliverData(src, dst int, seq uint64, srcNode, dstNode int, read
 	eng := w.ranks[src].Engine
 	limit := w.retry.limit()
 	for attempt := 0; ; attempt++ {
-		if w.inj.ShouldDrop(faults.KindData, src, dst, seq, attempt) {
+		if w.linkLost(srcNode, dstNode, ready) || w.inj.ShouldDrop(faults.KindData, src, dst, seq, attempt) {
 			if attempt >= limit {
 				return nil, hdr, ready, fmt.Errorf("mpi: %v %d->%d seq %d lost after %d attempts: %w",
 					faults.KindData, src, dst, seq, attempt+1, ErrDeliveryFailed)
@@ -386,6 +436,9 @@ type Request struct {
 	rank *Rank
 	done bool
 	err  error
+	// inf is this request's slot in the owning rank's inflight list plus
+	// one (0 = untracked); see trackInflight.
+	inf int
 
 	// send side
 	isSend bool
@@ -456,7 +509,7 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 		wire, arrival, err := w.deliverPayload(faults.KindEager, r.id, dst, seq,
 			r.Node(), w.nodeOf(dst), r.Clock.Now(), payload, crc)
 		env := &envelope{
-			src: r.id, tag: tag, eager: true, seq: seq,
+			src: r.id, dst: dst, tag: tag, eager: true, seq: seq,
 			payload: wire, crc: crc, arrival: arrival, deliveryErr: err,
 		}
 		// The sender's CPU returns as soon as the message is injected;
@@ -467,7 +520,11 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 	}
 
 	if r.pipelineEligible(dst, buf.Len()) {
-		return r.isendPipelined(dst, tag, buf, seq)
+		req, perr := r.isendPipelined(dst, tag, buf, seq)
+		if perr == nil {
+			r.trackInflight(req)
+		}
+		return req, perr
 	}
 
 	// Rendezvous: compress (steps 1-3), then RTS with the piggybacked
@@ -515,7 +572,7 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
 		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
-		src: r.id, tag: tag, seq: seq,
+		src: r.id, dst: dst, tag: tag, seq: seq,
 		payload:     payload,
 		hdr:         hdr,
 		rtsArrival:  rtsArrival,
@@ -525,6 +582,7 @@ func (r *Rank) isend(dst, tag int, buf *gpusim.Buffer) (*Request, error) {
 		fb:          fb,
 	}
 	req := &Request{rank: r, isSend: true, env: env}
+	r.trackInflight(req)
 	dstRank.box.deliver(env)
 	return req, nil
 }
@@ -551,6 +609,7 @@ func (r *Rank) irecv(src, tag int, buf *gpusim.Buffer) (*Request, error) {
 	}
 	p := &recvPost{src: src, tag: tag, postTime: r.Clock.Now(), matched: make(chan *envelope, 1), rank: r}
 	req := &Request{rank: r, buf: buf, post: p}
+	r.trackInflight(req)
 	req.early = r.box.post(p)
 	r.Clock.Advance(simtime.FromMicroseconds(0.3))
 	return req, nil
@@ -598,6 +657,7 @@ func (r *Rank) Wait(req *Request) error {
 		return req.err
 	}
 	req.done = true
+	r.untrackInflight(req)
 	if req.isSend {
 		// Local completion: the send buffer is reusable once the
 		// transfer has drained (or the transport gave up).
@@ -608,6 +668,7 @@ func (r *Rank) Wait(req *Request) error {
 			r.notePipeOutcome(req.env.dst, out.retransmits, out.err != nil)
 		}
 		req.err = out.err
+		r.det.noteOutcome(req.env.dst, r.Clock.Now(), req.err)
 		return out.err
 	}
 	if req.wantRaw {
@@ -615,6 +676,7 @@ func (r *Rank) Wait(req *Request) error {
 	} else {
 		req.err = r.waitRecv(req)
 	}
+	r.det.noteOutcome(req.post.src, r.Clock.Now(), req.err)
 	return req.err
 }
 
@@ -770,12 +832,16 @@ func (r *Rank) isendPayload(dst, tag int, payload []byte, hdr core.Header) (*Req
 		// Large relayed payloads ride the chunk-granular reliability path:
 		// segmented with per-chunk CRCs, selectively retransmitted, and
 		// credit-windowed exactly like a pipelined compression stream.
-		return r.isendPayloadChunked(dst, tag, payload, hdr, seq)
+		req, perr := r.isendPayloadChunked(dst, tag, payload, hdr, seq)
+		if perr == nil {
+			r.trackInflight(req)
+		}
+		return req, perr
 	}
 	rtsArrival, rtsErr := w.controlArrival(faults.KindRTS, r.id, dst, seq,
 		r.Node(), w.nodeOf(dst), r.Clock.Now())
 	env := &envelope{
-		src: r.id, tag: tag, seq: seq,
+		src: r.id, dst: dst, tag: tag, seq: seq,
 		payload:     payload,
 		hdr:         hdr,
 		rtsArrival:  rtsArrival,
@@ -784,6 +850,7 @@ func (r *Rank) isendPayload(dst, tag int, payload []byte, hdr core.Header) (*Req
 		deliveryErr: rtsErr,
 	}
 	req := &Request{rank: r, isSend: true, env: env}
+	r.trackInflight(req)
 	w.ranks[dst].box.deliver(env)
 	return req, nil
 }
@@ -809,6 +876,7 @@ func (r *Rank) irecvRaw(src, tag int) (*Request, error) {
 	}
 	p := &recvPost{src: src, tag: tag, postTime: r.Clock.Now(), matched: make(chan *envelope, 1), rank: r}
 	req := &Request{rank: r, post: p, wantRaw: true}
+	r.trackInflight(req)
 	req.early = r.box.post(p)
 	r.Clock.Advance(simtime.FromMicroseconds(0.3))
 	return req, nil
@@ -857,5 +925,25 @@ func (r *Rank) waitRecvRaw(req *Request) error {
 		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
 	req.raw = rawResult{payload: env.payload, hdr: env.hdr, staged: env.staged}
+	r.noteRawStaged(env.staged)
 	return nil
+}
+
+// noteRawStaged / dropRawStaged bracket the window where a completed raw
+// receive's staging buffer is parked on the request: between Wait and
+// consumeRaw an abort would otherwise leak the slot, so the reap
+// (reapInflight) and the self-heal drain release whatever is still noted.
+func (r *Rank) noteRawStaged(b *gpusim.Buffer) {
+	if b != nil {
+		r.rawStaged = append(r.rawStaged, b)
+	}
+}
+
+func (r *Rank) dropRawStaged(b *gpusim.Buffer) {
+	for i, x := range r.rawStaged {
+		if x == b {
+			r.rawStaged = append(r.rawStaged[:i], r.rawStaged[i+1:]...)
+			return
+		}
+	}
 }

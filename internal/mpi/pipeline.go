@@ -320,7 +320,7 @@ func (w *World) deliverChunk(src, dst int, seq uint64, chunk, srcNode, dstNode i
 		ready = ready.Add(w.inj.Config().ReorderDelay)
 	}
 	for attempt := 0; ; attempt++ {
-		if w.inj.ShouldDropChunk(src, dst, seq, chunk, attempt) {
+		if w.linkLost(srcNode, dstNode, ready) || w.inj.ShouldDropChunk(src, dst, seq, chunk, attempt) {
 			if attempt >= limit {
 				return nil, ready, retrans, retransBytes, fmt.Errorf("mpi: %v %d->%d seq %d chunk %d lost after %d attempts: %w",
 					faults.KindChunk, src, dst, seq, chunk, attempt+1, ErrDeliveryFailed)
@@ -721,5 +721,6 @@ func (r *Rank) waitRecvRawChunked(req *Request, env *envelope) error {
 		return fmt.Errorf("mpi: message from rank %d: %w", env.src, err)
 	}
 	req.raw = rawResult{payload: payload, hdr: env.hdr, staged: env.staged}
+	r.noteRawStaged(env.staged)
 	return nil
 }

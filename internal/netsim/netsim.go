@@ -42,6 +42,11 @@ type Fabric struct {
 	// retry storm (fault injection) shows up here long before it moves
 	// the byte counters, so the watchdog/chaos harness reads these.
 	ctrlSent, ctrlRecv []*atomic.Int64
+
+	// refusals counts per-link transmission attempts refused while the
+	// link was down, flattened by pairIndex. Nil without link faults so
+	// the fault-free path pays nothing (see partition.go).
+	refusals []atomic.Int64
 }
 
 // NewFabric builds the fabric for nodes nodes of the given cluster.
@@ -69,7 +74,10 @@ func (f *Fabric) Cluster() hw.Cluster { return f.cluster }
 // SetFaults installs a fault injector (nil disables injection). The
 // injector only affects transfer timing here; payload faults are the
 // transport's concern.
-func (f *Fabric) SetFaults(inj *faults.Injector) { f.inj = inj }
+func (f *Fabric) SetFaults(inj *faults.Injector) {
+	f.inj = inj
+	f.initRefusals()
+}
 
 // Faults returns the installed injector (possibly nil).
 func (f *Fabric) Faults() *faults.Injector { return f.inj }
@@ -152,6 +160,9 @@ func (f *Fabric) Reset() {
 		f.intraMsgs[i].Store(0)
 		f.ctrlSent[i].Store(0)
 		f.ctrlRecv[i].Store(0)
+	}
+	for i := range f.refusals {
+		f.refusals[i].Store(0)
 	}
 }
 

@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"sync/atomic"
+
+	"mpicomp/internal/simtime"
+)
+
+// This file is the fabric's view of link-level failures: the transport asks
+// LinkLost before booking a transfer attempt, monitors read per-link
+// PartitionStats, and the self-healing collectives query RouteAround for a
+// node ordering that splices rings around fated links. All of it is driven
+// by the injector's static link fates, so every answer is a pure function
+// of the seed and the virtual clock — never of host scheduling.
+
+// LinkUp reports whether the (srcNode, dstNode) link carries traffic at
+// instant `at`. Always true without an injector or link faults.
+func (f *Fabric) LinkUp(srcNode, dstNode int, at simtime.Time) bool {
+	return !f.inj.LinkDown(srcNode, dstNode, at)
+}
+
+// LinkLost records one transmission attempt against the (srcNode, dstNode)
+// link at instant `at`: when the link is down it counts the refusal — in
+// the injector's global counter and in the fabric's per-link stats — and
+// returns true. The transport treats true exactly like a wire drop and
+// retries after backoff; deterministic heal times mean the backoff schedule
+// rides out an outage instead of deadlocking on it.
+func (f *Fabric) LinkLost(srcNode, dstNode int, at simtime.Time) bool {
+	if !f.inj.LinkLost(srcNode, dstNode, at) {
+		return false
+	}
+	if f.refusals != nil {
+		f.refusals[f.pairIndex(srcNode, dstNode)].Add(1)
+	}
+	return true
+}
+
+// pairIndex flattens an unordered node pair into the refusal matrix.
+func (f *Fabric) pairIndex(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return a*f.nodes + b
+}
+
+// PartitionStats describes one inter-node link's failure exposure: its
+// static fate and how many transmission attempts it refused while down.
+type PartitionStats struct {
+	// NodeA < NodeB identify the unordered pair.
+	NodeA, NodeB int
+	// Faulted reports a static link fate (outage, flap, or severed by the
+	// partition plan); DownAt/HealAt bound the hard-outage window when the
+	// fate is an outage (zero otherwise).
+	Faulted        bool
+	DownAt, HealAt simtime.Time
+	// Refusals counts transmission attempts this link refused while down.
+	Refusals int64
+}
+
+// PartitionStats returns per-link failure stats for every inter-node pair
+// that is fated to fail or refused at least one attempt, ordered by
+// (NodeA, NodeB) so output is deterministic. Empty without link faults.
+func (f *Fabric) PartitionStats() []PartitionStats {
+	inj := f.inj
+	if inj == nil || !inj.Config().LinkFaults() {
+		return nil
+	}
+	var out []PartitionStats
+	for a := 0; a < f.nodes; a++ {
+		for b := a + 1; b < f.nodes; b++ {
+			s := PartitionStats{NodeA: a, NodeB: b, Faulted: inj.LinkFaulted(a, b)}
+			if fate := inj.PeekLinkFate(a, b); fate.Down {
+				s.DownAt, s.HealAt = fate.DownAt, fate.HealAt
+			}
+			if f.refusals != nil {
+				s.Refusals = f.refusals[f.pairIndex(a, b)].Load()
+			}
+			if s.Faulted || s.Refusals > 0 {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// RouteAround returns a node ordering that avoids placing fault-fated links
+// between ring neighbors where the topology allows it: a greedy nearest-
+// healthy walk from node 0, falling back to the lowest-index remaining node
+// when every remaining link from the current node is fated. It returns nil
+// when no link faults are configured — the identity routing view — so
+// fault-free runs pay nothing and stay bit-identical. The answer depends
+// only on static fates, making every rebuilt route seed-deterministic.
+func (f *Fabric) RouteAround() []int {
+	inj := f.inj
+	if inj == nil || !inj.Config().LinkFaults() {
+		return nil
+	}
+	order := make([]int, 0, f.nodes)
+	used := make([]bool, f.nodes)
+	cur := 0
+	order = append(order, 0)
+	used[0] = true
+	for len(order) < f.nodes {
+		next := -1
+		for n := 0; n < f.nodes; n++ {
+			if !used[n] && !inj.LinkFaulted(cur, n) {
+				next = n
+				break
+			}
+		}
+		if next < 0 {
+			for n := 0; n < f.nodes; n++ {
+				if !used[n] {
+					next = n
+					break
+				}
+			}
+		}
+		order = append(order, next)
+		used[next] = true
+		cur = next
+	}
+	return order
+}
+
+// initRefusals sizes the per-link refusal matrix (nil without link faults
+// so the fault-free hot path skips the counting entirely).
+func (f *Fabric) initRefusals() {
+	if f.inj != nil && f.inj.Config().LinkFaults() {
+		f.refusals = make([]atomic.Int64, f.nodes*f.nodes)
+	} else {
+		f.refusals = nil
+	}
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"testing"
+
+	"mpicomp/internal/faults"
+	"mpicomp/internal/hw"
+	"mpicomp/internal/simtime"
+)
+
+func TestLinkUpIdentityWithoutFaults(t *testing.T) {
+	f := NewFabric(hw.Longhorn(), 4)
+	if !f.LinkUp(0, 3, 0) || f.LinkLost(0, 3, 0) {
+		t.Fatal("links down without an injector")
+	}
+	if f.RouteAround() != nil {
+		t.Fatal("routing view not identity without link faults")
+	}
+	if f.PartitionStats() != nil {
+		t.Fatal("partition stats non-empty without link faults")
+	}
+	// Rank-fate-only faults must not activate the link model either.
+	f.SetFaults(faults.New(faults.Config{Seed: 1, CrashRate: 0.5}))
+	if f.RouteAround() != nil || f.PartitionStats() != nil {
+		t.Fatal("crash-only faults activated the link model")
+	}
+}
+
+func TestPartitionStatsCountRefusals(t *testing.T) {
+	f := NewFabric(hw.Longhorn(), 4)
+	f.SetFaults(faults.New(faults.Config{
+		Seed:            5,
+		PartitionGroups: [][]int{{0, 1}, {2, 3}},
+		PartitionAt:     100 * simtime.Microsecond,
+		PartitionHeal:   300 * simtime.Microsecond,
+	}))
+	mid := simtime.Time(200 * simtime.Microsecond)
+	if f.LinkLost(0, 1, mid) {
+		t.Fatal("intra-group link refused traffic")
+	}
+	if !f.LinkLost(0, 2, mid) || !f.LinkLost(2, 0, mid) || !f.LinkLost(1, 3, mid) {
+		t.Fatal("cross-group link carried traffic inside the window")
+	}
+	if f.LinkLost(0, 2, simtime.Time(400*simtime.Microsecond)) {
+		t.Fatal("partition did not heal")
+	}
+	st := f.PartitionStats()
+	want := map[[2]int]int64{{0, 2}: 2, {0, 3}: 0, {1, 2}: 0, {1, 3}: 1}
+	if len(st) != len(want) {
+		t.Fatalf("partition stats rows: %d, want %d (%+v)", len(st), len(want), st)
+	}
+	for i, s := range st {
+		if i > 0 && (st[i-1].NodeA > s.NodeA || (st[i-1].NodeA == s.NodeA && st[i-1].NodeB >= s.NodeB)) {
+			t.Fatal("partition stats not ordered by pair")
+		}
+		refusals, ok := want[[2]int{s.NodeA, s.NodeB}]
+		if !ok || !s.Faulted || s.Refusals != refusals {
+			t.Fatalf("row %+v, want refusals=%d faulted", s, refusals)
+		}
+	}
+	if got := f.Faults().Stats().LinkDrops; got != 3 {
+		t.Fatalf("injector LinkDrops: %d, want 3", got)
+	}
+	f.Reset()
+	for _, s := range f.PartitionStats() {
+		if s.Refusals != 0 {
+			t.Fatalf("refusals survived Reset: %+v", s)
+		}
+	}
+}
+
+func TestRouteAroundAvoidsFatedLinks(t *testing.T) {
+	// A plan severing {0,2} from {1,3} makes 0-1, 0-3, 2-1, 2-3 all
+	// fated, so the greedy walk from 0 must visit 2 next.
+	f := NewFabric(hw.Longhorn(), 4)
+	f.SetFaults(faults.New(faults.Config{
+		Seed:            9,
+		PartitionGroups: [][]int{{0, 2}, {1, 3}},
+		PartitionAt:     0,
+		PartitionHeal:   simtime.Duration(simtime.Millisecond),
+	}))
+	order := f.RouteAround()
+	want := []int{0, 2, 1, 3}
+	if len(order) != 4 {
+		t.Fatalf("route length: %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("route %v, want %v", order, want)
+		}
+	}
+	// Same seed, fresh fabric: identical route.
+	g := NewFabric(hw.Longhorn(), 4)
+	g.SetFaults(faults.New(f.Faults().Config()))
+	again := g.RouteAround()
+	for i := range order {
+		if again[i] != order[i] {
+			t.Fatalf("route not deterministic: %v vs %v", order, again)
+		}
+	}
+}

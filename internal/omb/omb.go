@@ -227,7 +227,7 @@ func collectiveLatency(w *mpi.World, warmup, iters int, setup func(r *mpi.Rank) 
 	resetStats(w)
 	perIter := make([]simtime.Duration, warmup+iters)
 	var mu chanMax
-	_, err := w.Run(func(r *mpi.Rank) error {
+	_, errs := w.RunAll(func(r *mpi.Rank) error {
 		op, err := setup(r)
 		if err != nil {
 			return err
@@ -244,7 +244,15 @@ func collectiveLatency(w *mpi.World, warmup, iters int, setup func(r *mpi.Rank) 
 		}
 		return nil
 	})
-	if err != nil {
+	for id, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Under self-heal, a fated rank's own demise is expected — the
+		// survivors rerouted around it and completed the measurement.
+		if w.SelfHealing() && w.Fated(id) {
+			continue
+		}
 		return 0, err
 	}
 	copy(perIter, mu.vals[:warmup+iters])
