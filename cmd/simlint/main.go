@@ -8,6 +8,9 @@
 //
 // analyzes the given package patterns (default ./...) and prints one
 // line per finding. Exit status: 0 clean, 1 findings, 2 failure.
+// `simlint help` prints the analyzer catalog with full documentation
+// and the exit-code contract of both modes; `simlint -list` prints
+// just the analyzer names.
 //
 // Vet-tool mode: when the final argument ends in .cfg the tool speaks
 // the cmd/go vet protocol, so the whole suite also runs as
@@ -39,12 +42,7 @@ func main() {
 	jsonFlag := fs.Bool("json", false, "accepted for vet protocol compatibility")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	printflags := fs.Bool("flags", false, "print flag descriptions as JSON (vet protocol) and exit")
-	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-checks a,b] [packages | unit.cfg]\n\nAnalyzers:\n", progname)
-		for _, a := range simlint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
-		}
-	}
+	fs.Usage = func() { printHelp(os.Stderr, progname) }
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -82,9 +80,11 @@ func main() {
 	}
 
 	if *list {
-		for _, a := range simlint.Analyzers() {
-			fmt.Println(a.Name)
-		}
+		printList(os.Stdout)
+		return
+	}
+	if args := fs.Args(); len(args) > 0 && args[0] == "help" {
+		printHelp(os.Stdout, progname)
 		return
 	}
 
@@ -131,6 +131,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: %d finding(s)\n", progname, len(diags))
 		os.Exit(1)
 	}
+}
+
+// printList writes one analyzer name per line, in registration order.
+func printList(w io.Writer) {
+	for _, a := range simlint.Analyzers() {
+		fmt.Fprintln(w, a.Name)
+	}
+}
+
+// printHelp writes the analyzer catalog — every analyzer with its full
+// Doc — and the exit-code contract of both run modes.
+func printHelp(w io.Writer, progname string) {
+	fmt.Fprintf(w, "%s runs the repository's custom static analyzers (DESIGN.md §10).\n\n", progname)
+	fmt.Fprintf(w, "usage: %s [-checks a,b] [packages | unit.cfg]\n", progname)
+	fmt.Fprintf(w, "       %s help | -list\n\nAnalyzers:\n\n", progname)
+	for _, a := range simlint.Analyzers() {
+		fmt.Fprintf(w, "  %s\n      %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nExit codes, standalone mode: 0 no findings, 1 findings, 2 usage or load failure.\n")
+	fmt.Fprintf(w, "Exit codes, vet-tool .cfg mode (the cmd/go protocol inverts them): 0 clean, 2 findings, 1 failure.\n")
 }
 
 // printVersion emits the `-V=full` handshake line: the executable's

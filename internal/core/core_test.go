@@ -400,6 +400,45 @@ func TestDecompressErrors(t *testing.T) {
 	}
 }
 
+// A partition decode error used to leak the d_off staging buffer (the
+// early return skipped the Put/Free pair); since the receive path
+// retries after NACKs, every retry shrank the pool. Found by the
+// creditbalance analyzer; pinned here.
+func TestDecompressErrorReleasesOffBuffer(t *testing.T) {
+	e, dev, clk := newTestEngine(t, Config{Mode: ModeOpt, Algorithm: AlgoMPC})
+	vals := smooth(1<<20, 8)
+	payload, hdr := e.Compress(clk, deviceBufferWith(dev, vals))
+	if !hdr.Compressed || len(hdr.PartBytes) == 0 {
+		t.Fatal("sample did not take the compressed MPC path")
+	}
+
+	// Prime the off-pool free list so a leak is visible as a shrink.
+	dst := &gpusim.Buffer{Data: make([]byte, hdr.OrigBytes), Loc: gpusim.Device, Dev: dev}
+	if err := e.Decompress(clk, hdr, payload, dst); err != nil {
+		t.Fatal(err)
+	}
+	free := e.offPool.FreeCount()
+	if free == 0 {
+		t.Fatal("off-pool should hold a free buffer after a clean decompress")
+	}
+
+	// Truncate the last partition while keeping the header sizes
+	// consistent, so the failure happens inside the partition decode —
+	// after d_off is acquired.
+	const cut = 3
+	last := len(hdr.PartBytes) - 1
+	if hdr.PartBytes[last] <= cut {
+		t.Fatalf("last partition too small to truncate: %d", hdr.PartBytes[last])
+	}
+	hdr.PartBytes[last] -= cut
+	if err := e.Decompress(clk, hdr, payload[:len(payload)-cut], dst); err == nil {
+		t.Fatal("truncated MPC partition should fail to decompress")
+	}
+	if got := e.offPool.FreeCount(); got != free {
+		t.Fatalf("decompress error leaked a d_off buffer: free count %d, want %d", got, free)
+	}
+}
+
 func TestBreakdownAccounting(t *testing.T) {
 	var b Breakdown
 	b.Add(PhaseMemAlloc, 100)
@@ -445,11 +484,12 @@ func TestEngineConcurrentStress(t *testing.T) {
 				payload, hdr := e.Compress(clk, buf)
 				staged := e.StageRecv(clk, hdr)
 				dst := &gpusim.Buffer{Data: make([]byte, hdr.OrigBytes), Loc: gpusim.Device, Dev: dev}
-				if err := e.Decompress(clk, hdr, payload, dst); err != nil {
+				err := e.Decompress(clk, hdr, payload, dst)
+				e.ReleaseRecv(clk, staged)
+				if err != nil {
 					t.Errorf("goroutine %d: %v", g, err)
 					return
 				}
-				e.ReleaseRecv(clk, staged)
 				for j := 0; j < len(buf.Data); j += 4099 {
 					if dst.Data[j] != buf.Data[j] {
 						t.Errorf("goroutine %d: corruption at %d", g, j)

@@ -815,6 +815,14 @@ func (e *Engine) decompressMPC(clk *simtime.Clock, hdr Header, payload []byte, d
 	}
 	e.runCodec(parts, &e.mpcD)
 	if i, err := firstErr(e.mpcD.errs); err != nil {
+		// A corrupt partition must not bleed the d_off buffer: the
+		// receive path retries after NACKs, and every retry would
+		// shrink the pool until staging degrades to cudaMalloc.
+		if opt {
+			e.offPool.Put(dOff)
+		} else {
+			e.dev.Free(clk, dOff)
+		}
 		return fmt.Errorf("core: mpc decompress partition %d: %w", i, err)
 	}
 	e.charge(t, PhaseDecompressKernel)

@@ -115,6 +115,12 @@ type recvPost struct {
 // dead marks the owner itself failed — senders get failErr instead of
 // queuing — and failedSrcs records announced peer failures so receives
 // posted after the sweep still observe them.
+//
+// Every field below mu is guarded by it (enforced by simlint's
+// lockorder analyzer); world alone is set once at construction and read
+// lock-free.
+//
+//simlint:guarded
 type mailbox struct {
 	mu         sync.Mutex
 	unexpected []*envelope
@@ -134,7 +140,7 @@ type mailbox struct {
 	ownQuits []attemptQuit
 
 	// world backlinks for the watchdog (deadline, wakeup accounting).
-	world *World
+	world *World //simlint:unguarded immutable after newMailbox
 }
 
 func newMailbox(w *World) *mailbox { return &mailbox{world: w} }
@@ -219,6 +225,8 @@ func (m *mailbox) post(p *recvPost) *envelope {
 // abandoned the attempt the receive's tag belongs to. At most one record
 // per (source, epoch) can exist, so the scan's answer is order-free.
 // Called with m.mu held.
+//
+//simlint:lockheld callers lock m.mu before the scan
 func (m *mailbox) quitFor(postSrc, tag int) (attemptQuit, bool) {
 	for _, q := range m.quits {
 		if q.src == postSrc && quitCovers(q, tag) {
@@ -232,6 +240,8 @@ func (m *mailbox) quitFor(postSrc, tag int) (attemptQuit, bool) {
 // exact rank, or — for AnySource, which cannot rule a dead sender out —
 // the lowest announced rank, so the choice is deterministic. Called with
 // m.mu held.
+//
+//simlint:lockheld callers lock m.mu before the scan
 func (m *mailbox) failedFor(postSrc int) (int, srcFail, bool) {
 	if len(m.failedSrcs) == 0 {
 		return 0, srcFail{}, false
@@ -286,6 +296,8 @@ func (w *World) linkLost(fromNode, toNode int, ready simtime.Time) bool {
 // the delivered bytes and the arrival of the final attempt, or a wrapped
 // ErrDeliveryFailed once the retry budget is spent. With no injector this
 // is exactly one fabric Transfer.
+//
+//simlint:nocharge the verification pass is costed on the arrival timestamp (ThroughputTime below), not the rank clock
 func (w *World) deliverPayload(kind faults.Kind, src, dst int, seq uint64, srcNode, dstNode int, ready simtime.Time, payload []byte, crc uint32) ([]byte, simtime.Time, error) {
 	limit := w.retry.limit()
 	for attempt := 0; ; attempt++ {
@@ -326,6 +338,8 @@ func (w *World) deliverPayload(kind faults.Kind, src, dst int, seq uint64, srcNo
 // the uncompressed wire form via fb — so even the message whose failures
 // tripped the breaker completes within its retry budget. The possibly
 // swapped header is returned for the receiver to decode with.
+//
+//simlint:nocharge the verification pass is costed on the arrival timestamp (ThroughputTime below), not the rank clock
 func (w *World) deliverData(src, dst int, seq uint64, srcNode, dstNode int, ready simtime.Time, payload []byte, hdr core.Header, fb wireFallback) ([]byte, core.Header, simtime.Time, error) {
 	eng := w.ranks[src].Engine
 	limit := w.retry.limit()

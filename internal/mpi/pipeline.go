@@ -310,6 +310,8 @@ func (r *Rank) isendPayloadChunked(dst, tag int, payload []byte, hdr core.Header
 // the delivered bytes, the arrival, and the retransmission count/bytes the
 // chunk consumed, or a wrapped ErrDeliveryFailed at a bounded instant once
 // the budget is spent.
+//
+//simlint:nocharge the verification pass is costed on the arrival timestamp (ThroughputTime below), not the rank clock
 func (w *World) deliverChunk(src, dst int, seq uint64, chunk, srcNode, dstNode int, ready simtime.Time, payload []byte, crc uint32, compressed bool) ([]byte, simtime.Time, int, int64, error) {
 	eng := w.ranks[src].Engine
 	limit := w.retry.chunkLimit()

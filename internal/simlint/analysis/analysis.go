@@ -17,9 +17,10 @@ import (
 	"go/types"
 )
 
-// Analyzer describes one simlint check. Unlike the x/tools original it
-// has no Requires/Facts machinery: every simlint analyzer is a pure
-// per-package syntax+types pass.
+// Analyzer describes one simlint check. Like the x/tools original it
+// may depend on other analyzers' results (Requires) and exchange
+// serialized facts across package boundaries (FactTypes); drivers are
+// expected to run analyzers through RunUnit, which resolves both.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and flags. It must be
 	// a valid Go identifier.
@@ -28,9 +29,20 @@ type Analyzer struct {
 	// Doc is the one-paragraph description shown by `simlint help`.
 	Doc string
 
+	// Requires lists analyzers whose Run must complete on the same
+	// package first; their results appear in Pass.ResultOf. The graph
+	// must be acyclic.
+	Requires []*Analyzer
+
+	// FactTypes declares the fact types this analyzer exports or
+	// imports. Each entry is a prototype pointer value (e.g.
+	// (*releasesFact)(nil)); an analyzer with no FactTypes neither
+	// sees nor produces facts.
+	FactTypes []Fact
+
 	// Run applies the analyzer to a package. It reports findings via
-	// pass.Report/Reportf. The result value is unused by the drivers
-	// and exists only for API symmetry with x/tools.
+	// pass.Report/Reportf. The result value is recorded by the drivers
+	// and handed to dependents through Pass.ResultOf.
 	Run func(*Pass) (any, error)
 }
 
@@ -48,8 +60,62 @@ type Pass struct {
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 
+	// ResultOf holds the results of this pass's Requires analyzers on
+	// the same package, keyed by analyzer. Filled by RunUnit.
+	ResultOf map[*Analyzer]any
+
+	// facts is the cross-package fact store shared by the whole run,
+	// or nil when the driver supplies none (facts silently no-op).
+	facts *FactStore
+
 	// directives caches the per-file //simlint:* directive index.
 	directives map[*ast.File]*Directives
+}
+
+// ExportObjectFact associates fact with obj, visible to later passes of
+// the same analyzer over importing packages. obj must be a package-level
+// object of the package under analysis; facts on other objects are
+// silently dropped (they cannot be named across package boundaries).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return // un-nameable object; must not alias the package-fact slot
+	}
+	p.facts.export(p.Analyzer, p.Pkg.Path(), key, fact)
+}
+
+// ImportObjectFact copies into fact the fact of fact's type previously
+// exported for obj (by this analyzer, over obj's package), reporting
+// whether one existed. obj may belong to any package.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	return p.facts.lookup(p.Analyzer, obj.Pkg().Path(), key, fact)
+}
+
+// ExportPackageFact associates fact with the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil || p.Pkg == nil {
+		return
+	}
+	p.facts.export(p.Analyzer, p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact copies into fact the package fact of fact's type
+// previously exported for pkg, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.lookup(p.Analyzer, pkg.Path(), "", fact)
 }
 
 // Diagnostic is one finding: a position and a message. Category is the

@@ -51,20 +51,21 @@ func indexDirectives(fset *token.FileSet, file *ast.File) *Directives {
 	}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			name := directiveName(c.Text)
-			if name == "" {
-				continue
+			for _, name := range directiveNames(c.Text) {
+				set := d.lines[name]
+				if set == nil {
+					set = make(map[int]bool)
+					d.lines[name] = set
+				}
+				// Cover every line the comment spans (block comments can
+				// span several) plus the following line, so both the
+				// trailing-comment and comment-above forms work.
+				start := fset.Position(c.Pos()).Line
+				end := fset.Position(c.End()).Line
+				for line := start; line <= end+1; line++ {
+					set[line] = true
+				}
 			}
-			set := d.lines[name]
-			if set == nil {
-				set = make(map[int]bool)
-				d.lines[name] = set
-			}
-			line := fset.Position(c.Pos()).Line
-			// Cover the directive's own line (trailing-comment form)
-			// and the following line (comment-above form).
-			set[line] = true
-			set[line+1] = true
 		}
 	}
 	for _, decl := range file.Decls {
@@ -73,7 +74,7 @@ func indexDirectives(fset *token.FileSet, file *ast.File) *Directives {
 			continue
 		}
 		for _, c := range fd.Doc.List {
-			if name := directiveName(c.Text); name != "" {
+			for _, name := range directiveNames(c.Text) {
 				d.funcs[name] = append(d.funcs[name], fd)
 			}
 		}
@@ -81,19 +82,46 @@ func indexDirectives(fset *token.FileSet, file *ast.File) *Directives {
 	return d
 }
 
-// directiveName extracts "wallclock" from "//simlint:wallclock reason…",
-// or returns "" for non-directive comments.
-func directiveName(text string) string {
-	const prefix = "//simlint:"
-	if !strings.HasPrefix(text, prefix) {
-		return ""
+// directiveNames extracts every directive name from one comment's text:
+// "wallclock" from "//simlint:wallclock reason…", both names from
+// "//simlint:orderok …; simlint:arenaok …", and block-comment forms
+// like "/*simlint:wallclock reason*/". Non-directive comments yield nil.
+// A directive token must start the comment or follow whitespace, so
+// prose mentioning "simlint:" mid-word is not a directive.
+func directiveNames(text string) []string {
+	// Strip the comment markers so both forms scan identically.
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
 	}
-	rest := strings.TrimPrefix(text, prefix)
-	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
+	const marker = "simlint:"
+	var names []string
+	for i := 0; ; {
+		j := strings.Index(text[i:], marker)
+		if j < 0 {
+			break
+		}
+		j += i
+		// Only at the start of a whitespace-delimited token.
+		if j > 0 && !isSpace(text[j-1]) {
+			i = j + len(marker)
+			continue
+		}
+		rest := text[j+len(marker):]
+		if k := strings.IndexFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' }); k >= 0 {
+			rest = rest[:k]
+		}
+		if rest != "" {
+			names = append(names, rest)
+		}
+		i = j + len(marker)
 	}
-	return rest
+	return names
 }
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '/' }
 
 // Allows reports whether the directive name covers pos: either pos lies
 // inside a function whose doc carries the directive, or the directive

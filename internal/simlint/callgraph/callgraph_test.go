@@ -1,0 +1,140 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"mpicomp/internal/simlint/analysis"
+	"mpicomp/internal/simlint/callgraph"
+	"mpicomp/internal/simlint/loader"
+)
+
+const src = `package cg
+
+type T struct{}
+
+func leaf() {}
+
+func mid() { leaf() }
+
+func top() {
+	f := func() { mid() }
+	f()
+}
+
+func (T) M() { top() }
+
+func alone() {}
+`
+
+// buildGraph type-checks src and captures the callgraph result through a
+// probe analyzer, the same way the real dependents consume it.
+func buildGraph(t *testing.T) (*callgraph.Graph, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cg.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("cg", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var graph *callgraph.Graph
+	probe := &analysis.Analyzer{
+		Name:     "probe",
+		Doc:      "capture the callgraph result",
+		Requires: []*analysis.Analyzer{callgraph.Analyzer},
+		Run: func(p *analysis.Pass) (any, error) {
+			graph = p.ResultOf[callgraph.Analyzer].(*callgraph.Graph)
+			return nil, nil
+		},
+	}
+	unit := analysis.Unit{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+	store := analysis.NewFactStore([]*analysis.Analyzer{probe})
+	err = analysis.RunUnit(unit, []*analysis.Analyzer{probe}, store, func(*analysis.Analyzer, analysis.Diagnostic) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph == nil {
+		t.Fatal("probe analyzer never ran")
+	}
+	return graph, pkg
+}
+
+func fnOf(t *testing.T, pkg *types.Package, name string) *types.Func {
+	t.Helper()
+	if obj, ok := pkg.Scope().Lookup(name).(*types.Func); ok {
+		return obj
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func TestGraphNodesAndEdges(t *testing.T) {
+	g, pkg := buildGraph(t)
+	if len(g.Nodes) != 5 {
+		t.Errorf("graph has %d nodes, want 5 (leaf, mid, top, T.M, alone)", len(g.Nodes))
+	}
+
+	mid := fnOf(t, pkg, "mid")
+	node := g.NodeOf(mid)
+	if node == nil {
+		t.Fatal("mid has no node")
+	}
+	if len(node.Calls) != 1 || node.Calls[0].Callee.Name() != "leaf" {
+		t.Errorf("mid's calls = %v, want one call to leaf", node.Calls)
+	}
+	if node.Calls[0].Site == nil {
+		t.Error("call edge lost its site")
+	}
+
+	// Calls inside closures belong to the enclosing declaration.
+	top := g.NodeOf(fnOf(t, pkg, "top"))
+	found := false
+	for _, c := range top.Calls {
+		if c.Callee.Name() == "mid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top's calls = %v, want the closure's call to mid included", top.Calls)
+	}
+
+	// Methods get nodes keyed by their *types.Func.
+	tn := pkg.Scope().Lookup("T").(*types.TypeName)
+	m, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg, "M")
+	if g.NodeOf(m.(*types.Func)) == nil {
+		t.Error("method T.M has no node")
+	}
+}
+
+func TestReaches(t *testing.T) {
+	g, pkg := buildGraph(t)
+	leaf := fnOf(t, pkg, "leaf")
+	top := fnOf(t, pkg, "top")
+	alone := fnOf(t, pkg, "alone")
+	isLeaf := func(f *types.Func) bool { return f == leaf }
+
+	if !g.Reaches(top, isLeaf) {
+		t.Error("top does not reach leaf through mid")
+	}
+	if !g.Reaches(leaf, isLeaf) {
+		t.Error("Reaches must consult the predicate on the root itself")
+	}
+	if g.Reaches(alone, isLeaf) {
+		t.Error("alone reaches leaf")
+	}
+	if g.Reaches(leaf, func(f *types.Func) bool { return f == top }) {
+		t.Error("Reaches followed an edge backwards")
+	}
+	if g.Reaches(nil, isLeaf) {
+		t.Error("Reaches(nil) reported true")
+	}
+}

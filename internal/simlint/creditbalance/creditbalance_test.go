@@ -1,0 +1,12 @@
+package creditbalance_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/creditbalance"
+	"mpicomp/internal/simlint/linttest"
+)
+
+func TestCreditBalance(t *testing.T) {
+	linttest.Run(t, "testdata", creditbalance.Analyzer, "creditbal")
+}

@@ -1,0 +1,17 @@
+// Package stagecore is a golden-test fake of core's staging wrappers.
+// The analyzer exports facts over it — StageRecv acquires, Release
+// releases parameter 1 — and importing golden packages inherit them
+// through the shared fact store, exercising the cross-package path.
+package stagecore
+
+import "gpusim"
+
+var pool *gpusim.BufferPool
+
+func StageRecv(clk *gpusim.Clock, n int) *gpusim.Buffer {
+	return pool.Get(clk, n)
+}
+
+func Release(clk *gpusim.Clock, b *gpusim.Buffer) {
+	pool.Put(b)
+}

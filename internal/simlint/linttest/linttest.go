@@ -31,7 +31,12 @@ import (
 )
 
 // Run loads each named package from testdata/src and checks the
-// analyzer's diagnostics against the // want expectations.
+// analyzer's diagnostics against the // want expectations. The
+// analyzer's Requires dependencies run first on each package, and the
+// analyzer itself also runs over every testdata-local dependency of the
+// target (in dependency order, diagnostics discarded) with a shared
+// fact store, so golden packages exercise the cross-package facts path
+// exactly as the module drivers do.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	src := filepath.Join(testdata, "src")
@@ -49,17 +54,21 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 			if len(target.typeErrors) > 0 {
 				t.Fatalf("type errors in %s: %v", pkgpath, target.typeErrors)
 			}
+			store := analysis.NewFactStore([]*analysis.Analyzer{a})
 			var got []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      ld.fset,
-				Files:     target.files,
-				Pkg:       target.pkg,
-				TypesInfo: target.info,
-				Report:    func(d analysis.Diagnostic) { got = append(got, d) },
-			}
-			if _, err := a.Run(pass); err != nil {
-				t.Fatalf("analyzer %s: %v", a.Name, err)
+			// ld.order lists every loaded package with dependencies
+			// before importers; the target is last.
+			for _, loaded := range ld.order {
+				loaded := loaded
+				unit := analysis.Unit{Fset: ld.fset, Files: loaded.files, Pkg: loaded.pkg, Info: loaded.info}
+				err := analysis.RunUnit(unit, []*analysis.Analyzer{a}, store, func(_ *analysis.Analyzer, d analysis.Diagnostic) {
+					if loaded == target {
+						got = append(got, d)
+					}
+				})
+				if err != nil {
+					t.Fatalf("analyzer %s: %v", a.Name, err)
+				}
 			}
 			checkExpectations(t, ld.fset, target.files, got)
 		})
@@ -160,6 +169,9 @@ type pkgLoader struct {
 	fset    *token.FileSet
 	gc      types.Importer
 	cache   map[string]*loadedPkg
+	// order records packages in load-completion order: every testdata
+	// dependency precedes its importers.
+	order []*loadedPkg
 }
 
 type loadedPkg struct {
@@ -287,5 +299,6 @@ func (l *pkgLoader) load(path string) (*loadedPkg, error) {
 	}
 	lp.pkg = pkg
 	l.cache[path] = lp
+	l.order = append(l.order, lp)
 	return lp, nil
 }

@@ -28,10 +28,15 @@ type Package struct {
 	ImportPath string
 	Name       string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	// Imports lists the package's direct imports (as import paths), so
+	// drivers can process targets in dependency order — a requirement
+	// of the facts layer, where analyzing an importer must see the
+	// facts its dependencies exported.
+	Imports []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 
 	// TypeErrors holds type-checker soft failures. Analyzers still run
 	// over partially checked packages; drivers surface these separately.
@@ -45,6 +50,7 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
@@ -60,7 +66,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Error"}, patterns...)
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,DepOnly,Standard,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -175,6 +181,7 @@ func check(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, 
 		ImportPath: lp.ImportPath,
 		Name:       lp.Name,
 		Dir:        lp.Dir,
+		Imports:    lp.Imports,
 		Fset:       fset,
 		Info:       NewInfo(),
 	}

@@ -1,0 +1,810 @@
+// Package lockorder enforces the mailbox-lock discipline of the
+// transport layer.
+//
+// A struct opts in with `//simlint:guarded` on its type declaration; it
+// must then have a `mu sync.Mutex` field, and every other field is
+// lock-guarded unless its line carries `//simlint:unguarded <reason>`.
+// For mpi's mailbox this encodes the documented invariant: quit-record
+// publication, posted/unexpected scans, and failure bookkeeping happen
+// only under the owning lock, while the construction-time world
+// backlink stays lock-free.
+//
+// The analyzer tracks the set of held guarded locks through each
+// function's control flow and reports:
+//
+//   - a guarded field accessed without its struct's lock definitely
+//     held (methods named *Locked or carrying `//simlint:lockheld`
+//     assume their receiver's lock at entry, matching the repo's
+//     naming convention);
+//   - a second guarded lock acquired — directly or through a callee
+//     that locks one — while any guarded lock may be held: mailbox
+//     locks are leaf locks, taken one at a time, which is what makes
+//     the fixed acquisition order trivially deadlock-free;
+//   - a channel send while a guarded lock may be held: wakeups go out
+//     after unlocking so receivers never block on the mailbox lock;
+//   - a guarded lock still held when a loop iteration ends: scans over
+//     peers must release each mailbox before taking the next;
+//   - a call to a *Locked/lockheld method without the receiver's lock
+//     definitely held.
+//
+// Facts carry the guarded field sets, the lockheld contracts, and
+// "this function acquires a guarded lock" summaries across package
+// boundaries. Suppress a finding with `//simlint:lockok <reason>`.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mpicomp/internal/simlint/analysis"
+	"mpicomp/internal/simlint/callgraph"
+)
+
+const (
+	directive          = "lockok"
+	guardedDirective   = "guarded"
+	unguardedDirective = "unguarded"
+	lockheldDirective  = "lockheld"
+	mutexField         = "mu"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the mailbox-lock discipline on //simlint:guarded structs: guarded fields only under the owning mu, " +
+		"one leaf lock at a time, no channel sends while holding, no lock held across a loop iteration; " +
+		"suppress with //simlint:lockok <reason>",
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*guardedFact)(nil), (*lockheldFact)(nil), (*locksFact)(nil)},
+	Run:       run,
+}
+
+// guardedFact marks a type as lock-guarded and lists its guarded fields.
+type guardedFact struct {
+	Fields []string
+}
+
+func (*guardedFact) AFact() {}
+
+// lockheldFact marks a method that must be called with its receiver's
+// guarded lock held.
+type lockheldFact struct{}
+
+func (*lockheldFact) AFact() {}
+
+// locksFact marks a function that acquires some guarded lock, directly
+// or transitively.
+type locksFact struct{}
+
+func (*locksFact) AFact() {}
+
+type checker struct {
+	pass     *analysis.Pass
+	graph    *callgraph.Graph
+	guarded  map[*types.TypeName]map[string]bool
+	lockheld map[*types.Func]bool
+	locks    map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cb := &checker{
+		pass:     pass,
+		graph:    pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph),
+		guarded:  make(map[*types.TypeName]map[string]bool),
+		lockheld: make(map[*types.Func]bool),
+		locks:    make(map[*types.Func]bool),
+	}
+	cb.discoverGuarded()
+	cb.discoverLockheld()
+	cb.computeLocks()
+	cb.exportFacts()
+
+	for _, file := range pass.Files {
+		// Test files reach the analyzer only on the vet-tool path (the
+		// standalone loader skips them); keep the two modes agreeing.
+		if analysis.IsTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			entry := make(lockState)
+			if fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil && cb.lockheld[fn] {
+				// A lockheld method runs with its receiver's lock held.
+				if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					entry[fd.Recv.List[0].Names[0].Name] = hold{may: true, must: true}
+				}
+			}
+			cb.checkScope(file, fd.Body, entry)
+		}
+	}
+	return nil, nil
+}
+
+// --- discovery and facts -------------------------------------------
+
+func (cb *checker) discoverGuarded() {
+	for _, file := range cb.pass.Files {
+		dirs := cb.pass.DirectivesFor(file)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || !dirs.Allows(guardedDirective, ts.Pos()) {
+					continue
+				}
+				cb.addGuarded(file, ts, st)
+			}
+		}
+	}
+}
+
+func (cb *checker) addGuarded(file *ast.File, ts *ast.TypeSpec, st *ast.StructType) {
+	tn, _ := cb.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if tn == nil {
+		return
+	}
+	dirs := cb.pass.DirectivesFor(file)
+	fields := make(map[string]bool)
+	hasMu := false
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name == mutexField {
+				hasMu = true
+				continue
+			}
+			if dirs.Allows(unguardedDirective, name.Pos()) {
+				continue
+			}
+			fields[name.Name] = true
+		}
+	}
+	if !hasMu {
+		cb.pass.Reportf(ts.Pos(), "struct marked //simlint:guarded has no %s sync.Mutex field", mutexField)
+		return
+	}
+	cb.guarded[tn] = fields
+}
+
+func (cb *checker) discoverLockheld() {
+	for _, file := range cb.pass.Files {
+		dirs := cb.pass.DirectivesFor(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			fn, _ := cb.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recv := analysis.ReceiverNamed(fn)
+			if recv == nil || cb.guardedFieldsOf(recv.Obj()) == nil {
+				continue
+			}
+			if hasSuffix(fn.Name(), "Locked") || dirs.Allows(lockheldDirective, fd.Pos()) {
+				cb.lockheld[fn] = true
+			}
+		}
+	}
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix
+}
+
+// computeLocks finds the functions that acquire a guarded lock,
+// propagated to fixpoint through the package call graph (imported
+// callees contribute through their locksFact).
+func (cb *checker) computeLocks() {
+	nodes := cb.sortedNodes()
+	for _, node := range nodes {
+		locks := false
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op := cb.lockOp(call); key != "" && op == "Lock" {
+					locks = true
+				}
+			}
+			return !locks
+		})
+		if locks {
+			cb.locks[node.Fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			if cb.locks[node.Fn] {
+				continue
+			}
+			for _, c := range node.Calls {
+				if cb.fnLocks(c.Callee) {
+					cb.locks[node.Fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// sortedNodes returns the call-graph nodes in declaration order, so
+// fact export and any diagnostics derived from them are deterministic.
+func (cb *checker) sortedNodes() []*callgraph.Node {
+	nodes := make([]*callgraph.Node, 0, len(cb.graph.Nodes))
+	for _, node := range cb.graph.Nodes {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+	return nodes
+}
+
+func (cb *checker) exportFacts() {
+	tns := make([]*types.TypeName, 0, len(cb.guarded))
+	for tn := range cb.guarded {
+		tns = append(tns, tn)
+	}
+	sort.Slice(tns, func(i, j int) bool { return tns[i].Pos() < tns[j].Pos() })
+	for _, tn := range tns {
+		names := make([]string, 0, len(cb.guarded[tn]))
+		for f := range cb.guarded[tn] {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		cb.pass.ExportObjectFact(tn, &guardedFact{Fields: names})
+	}
+	for _, fn := range sortedFuncs(cb.lockheld) {
+		cb.pass.ExportObjectFact(fn, &lockheldFact{})
+	}
+	for _, fn := range sortedFuncs(cb.locks) {
+		cb.pass.ExportObjectFact(fn, &locksFact{})
+	}
+}
+
+// sortedFuncs returns the set's functions in declaration order.
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	fns := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns
+}
+
+// guardedFieldsOf returns the guarded field set of a type name, or nil.
+func (cb *checker) guardedFieldsOf(tn *types.TypeName) map[string]bool {
+	if tn == nil {
+		return nil
+	}
+	if fields, ok := cb.guarded[tn]; ok {
+		return fields
+	}
+	fact := new(guardedFact)
+	if !cb.pass.ImportObjectFact(tn, fact) {
+		return nil
+	}
+	fields := make(map[string]bool, len(fact.Fields))
+	for _, f := range fact.Fields {
+		fields[f] = true
+	}
+	cb.guarded[tn] = fields // memoize
+	return fields
+}
+
+func (cb *checker) isLockheldFn(f *types.Func) bool {
+	if f == nil {
+		return false
+	}
+	if cb.lockheld[f] {
+		return true
+	}
+	return cb.pass.ImportObjectFact(f, new(lockheldFact))
+}
+
+func (cb *checker) fnLocks(f *types.Func) bool {
+	if f == nil {
+		return false
+	}
+	if cb.locks[f] {
+		return true
+	}
+	if _, local := cb.graph.Nodes[f]; local {
+		return false
+	}
+	return cb.pass.ImportObjectFact(f, new(locksFact))
+}
+
+// lockOp recognizes X.mu.Lock()/X.mu.Unlock() on a guarded struct and
+// returns the textual key of X plus the operation name.
+func (cb *checker) lockOp(call *ast.CallExpr) (key, op string) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "Unlock") {
+		return "", ""
+	}
+	mu, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != mutexField {
+		return "", ""
+	}
+	base := mu.X
+	tn := namedTypeName(cb.pass.TypesInfo.Types[base].Type)
+	if tn == nil || cb.guardedFieldsOf(tn) == nil {
+		return "", ""
+	}
+	if k := exprKey(base); k != "" {
+		return k, fun.Sel.Name
+	}
+	return "", ""
+}
+
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	} else if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Obj()
+}
+
+// exprKey renders a base expression as a stable textual key ("" when
+// the expression is too dynamic to name).
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base, idx := exprKey(e.X), exprKey(e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}
+
+// --- lock-state walk ------------------------------------------------
+
+// hold is the path possibility of one lock: may (held on some path) and
+// must (held on all paths).
+type hold struct {
+	may, must bool
+}
+
+type lockState map[string]hold
+
+func cloneLS(st lockState) lockState {
+	out := make(lockState, len(st))
+	for k, h := range st {
+		out[k] = h
+	}
+	return out
+}
+
+func mergeLS(a, b lockState) lockState {
+	out := make(lockState)
+	for k, ha := range a {
+		hb := b[k]
+		out[k] = hold{may: ha.may || hb.may, must: ha.must && hb.must}
+	}
+	for k, hb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = hold{may: hb.may, must: false}
+		}
+	}
+	return out
+}
+
+func mergeAllLS(states []lockState) lockState {
+	if len(states) == 0 {
+		return make(lockState)
+	}
+	out := states[0]
+	for _, st := range states[1:] {
+		out = mergeLS(out, st)
+	}
+	return out
+}
+
+func anyMay(st lockState) (string, bool) {
+	best := ""
+	for k, h := range st { //simlint:orderok computes the minimum key, which is order-independent
+		if h.may && (best == "" || k < best) {
+			best = k
+		}
+	}
+	return best, best != ""
+}
+
+type blockCtx struct {
+	loop      bool
+	breaks    []lockState
+	continues []lockState
+}
+
+type walker struct {
+	cb        *checker
+	file      *ast.File
+	lockSites map[string]token.Pos
+	ctxs      []*blockCtx
+}
+
+func (cb *checker) checkScope(file *ast.File, body *ast.BlockStmt, entry lockState) {
+	w := &walker{cb: cb, file: file, lockSites: make(map[string]token.Pos)}
+	w.walkStmts(body.List, entry)
+	for _, lit := range topFuncLits(body) {
+		// Closures run later (goroutines, defers, callbacks): their
+		// bodies start with no lock held.
+		cb.checkScope(file, lit.Body, make(lockState))
+	}
+}
+
+func topFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+func (w *walker) walkStmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *walker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, false
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, op := w.cb.lockOp(call); key != "" {
+				w.lockEffect(key, op, call.Pos(), st)
+				return st, false
+			}
+			if isPanicCall(w.cb.pass.TypesInfo, call) {
+				return st, true
+			}
+		}
+		w.scan(s.X, st)
+		return st, false
+	case *ast.DeferStmt:
+		if key, op := w.cb.lockOp(s.Call); key != "" && op == "Unlock" {
+			// defer X.mu.Unlock(): held until scope exit by design;
+			// exempt from the loop-iteration check by clearing the
+			// acquired-here marker but keep the hold for access checks.
+			delete(w.lockSites, key)
+			return st, false
+		}
+		w.scan(s.Call, st)
+		return st, false
+	case *ast.SendStmt:
+		if key, held := anyMay(st); held {
+			w.report(s.Pos(), "channel send while %s.%s may be held: wake receivers after unlocking", key, mutexField)
+		}
+		w.scan(s.Chan, st)
+		w.scan(s.Value, st)
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scan(r, st)
+		}
+		return st, true
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, st)
+		}
+		return st, false
+	case *ast.IfStmt:
+		st, _ = w.stmt(s.Init, st)
+		w.scan(s.Cond, st)
+		thenSt, thenTerm := w.walkStmts(s.Body.List, cloneLS(st))
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, cloneLS(st))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeLS(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		st, _ = w.stmt(s.Init, st)
+		w.scan(s.Cond, st)
+		return w.loop(st, s.Cond != nil, func(body lockState) (lockState, bool) {
+			body, term := w.walkStmts(s.Body.List, body)
+			if !term {
+				body, _ = w.stmt(s.Post, body)
+			}
+			return body, term
+		})
+	case *ast.RangeStmt:
+		w.scan(s.X, st)
+		return w.loop(st, true, func(body lockState) (lockState, bool) {
+			return w.walkStmts(s.Body.List, body)
+		})
+	case *ast.SwitchStmt:
+		st, _ = w.stmt(s.Init, st)
+		w.scan(s.Tag, st)
+		return w.switchBody(st, s.Body)
+	case *ast.TypeSwitchStmt:
+		st, _ = w.stmt(s.Init, st)
+		st, _ = w.stmt(s.Assign, st)
+		return w.switchBody(st, s.Body)
+	case *ast.SelectStmt:
+		w.push(&blockCtx{})
+		var ends []lockState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cst := cloneLS(st)
+			cst, _ = w.stmt(cc.Comm, cst)
+			cst, term := w.walkStmts(cc.Body, cst)
+			if !term {
+				ends = append(ends, cst)
+			}
+		}
+		ctx := w.pop()
+		ends = append(ends, ctx.breaks...)
+		if len(ends) == 0 {
+			return st, len(s.Body.List) > 0
+		}
+		return mergeAllLS(ends), false
+	case *ast.BranchStmt:
+		if s.Label != nil || s.Tok == token.GOTO {
+			return st, true
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := w.top(false); ctx != nil {
+				ctx.breaks = append(ctx.breaks, cloneLS(st))
+			}
+			return st, true
+		case token.CONTINUE:
+			if ctx := w.top(true); ctx != nil {
+				ctx.continues = append(ctx.continues, cloneLS(st))
+			}
+			return st, true
+		}
+		return st, false
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.GoStmt:
+		w.scan(s.Call, st)
+		return st, false
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scan(e, st)
+				return false
+			}
+			return true
+		})
+		return st, false
+	}
+}
+
+func (w *walker) loop(entry lockState, mayskip bool, body func(lockState) (lockState, bool)) (lockState, bool) {
+	w.push(&blockCtx{loop: true})
+	bodySt, bodyTerm := body(cloneLS(entry))
+	ctx := w.pop()
+
+	var back []lockState
+	if !bodyTerm {
+		back = append(back, bodySt)
+	}
+	back = append(back, ctx.continues...)
+	backSt := mergeAllLS(back)
+	backKeys := make([]string, 0, len(backSt))
+	for key := range backSt {
+		backKeys = append(backKeys, key)
+	}
+	sort.Strings(backKeys)
+	for _, key := range backKeys {
+		if entry[key].may || !backSt[key].may {
+			continue
+		}
+		if site, ok := w.lockSites[key]; ok {
+			w.report(site, "%s.%s may still be held when the loop iteration ends: release each mailbox before taking the next", key, mutexField)
+		}
+	}
+
+	outs := append([]lockState{backSt}, ctx.breaks...)
+	if mayskip {
+		outs = append(outs, entry)
+	}
+	out := mergeAllLS(outs)
+	if !mayskip && len(ctx.breaks) == 0 {
+		return out, true
+	}
+	return out, false
+}
+
+func (w *walker) switchBody(st lockState, body *ast.BlockStmt) (lockState, bool) {
+	w.push(&blockCtx{})
+	var ends []lockState
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.scan(e, st)
+		}
+		cst, term := w.walkStmts(cc.Body, cloneLS(st))
+		if !term {
+			ends = append(ends, cst)
+		}
+	}
+	ctx := w.pop()
+	ends = append(ends, ctx.breaks...)
+	if !hasDefault {
+		ends = append(ends, st)
+	}
+	if len(ends) == 0 {
+		return st, true
+	}
+	return mergeAllLS(ends), false
+}
+
+func (w *walker) push(ctx *blockCtx) { w.ctxs = append(w.ctxs, ctx) }
+func (w *walker) pop() *blockCtx {
+	ctx := w.ctxs[len(w.ctxs)-1]
+	w.ctxs = w.ctxs[:len(w.ctxs)-1]
+	return ctx
+}
+
+func (w *walker) top(loopOnly bool) *blockCtx {
+	for i := len(w.ctxs) - 1; i >= 0; i-- {
+		if !loopOnly || w.ctxs[i].loop {
+			return w.ctxs[i]
+		}
+	}
+	return nil
+}
+
+// lockEffect applies X.mu.Lock()/Unlock() to the state.
+func (w *walker) lockEffect(key, op string, pos token.Pos, st lockState) {
+	if op == "Unlock" {
+		// Keep lockSites: the loop-iteration check still needs the
+		// acquire position when another path kept the lock held.
+		delete(st, key)
+		return
+	}
+	if held, any := anyMay(st); any {
+		w.report(pos, "acquiring %s.%s while %s.%s may be held: mailbox locks are leaf locks, take one at a time",
+			key, mutexField, held, mutexField)
+	}
+	st[key] = hold{may: true, must: true}
+	w.lockSites[key] = pos
+}
+
+// scan checks the guarded-field accesses and lock-relevant calls inside
+// one expression, without changing the lock state.
+func (w *walker) scan(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, walked by checkScope
+		case *ast.CallExpr:
+			w.callCheck(n, st)
+		case *ast.SelectorExpr:
+			w.accessCheck(n, st)
+		}
+		return true
+	})
+}
+
+func (w *walker) callCheck(c *ast.CallExpr, st lockState) {
+	if key, _ := w.cb.lockOp(c); key != "" {
+		return // handled as a statement effect; nested forms are rare and benign
+	}
+	callee := analysis.Callee(w.cb.pass.TypesInfo, c)
+	if callee == nil {
+		return
+	}
+	if w.cb.isLockheldFn(callee) {
+		if fun, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			if key := exprKey(fun.X); key != "" && !st[key].must {
+				w.report(c.Pos(), "call to %s requires %s.%s held (callee is %s)", callee.Name(), key, mutexField, "*Locked/lockheld")
+			}
+		}
+		return
+	}
+	if held, any := anyMay(st); any && w.cb.fnLocks(callee) {
+		w.report(c.Pos(), "call to %s acquires a mailbox lock while %s.%s may be held: mailbox locks are leaf locks", callee.Name(), held, mutexField)
+	}
+}
+
+func (w *walker) accessCheck(sel *ast.SelectorExpr, st lockState) {
+	selection, ok := w.cb.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	tn := namedTypeName(selection.Recv())
+	fields := w.cb.guardedFieldsOf(tn)
+	if fields == nil || !fields[field.Name()] {
+		return
+	}
+	key := exprKey(sel.X)
+	if key != "" && st[key].must {
+		return
+	}
+	w.report(sel.Pos(), "%s.%s accessed without holding %s.%s (lock it, or mark the accessor //simlint:lockheld)",
+		keyOr(key, "mailbox"), field.Name(), keyOr(key, "its"), mutexField)
+}
+
+func keyOr(key, alt string) string {
+	if key == "" {
+		return alt
+	}
+	return key
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...any) {
+	if w.cb.pass.DirectivesFor(w.file).Allows(directive, pos) {
+		return
+	}
+	w.cb.pass.Reportf(pos, format, args...)
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/linttest"
+	"mpicomp/internal/simlint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lockorder.Analyzer, "lockord")
+}

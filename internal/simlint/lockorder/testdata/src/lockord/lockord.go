@@ -1,0 +1,166 @@
+// Package lockord is the golden input for the lockorder analyzer:
+// guarded-field accesses with and without the lock, leaf-lock nesting,
+// sends under the lock, loop-iteration holds, lockheld contracts, and
+// directive suppressions.
+package lockord
+
+import "sync"
+
+// box models the transport mailbox: every field is lock-guarded except
+// the construction-time backlink.
+//
+//simlint:guarded
+type box struct {
+	mu       sync.Mutex
+	posted   []int
+	dead     bool
+	backlink *world //simlint:unguarded set once at construction
+}
+
+type world struct {
+	boxes []*box
+	wake  chan int
+}
+
+// misconfigured lacks the mutex the directive promises.
+//
+//simlint:guarded
+type misconfigured struct { // want "no mu sync.Mutex field"
+	n int
+}
+
+// --- guarded-field accesses ----------------------------------------
+
+func readLocked(b *box) int {
+	b.mu.Lock()
+	n := len(b.posted)
+	b.mu.Unlock()
+	return n
+}
+
+func readUnlocked(b *box) int {
+	return len(b.posted) // want "accessed without holding b.mu"
+}
+
+func readBacklink(b *box) *world {
+	return b.backlink // unguarded by directive: fine
+}
+
+func writeAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.posted = append(b.posted, 1)
+	b.mu.Unlock()
+	b.dead = true // want "accessed without holding b.mu"
+}
+
+func branchMustHold(b *box, c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.posted = nil // want "accessed without holding b.mu"
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+func deferUnlock(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.posted)
+}
+
+// --- lockheld contract ----------------------------------------------
+
+// drainLocked runs with b.mu held (naming convention).
+func (b *box) drainLocked() {
+	b.posted = nil
+	b.dead = true
+}
+
+// publish records a quit under the lock.
+//
+//simlint:lockheld called from the sweep with b.mu held
+func (b *box) publish(n int) {
+	b.posted = append(b.posted, n)
+}
+
+func callsLockedHelpers(b *box) {
+	b.mu.Lock()
+	b.drainLocked()
+	b.publish(1)
+	b.mu.Unlock()
+}
+
+func callsWithoutLock(b *box) {
+	b.drainLocked() // want "requires b.mu held"
+	b.publish(1)    // want "requires b.mu held"
+}
+
+// --- leaf-lock discipline -------------------------------------------
+
+func nested(a, b *box) {
+	a.mu.Lock()
+	b.mu.Lock() // want "leaf locks"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func sequential(a, b *box) {
+	a.mu.Lock()
+	a.posted = nil
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.posted = nil
+	b.mu.Unlock()
+}
+
+func locksInternally(b *box) {
+	b.mu.Lock()
+	b.posted = nil
+	b.mu.Unlock()
+}
+
+func callWhileHolding(a, b *box) {
+	a.mu.Lock()
+	locksInternally(b) // want "acquires a mailbox lock while a.mu may be held"
+	a.mu.Unlock()
+}
+
+// --- sends and loops ------------------------------------------------
+
+func sendUnderLock(b *box, w *world) {
+	b.mu.Lock()
+	w.wake <- 1 // want "channel send while b.mu may be held"
+	b.mu.Unlock()
+}
+
+func sendAfterUnlock(b *box, w *world) {
+	b.mu.Lock()
+	n := len(b.posted)
+	b.mu.Unlock()
+	w.wake <- n
+}
+
+func heldAcrossIteration(w *world, c bool) {
+	for _, b := range w.boxes {
+		b.mu.Lock() // want "held when the loop iteration ends"
+		if c {
+			continue
+		}
+		b.mu.Unlock()
+	}
+}
+
+func releasedEachIteration(w *world) {
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.posted = nil
+		b.mu.Unlock()
+	}
+}
+
+// --- suppression ----------------------------------------------------
+
+func suppressed(b *box) int {
+	return len(b.posted) //simlint:lockok read-only race tolerated in stats
+}

@@ -1,0 +1,12 @@
+package phasecharge_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/linttest"
+	"mpicomp/internal/simlint/phasecharge"
+)
+
+func TestPhaseCharge(t *testing.T) {
+	linttest.Run(t, "testdata", phasecharge.Analyzer, "phasechg")
+}

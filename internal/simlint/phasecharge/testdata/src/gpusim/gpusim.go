@@ -1,0 +1,7 @@
+// Package gpusim is a minimal fake of the module's device model for
+// the phasecharge golden tests: only the payload-carrying Buffer.
+package gpusim
+
+type Buffer struct {
+	Data []byte
+}

@@ -1,0 +1,21 @@
+// Package simtime is a minimal fake of the module's simulated clock
+// for the phasecharge golden tests.
+package simtime
+
+type Duration int64
+
+type Time int64
+
+type Clock struct{ Now Time }
+
+func (c *Clock) Advance(d Duration) Time {
+	c.Now += Time(d)
+	return c.Now
+}
+
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.Now {
+		c.Now = t
+	}
+	return c.Now
+}

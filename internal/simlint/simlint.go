@@ -15,11 +15,15 @@ import (
 
 	"mpicomp/internal/simlint/analysis"
 	"mpicomp/internal/simlint/arenaescape"
+	"mpicomp/internal/simlint/creditbalance"
 	"mpicomp/internal/simlint/detrange"
 	"mpicomp/internal/simlint/errwrap"
 	"mpicomp/internal/simlint/loader"
+	"mpicomp/internal/simlint/lockorder"
+	"mpicomp/internal/simlint/phasecharge"
 	"mpicomp/internal/simlint/seedrand"
 	"mpicomp/internal/simlint/vclockpurity"
+	"mpicomp/internal/simlint/wireparity"
 )
 
 // Analyzers returns the full simlint suite in reporting order.
@@ -30,6 +34,10 @@ func Analyzers() []*analysis.Analyzer {
 		seedrand.Analyzer,
 		arenaescape.Analyzer,
 		errwrap.Analyzer,
+		creditbalance.Analyzer,
+		lockorder.Analyzer,
+		wireparity.Analyzer,
+		phasecharge.Analyzer,
 	}
 }
 
@@ -66,39 +74,33 @@ func (d Diagnostic) String() string {
 }
 
 // Run loads the packages matching patterns under dir and applies the
-// analyzers, returning findings sorted by position. Type-check errors
-// in the tree are returned as an error: analyzers need sound type
-// information to be trusted.
+// analyzers, returning findings sorted by position. Packages are
+// processed in dependency order with one shared fact store, so facts an
+// analyzer exports over a dependency are visible while its importers
+// are analyzed. Type-check errors in the tree are returned as an error:
+// analyzers need sound type information to be trusted.
 func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diagnostic, error) {
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	store := analysis.NewFactStore(analyzers)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range depOrder(pkgs) {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("type errors in %s (simlint needs a compiling tree): %v",
 				pkg.ImportPath, pkg.TypeErrors[0])
 		}
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				diags = append(diags, Diagnostic{
-					Position: pkg.Fset.Position(d.Pos),
-					Analyzer: name,
-					Message:  d.Message,
-				})
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
-			}
+		unit := analysis.Unit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		err := analysis.RunUnit(unit, analyzers, store, func(a *analysis.Analyzer, d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -112,4 +114,33 @@ func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Diag
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// depOrder returns the target packages with every dependency before its
+// importers (ties broken by the loader's deterministic name order), the
+// processing order the facts layer requires.
+func depOrder(pkgs []*loader.Package) []*loader.Package {
+	byPath := make(map[string]*loader.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	visited := make(map[string]bool, len(pkgs))
+	out := make([]*loader.Package, 0, len(pkgs))
+	var visit func(p *loader.Package)
+	visit = func(p *loader.Package) {
+		if visited[p.ImportPath] {
+			return
+		}
+		visited[p.ImportPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }

@@ -1,9 +1,19 @@
 // Package unitcheck implements the `go vet -vettool` protocol for the
 // simlint suite: cmd/go invokes the tool once per package with a
 // *.cfg JSON file describing the unit of work — source files, the
-// import map, and the export-data file of every dependency the build
-// already produced. This mirrors x/tools' go/analysis/unitchecker on
-// the standard library only.
+// import map, the export-data file of every dependency the build
+// already produced, and the .vetx fact files of the dependencies'
+// earlier runs. This mirrors x/tools' go/analysis/unitchecker on the
+// standard library only.
+//
+// Facts ride the build cache: the facts an analyzer exports while
+// processing a dependency are serialized into that unit's VetxOutput
+// file; when cmd/go later invokes the tool on an importer, the cfg's
+// PackageVetx map names those files and the store is reassembled, so
+// interprocedural analyzers see across package boundaries with the
+// same incremental caching as compilation itself. Each unit re-exports
+// the facts it imported, which keeps the flow transitive through
+// direct dependencies.
 package unitcheck
 
 import (
@@ -15,6 +25,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"mpicomp/internal/simlint/analysis"
@@ -48,10 +59,12 @@ type Diagnostic struct {
 	Message  string
 }
 
-// Run processes one vet unit: it always writes the (empty — simlint
-// analyzers export no facts) vetx output so cmd/go's cache stays
-// coherent, and unless the unit is facts-only it type-checks the
-// package from the cfg's export-data map and applies the analyzers.
+// Run processes one vet unit: it loads the dependency facts named by the
+// cfg's PackageVetx map, type-checks the package from the cfg's
+// export-data map, applies the analyzers, and writes the resulting fact
+// store — imported facts included — to VetxOutput so cmd/go's cache
+// stays coherent. Facts-only units (VetxOnly) run just the
+// fact-producing analyzers and report nothing.
 func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -61,15 +74,90 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+
+	store := analysis.NewFactStore(analyzers)
+	if err := loadDepFacts(store, cfg.PackageVetx); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		analyzers = factProducers(analyzers)
+	}
+
+	var diags []Diagnostic
+	if len(analyzers) > 0 {
+		unit, ok, err := typecheck(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Tolerated type-check failure: write an empty-but-valid vetx
+			// so dependents still load.
+			return nil, writeVetx(cfg.VetxOutput, store)
+		}
+		err = analysis.RunUnit(unit, analyzers, store, func(a *analysis.Analyzer, d analysis.Diagnostic) {
+			if cfg.VetxOnly {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Position: unit.Fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
-	if cfg.VetxOnly {
-		return nil, nil
-	}
+	return diags, writeVetx(cfg.VetxOutput, store)
+}
 
+// loadDepFacts merges the dependencies' serialized fact stores, in
+// deterministic path order so later duplicates (there should be none)
+// resolve identically across runs.
+func loadDepFacts(store *analysis.FactStore, vetx map[string]string) error {
+	paths := make([]string, 0, len(vetx))
+	for path := range vetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		data, err := os.ReadFile(vetx[path])
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // dependency produced no facts
+			}
+			return fmt.Errorf("reading facts of %s: %v", path, err)
+		}
+		if err := store.Decode(data); err != nil {
+			return fmt.Errorf("facts of %s: %v", path, err)
+		}
+	}
+	return nil
+}
+
+// factProducers filters to the analyzers that can contribute facts —
+// the only work a facts-only dependency unit needs.
+func factProducers(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// writeVetx serializes the store to the unit's VetxOutput (if any).
+func writeVetx(path string, store *analysis.FactStore) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, store.Encode(), 0o666)
+}
+
+// typecheck parses and type-checks the unit's files. ok is false when
+// the failure is tolerated per cfg.SucceedOnTypecheckFailure.
+func typecheck(cfg *Config) (analysis.Unit, bool, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -79,9 +167,9 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return analysis.Unit{}, false, nil
 			}
-			return nil, err
+			return analysis.Unit{}, false, err
 		}
 		files = append(files, f)
 	}
@@ -112,36 +200,14 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if len(typeErrs) > 0 || (err != nil && pkg == nil) {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return analysis.Unit{}, false, nil
 		}
 		if len(typeErrs) > 0 {
 			err = typeErrs[0]
 		}
-		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+		return analysis.Unit{}, false, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
 	}
-
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		name := a.Name
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			Report: func(d analysis.Diagnostic) {
-				diags = append(diags, Diagnostic{
-					Position: fset.Position(d.Pos),
-					Analyzer: name,
-					Message:  d.Message,
-				})
-			},
-		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s on %s: %v", a.Name, cfg.ImportPath, err)
-		}
-	}
-	return diags, nil
+	return analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, true, nil
 }
 
 // goVersion normalizes cfg.GoVersion ("go1.22.1", "local") to a value

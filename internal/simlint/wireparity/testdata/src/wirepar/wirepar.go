@@ -1,0 +1,195 @@
+// Package wirepar is the golden input for the wireparity analyzer:
+// paired codecs with full parity, dropped and invented fields, a field
+// in neither direction, size-constant drift, unpaired halves, missing
+// fuzz coverage, and directive suppressions.
+package wirepar
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errShort = errors.New("short buffer")
+
+// --- fully paired codec ---------------------------------------------
+
+// GoodSize is the wire size of Good: kind byte, seq, count.
+const GoodSize = 13
+
+type Good struct {
+	Seq  uint64
+	Kind byte
+	N    uint32
+}
+
+func (g Good) EncodeGood() []byte {
+	buf := make([]byte, 0, GoodSize)
+	buf = append(buf, g.Kind)
+	buf = binary.LittleEndian.AppendUint64(buf, g.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, g.N)
+	return buf
+}
+
+func DecodeGood(b []byte) (Good, error) {
+	var g Good
+	if len(b) < GoodSize {
+		return g, errShort
+	}
+	g.Kind = b[0]
+	g.Seq = binary.LittleEndian.Uint64(b[1:])
+	g.N = binary.LittleEndian.Uint32(b[9:])
+	return g, nil
+}
+
+// --- decoder drops a field ------------------------------------------
+
+type Drop struct{ A, B uint32 }
+
+func (d Drop) EncodeDrop() []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, d.A)
+	return binary.LittleEndian.AppendUint32(buf, d.B)
+}
+
+func DecodeDrop(b []byte) (Drop, error) { // want "serializes Drop.B but DecodeDrop never sets it"
+	var d Drop
+	d.A = binary.LittleEndian.Uint32(b)
+	return d, nil
+}
+
+// --- decoder invents a field ----------------------------------------
+
+type Invent struct{ A, B uint32 }
+
+func (v Invent) EncodeInvent() []byte { // want "sets Invent.B but EncodeInvent never reads it"
+	return binary.LittleEndian.AppendUint32(nil, v.A)
+}
+
+func DecodeInvent(b []byte) (Invent, error) {
+	return Invent{A: binary.LittleEndian.Uint32(b), B: 7}, nil
+}
+
+// --- field in neither direction -------------------------------------
+
+type Partial struct {
+	A    uint32
+	Note string // want "field Partial.Note is in neither the encoder nor the decoder"
+	Skip string //simlint:nowire host-side diagnostic, never crosses the wire
+}
+
+func (p Partial) EncodePartial() []byte {
+	return binary.LittleEndian.AppendUint32(nil, p.A)
+}
+
+func DecodePartial(b []byte) (Partial, error) {
+	var p Partial
+	p.A = binary.LittleEndian.Uint32(b)
+	return p, nil
+}
+
+// --- size-constant drift --------------------------------------------
+
+// BadSize claims more bytes than EncodeBad writes.
+const BadSize = 9
+
+type Bad struct {
+	A uint32
+	F byte
+}
+
+func (x Bad) EncodeBad() []byte { // want "appends 5 fixed bytes but the declared size constant is 9"
+	buf := make([]byte, 0, BadSize)
+	buf = append(buf, x.F)
+	return binary.LittleEndian.AppendUint32(buf, x.A)
+}
+
+func DecodeBad(b []byte) (Bad, error) {
+	var x Bad
+	x.F = b[0]
+	x.A = binary.LittleEndian.Uint32(b[1:])
+	return x, nil
+}
+
+// --- variable tail with a Fixed constant ----------------------------
+
+// tailFixed is the fixed prefix of Tail before the view entries.
+const tailFixed = 6
+
+type Tail struct {
+	Kind uint16
+	View []uint32
+}
+
+func (t Tail) EncodeTail() []byte {
+	buf := make([]byte, 0, tailFixed+4*len(t.View))
+	buf = binary.LittleEndian.AppendUint16(buf, t.Kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.View)))
+	for _, v := range t.View {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	return buf
+}
+
+func DecodeTail(b []byte) (Tail, error) {
+	var t Tail
+	if len(b) < tailFixed {
+		return t, errShort
+	}
+	t.Kind = binary.LittleEndian.Uint16(b)
+	n := binary.LittleEndian.Uint32(b[2:])
+	t.View = make([]uint32, n)
+	for i := range t.View {
+		t.View[i] = binary.LittleEndian.Uint32(b[tailFixed+4*i:])
+	}
+	return t, nil
+}
+
+// --- unpaired halves -------------------------------------------------
+
+type Lonely struct{ A uint32 }
+
+func (l Lonely) EncodeLonely() []byte { // want "no matching Decode"
+	return binary.LittleEndian.AppendUint32(nil, l.A)
+}
+
+type Orphan struct{ A uint32 }
+
+func DecodeOrphan(b []byte) (Orphan, error) { // want "no matching Encode"
+	return Orphan{A: binary.LittleEndian.Uint32(b)}, nil
+}
+
+// --- fuzz coverage ---------------------------------------------------
+
+type Quiet struct{ A uint32 }
+
+func (q Quiet) EncodeQuiet() []byte {
+	return binary.LittleEndian.AppendUint32(nil, q.A)
+}
+
+func DecodeQuiet(b []byte) (Quiet, error) { // want "no Fuzz. target references DecodeQuiet"
+	return Quiet{A: binary.LittleEndian.Uint32(b)}, nil
+}
+
+type Waived struct{ A uint32 }
+
+func (w Waived) EncodeWaived() []byte {
+	return binary.LittleEndian.AppendUint32(nil, w.A)
+}
+
+//simlint:nofuzz exercised through DecodeGood's target via the shared header path
+func DecodeWaived(b []byte) (Waived, error) {
+	return Waived{A: binary.LittleEndian.Uint32(b)}, nil
+}
+
+// --- suppression -----------------------------------------------------
+
+type Muted struct{ A, B uint32 }
+
+func (m Muted) EncodeMuted() []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, m.A)
+	return binary.LittleEndian.AppendUint32(buf, m.B)
+}
+
+//simlint:wireok B is rederived by the caller, the wire omits it deliberately
+func DecodeMuted(b []byte) (Muted, error) {
+	return Muted{A: binary.LittleEndian.Uint32(b)}, nil
+}

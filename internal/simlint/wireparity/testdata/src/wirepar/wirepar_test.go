@@ -1,0 +1,19 @@
+package wirepar
+
+import "testing"
+
+// FuzzDecoders gives every decoder except DecodeQuiet (the golden
+// "missing fuzz target" case) and DecodeWaived (waived by directive)
+// its required fuzz coverage.
+func FuzzDecoders(f *testing.F) {
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeGood(b)
+		DecodeDrop(b)
+		DecodeInvent(b)
+		DecodePartial(b)
+		DecodeBad(b)
+		DecodeTail(b)
+		DecodeOrphan(b)
+		DecodeMuted(b)
+	})
+}

@@ -1,0 +1,12 @@
+package wireparity_test
+
+import (
+	"testing"
+
+	"mpicomp/internal/simlint/linttest"
+	"mpicomp/internal/simlint/wireparity"
+)
+
+func TestWireParity(t *testing.T) {
+	linttest.Run(t, "testdata", wireparity.Analyzer, "wirepar")
+}
