@@ -12,6 +12,13 @@
 // 8 MB also differentially verifies that the pipelined/relay ring and
 // its blocking oracle produce byte-identical reductions.
 //
+// rd-allreduce and rab-allreduce rows measure the algorithm crossover
+// against the pipelined ring at 32 KB and 4 MB: recursive doubling
+// (log2 P rounds, whole vector per round) must win the small-message
+// latency regime, the bandwidth-optimal ring the large regime, and
+// both new schedules must be payload-bit-identical to their blocking
+// oracles.
+//
 // A final awpodc-halo row compares the staged halo exchange (pack and
 // unpack kernels charged honestly, HaloPacked=true) against the fused
 // typed path (Subarray3D boundary views, zero staging copies): the
@@ -57,6 +64,23 @@ func benchCollWorld(t *testing.T, cacheEntries int) *mpi.World {
 	return w
 }
 
+// benchCollChunkedWorld is benchCollWorld with 128K chunk pipelining —
+// the configuration the algorithm-crossover rows run under, so the
+// pipelined ring comparator overlaps chunks the way production sweeps
+// configure it.
+func benchCollChunkedWorld(t *testing.T, cacheEntries int) *mpi.World {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Options{
+		Cluster: hw.Longhorn(), Nodes: benchCollNodes, PPN: benchCollPPN,
+		Engine: core.Config{Mode: core.ModeOpt, Algorithm: core.AlgoMPC,
+			CacheEntries: cacheEntries, PipelineChunkBytes: 128 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 // benchCollEntry is one (collective, size) row of BENCH_coll.json.
 type benchCollEntry struct {
 	Coll  string `json:"coll"`
@@ -85,13 +109,17 @@ type benchCollDoc struct {
 	Results    []benchCollEntry `json:"results"`
 }
 
-// benchCollRingBitIdentical runs the pipelined/relay ring and the
+// benchCollBitIdentical runs a pipelined allreduce schedule and its
 // blocking oracle on identical inputs in one world and reports whether
 // every rank's outputs match byte for byte (they must: MPC is lossless
 // and both run the per-element additions in the same order).
-func benchCollRingBitIdentical(t *testing.T, bytesN int) bool {
+func benchCollBitIdentical(t *testing.T, bytesN int, chunked bool,
+	fastFn, slowFn func(*mpi.Rank, *gpusim.Buffer, *gpusim.Buffer) error) bool {
 	t.Helper()
 	w := benchCollWorld(t, 0)
+	if chunked {
+		w = benchCollChunkedWorld(t, 0)
+	}
 	identical := true
 	_, err := w.Run(func(r *mpi.Rank) error {
 		vals := make([]float32, bytesN/4)
@@ -101,10 +129,10 @@ func benchCollRingBitIdentical(t *testing.T, bytesN int) bool {
 		send := (&gpusim.Buffer{Data: core.FloatsToBytes(nil, vals), Loc: gpusim.Device, Dev: r.Dev}).Track()
 		fast := &gpusim.Buffer{Data: make([]byte, bytesN), Loc: gpusim.Device, Dev: r.Dev}
 		slow := &gpusim.Buffer{Data: make([]byte, bytesN), Loc: gpusim.Device, Dev: r.Dev}
-		if err := r.RingAllreduceSum(send, fast); err != nil {
+		if err := fastFn(r, send, fast); err != nil {
 			return err
 		}
-		if err := r.RingAllreduceSumBlocking(send, slow); err != nil {
+		if err := slowFn(r, send, slow); err != nil {
 			return err
 		}
 		if !bytes.Equal(fast.Data, slow.Data) {
@@ -113,7 +141,7 @@ func benchCollRingBitIdentical(t *testing.T, bytesN int) bool {
 		return r.Barrier()
 	})
 	if err != nil {
-		t.Fatalf("ring bit-identity run: %v", err)
+		t.Fatalf("bit-identity run: %v", err)
 	}
 	return identical
 }
@@ -133,14 +161,27 @@ func TestWriteBenchColl(t *testing.T) {
 		after  func(w *mpi.World, bytes, warmup, iters int, gen omb.DataGen) (omb.CollResult, error)
 	}
 	colls := []struct {
-		name string
-		arm  arm
+		name    string
+		arm     arm
+		sizes   []int // nil = the default {1 MB, 8 MB} sweep
+		chunked bool  // run both arms with 128K chunk pipelining
 	}{
-		{"bcast", arm{before: omb.BcastLatency, after: omb.BcastLatency}},
-		{"bcast-hier", arm{before: omb.BcastHierarchicalLatency, after: omb.BcastHierarchicalLatency}},
-		{"allgather", arm{before: omb.AllgatherLatency, after: omb.AllgatherLatency}},
-		{"alltoallv", arm{before: omb.AlltoallvLatency, after: omb.AlltoallvLatency}},
-		{"ring-allreduce", arm{before: omb.RingAllreduceBlockingLatency, after: omb.RingAllreduceLatency}},
+		{"bcast", arm{before: omb.BcastLatency, after: omb.BcastLatency}, nil, false},
+		{"bcast-hier", arm{before: omb.BcastHierarchicalLatency, after: omb.BcastHierarchicalLatency}, nil, false},
+		{"allgather", arm{before: omb.AllgatherLatency, after: omb.AllgatherLatency}, nil, false},
+		{"alltoallv", arm{before: omb.AlltoallvLatency, after: omb.AlltoallvLatency}, nil, false},
+		{"ring-allreduce", arm{before: omb.RingAllreduceBlockingLatency, after: omb.RingAllreduceLatency}, nil, false},
+		// Algorithm-crossover rows: the "before" arm is the pipelined
+		// ring (the previous best), the "after" arm the new schedule, so
+		// SpeedupPct > 0 means the new schedule beats the ring at that
+		// size. Sized to straddle the latency/bandwidth crossover, and
+		// run with chunk pipelining on BOTH arms — without chunking the
+		// ring serialises whole blocks and loses even the bandwidth
+		// regime, which is not the comparison production sweeps make.
+		{"rd-allreduce", arm{before: omb.RingAllreduceLatency, after: omb.RecursiveDoublingAllreduceLatency},
+			[]int{32 << 10, 4 << 20}, true},
+		{"rab-allreduce", arm{before: omb.RingAllreduceLatency, after: omb.RabenseifnerAllreduceLatency},
+			[]int{32 << 10, 4 << 20}, true},
 	}
 	doc := benchCollDoc{
 		Ranks:      benchCollNodes * benchCollPPN,
@@ -150,9 +191,16 @@ func TestWriteBenchColl(t *testing.T) {
 			"disabled (and blocking whole-block ring); after = default fast paths; wall-clock is real host time",
 	}
 	for _, coll := range colls {
-		for _, size := range []int{1 << 20, 8 << 20} {
+		sizes := coll.sizes
+		if sizes == nil {
+			sizes = []int{1 << 20, 8 << 20}
+		}
+		for _, size := range sizes {
 			wallStart := time.Now()
 			before := benchCollWorld(t, -1)
+			if coll.chunked {
+				before = benchCollChunkedWorld(t, -1)
+			}
 			resB, err := coll.arm.before(before, size, benchCollWarmup, benchCollIters, nil)
 			if err != nil {
 				t.Fatalf("%s before: %v", coll.name, err)
@@ -161,6 +209,9 @@ func TestWriteBenchColl(t *testing.T) {
 
 			wallStart = time.Now()
 			after := benchCollWorld(t, 0)
+			if coll.chunked {
+				after = benchCollChunkedWorld(t, 0)
+			}
 			resA, err := coll.arm.after(after, size, benchCollWarmup, benchCollIters, nil)
 			if err != nil {
 				t.Fatalf("%s after: %v", coll.name, err)
@@ -187,7 +238,7 @@ func TestWriteBenchColl(t *testing.T) {
 				e.SpeedupPct = (e.BeforeUs - e.AfterUs) / e.BeforeUs * 100
 			}
 			if coll.name == "ring-allreduce" {
-				ok := benchCollRingBitIdentical(t, size)
+				ok := benchCollBitIdentical(t, size, false, (*mpi.Rank).RingAllreduceSum, (*mpi.Rank).RingAllreduceSumBlocking)
 				e.BitIdentical = &ok
 				if !ok {
 					t.Errorf("%s %dB: pipelined and blocking results differ", coll.name, size)
@@ -195,6 +246,32 @@ func TestWriteBenchColl(t *testing.T) {
 				if size == 8<<20 && e.SpeedupPct < 25 {
 					t.Errorf("ring-allreduce at 8 MB: %.1f%% improvement, want >= 25%% (before %.1fus, after %.1fus)",
 						e.SpeedupPct, e.BeforeUs, e.AfterUs)
+				}
+			}
+			if coll.name == "rd-allreduce" {
+				ok := benchCollBitIdentical(t, size, true,
+					(*mpi.Rank).RecursiveDoublingAllreduceSum, (*mpi.Rank).RecursiveDoublingAllreduceSumBlocking)
+				e.BitIdentical = &ok
+				if !ok {
+					t.Errorf("%s %dB: pipelined and blocking results differ", coll.name, size)
+				}
+				// The crossover: log2-depth rd wins the latency regime,
+				// the bandwidth-optimal ring wins the large regime.
+				if size == 32<<10 && e.SpeedupPct <= 0 {
+					t.Errorf("rd at 32 KB: %.1f%% vs pipelined ring, want a win (ring %.1fus, rd %.1fus)",
+						e.SpeedupPct, e.BeforeUs, e.AfterUs)
+				}
+				if size == 4<<20 && e.SpeedupPct >= 0 {
+					t.Errorf("rd at 4 MB: %.1f%% vs pipelined ring, expected the ring to win (ring %.1fus, rd %.1fus)",
+						e.SpeedupPct, e.BeforeUs, e.AfterUs)
+				}
+			}
+			if coll.name == "rab-allreduce" {
+				ok := benchCollBitIdentical(t, size, true,
+					(*mpi.Rank).RabenseifnerAllreduceSum, (*mpi.Rank).RabenseifnerAllreduceSumBlocking)
+				e.BitIdentical = &ok
+				if !ok {
+					t.Errorf("%s %dB: pipelined and blocking results differ", coll.name, size)
 				}
 			}
 			if coll.name == "bcast-hier" && cs.Hits == 0 {

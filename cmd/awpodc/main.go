@@ -3,8 +3,8 @@
 // the compression-enabled MPI runtime, reporting the paper's metrics
 // (GPU computing TFLOPS, time per step, compression ratio).
 //
-//	awpodc -cluster frontera -gpus 16 -ppn 4 -algo zfp -rate 8
-//	awpodc -cluster lassen -gpus 64 -ppn 4 -algo mpc -steps 5
+//	awpodc -cluster frontera -gpus 16 -ppn 4 -codec zfp -rate 8
+//	awpodc -cluster lassen -gpus 64 -ppn 4 -codec mpc -steps 5
 package main
 
 import (

@@ -2,7 +2,7 @@
 // the cuPy transpose-sum (y = x + x.T) over distributed array chunks,
 // reporting execution time and aggregate throughput per worker count.
 //
-//	daskbench -workers 8 -dim 10000 -chunk 1000 -algo zfp -rate 8
+//	daskbench -workers 8 -dim 10000 -chunk 1000 -codec zfp -rate 8
 package main
 
 import (

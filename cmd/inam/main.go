@@ -3,8 +3,8 @@
 // a tool): it runs a representative workload and reports per-node fabric
 // traffic, adapter busy time, and per-rank compression-engine activity.
 //
-//	inam -workload halo -nodes 4 -ppn 4 -algo mpc
-//	inam -workload alltoall -nodes 4 -ppn 2 -algo zfp -rate 8
+//	inam -workload halo -nodes 4 -ppn 4 -codec mpc
+//	inam -workload alltoall -nodes 4 -ppn 2 -codec zfp -rate 8
 package main
 
 import (

@@ -2,14 +2,18 @@
 // cluster — the equivalent of osu_latency / osu_bw / osu_bcast /
 // osu_allgather built against the compression-enabled MPI runtime.
 //
-//	ombrun -bench latency -cluster longhorn -algo mpc -mode opt
+//	ombrun -bench latency -cluster longhorn -codec mpc -mode opt
 //	ombrun -bench bw -cluster frontera
-//	ombrun -bench bcast -nodes 8 -ppn 2 -dataset msg_sppm -algo zfp -rate 8
+//	ombrun -bench bcast -nodes 8 -ppn 2 -dataset msg_sppm -codec zfp -rate 8
+//	ombrun -bench allreduce -algo rab -codec mpc
+//	ombrun -bench allreduce -algo auto -tune-table tune.json -codec mpc
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strings"
 	"time"
@@ -19,6 +23,7 @@ import (
 	"mpicomp/internal/mpi"
 	"mpicomp/internal/omb"
 	"mpicomp/internal/trace"
+	"mpicomp/internal/tune"
 )
 
 // main drives one OMB-style benchmark. Simulated results come from the
@@ -27,7 +32,7 @@ import (
 //
 //simlint:wallclock bench harness reports real elapsed time alongside simulated results
 func main() {
-	bench := flag.String("bench", "latency", "benchmark: latency | bw | bibw | bcast | bcast-hier | allgather | allreduce | ring-allreduce | ring-allreduce-blocking | reduce | gather | scatter | alltoall | alltoallv")
+	bench := flag.String("bench", "latency", "benchmark: latency | bw | bibw | bcast | bcast-hier | allgather | allgather-hier | allreduce | ring-allreduce | ring-allreduce-blocking | rd-allreduce | rd-allreduce-blocking | rab-allreduce | rab-allreduce-blocking | two-level-allreduce | reduce | gather | scatter | alltoall | alltoallv")
 	cluster := flag.String("cluster", "longhorn", "cluster model: longhorn | frontera | lassen | ri2")
 	nodes := flag.Int("nodes", 2, "number of nodes")
 	ppn := flag.Int("ppn", 1, "processes (GPUs) per node")
@@ -46,6 +51,9 @@ func main() {
 	breakerFlag := flag.String("breaker", "", "codec circuit-breaker spec, e.g. threshold=3,cooldown=2ms,seed=11 (empty = off)")
 	retries := flag.Int("retries", 0, "retransmission budget per protocol stage (0 = default, negative = retries off)")
 	chunkRetry := flag.Int("chunk-retry", 0, "per-chunk retransmission budget on the pipelined path (0 = inherit -retries, negative = off)")
+	algoFlag := flag.String("algo", "auto", "allreduce algorithm: auto | ring | ring-blocking | rd | rab | two-level | reduce-bcast (auto routes through the tuner)")
+	tuneTable := flag.String("tune-table", "", "tuning-table JSON path: warm-start from it if present, rewrite it with the updated table on exit")
+	tuneSeed := flag.Int64("tune-seed", 0, "tuner exploration seed")
 	eng := cli.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -70,6 +78,8 @@ func main() {
 	breaker, err := cli.ParseBreaker(*breakerFlag)
 	cli.Fatal(err)
 	cfg.Breaker = breaker
+	algo, err := cli.ParseAlgo(*algoFlag)
+	cli.Fatal(err)
 
 	var gen omb.DataGen
 	if *dataset != "" {
@@ -81,14 +91,37 @@ func main() {
 	if *traceOut != "" {
 		tracer = trace.New()
 	}
-	w, err := mpi.NewWorld(mpi.Options{
+
+	// The tuner drives auto dispatch; a pinned -algo bypasses it. The
+	// table file is optional warm-start state: absent means cold.
+	var tuner *tune.Tuner
+	if algo == mpi.AllreduceAuto {
+		var tab *tune.Table
+		if *tuneTable != "" {
+			data, err := os.ReadFile(*tuneTable)
+			switch {
+			case err == nil:
+				tab, err = tune.ParseTable(data)
+				cli.Fatal(err)
+			case !errors.Is(err, fs.ErrNotExist):
+				cli.Fatal(err)
+			}
+		}
+		tuner = tune.NewTuner(tune.Options{Seed: *tuneSeed, Cluster: c, Table: tab})
+	}
+	opt := mpi.Options{
 		Cluster: c, Nodes: *nodes, PPN: *ppn, Engine: cfg, Tracer: tracer,
 		Faults: faultCfg, Retry: mpi.RetryPolicy{Limit: *retries, ChunkLimit: *chunkRetry}, Health: health,
-	})
+		Allreduce: algo,
+	}
+	if tuner != nil {
+		opt.Tuner = tuner
+	}
+	w, err := mpi.NewWorld(opt)
 	cli.Fatal(err)
 
-	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s algo=%s, codec workers=%d\n",
-		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Algo, w.Rank(0).Engine.CodecWorkers())
+	fmt.Printf("# %s on %s, %d nodes x %d ppn, mode=%s codec=%s algo=%s, codec workers=%d\n",
+		*bench, c.Name, *nodes, *ppn, *eng.Mode, *eng.Codec, algo, w.Rank(0).Engine.CodecWorkers())
 	if w.FaultsEnabled() {
 		var specs []string
 		for _, s := range []string{*faultsFlag, *crashFlag, *partitionFlag} {
@@ -135,9 +168,26 @@ func main() {
 			res, err := coll(w, size, *warmup, *iters, gen)
 			benchFatal(w, err)
 			t.Row(cli.FormatBytes(size), fmt.Sprintf("%.2f", res.Latency.Microseconds()), fmt.Sprintf("%.2f", res.Ratio))
+			if tuner != nil {
+				// Each measurement run starts from reset engine stats,
+				// so the totals here are this size's epoch. Folding
+				// between sizes is world-synchronous: no collective is
+				// in flight while Advance commits.
+				tuner.NoteCounters(engineCounters(w))
+				tuner.Advance()
+			}
 		}
 		t.Write(os.Stdout)
 		printCacheStats(w)
+		if tuner != nil {
+			fmt.Println(tuner.StatsLine())
+		}
+	}
+	if tuner != nil && *tuneTable != "" {
+		data, err := tuner.Snapshot().Marshal()
+		cli.Fatal(err)
+		cli.Fatal(os.WriteFile(*tuneTable, data, 0o644))
+		fmt.Printf("# tune table written to %s\n", *tuneTable)
 	}
 	wall := time.Since(start)
 
@@ -182,6 +232,12 @@ var collBenches = map[string]func(*mpi.World, int, int, int, omb.DataGen) (omb.C
 	"allreduce":               omb.AllreduceLatency,
 	"ring-allreduce":          omb.RingAllreduceLatency,
 	"ring-allreduce-blocking": omb.RingAllreduceBlockingLatency,
+	"rd-allreduce":            omb.RecursiveDoublingAllreduceLatency,
+	"rd-allreduce-blocking":   omb.RecursiveDoublingAllreduceBlockingLatency,
+	"rab-allreduce":           omb.RabenseifnerAllreduceLatency,
+	"rab-allreduce-blocking":  omb.RabenseifnerAllreduceBlockingLatency,
+	"two-level-allreduce":     omb.TwoLevelAllreduceLatency,
+	"allgather-hier":          omb.AllgatherHierarchicalLatency,
 	"reduce":                  omb.ReduceLatency,
 	"gather":                  omb.GatherLatency,
 	"scatter":                 omb.ScatterLatency,
@@ -232,6 +288,23 @@ func printRecoveryStats(w *mpi.World, health mpi.HealthPolicy) {
 		rs.Reroutes, rs.ShrinkCompletions, rs.RevokedOps,
 		rs.Suspects, rs.FalseSuspects, rs.Confirms,
 		rs.ResourcedChunks, rs.LinkDrops, rs.RecoveryTime.Microseconds())
+}
+
+// engineCounters sums the engine activity the tuner adapts from across
+// every rank. All counters derive from program order and seeded fates,
+// so the sum is deterministic.
+func engineCounters(w *mpi.World) tune.Counters {
+	var c tune.Counters
+	for r := 0; r < w.Size(); r++ {
+		e := w.Rank(r).Engine
+		c.Compressions += int64(e.Compressions)
+		c.Bypasses += int64(e.Bypasses)
+		c.PoolFallbacks += int64(e.PoolFallbacks)
+		c.CacheHits += int64(e.CacheHits)
+		c.CacheMisses += int64(e.CacheMisses)
+		c.PipelinedChunks += int64(e.PipelinedChunks)
+	}
+	return c
 }
 
 // breakerTotals aggregates codec-breaker activity across every rank's

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpicomp/internal/tune"
+)
+
+// TestRunPersistsAndNamesTable asserts the example builds (this test
+// compiles it), writes a parseable tuning table to the requested path,
+// and names that path in its output.
+func TestRunPersistsAndNamesTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "autotune_table.json")
+	var out bytes.Buffer
+	if err := run(&out, path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Errorf("output does not name the persisted table path %s:\n%s", path, out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("table not written: %v", err)
+	}
+	if _, err := tune.ParseTable(blob); err != nil {
+		t.Errorf("persisted table does not parse: %v", err)
+	}
+}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,7 +22,7 @@ import (
 // EngineFlags collects the compression-engine configuration flags.
 type EngineFlags struct {
 	Mode    *string
-	Algo    *string
+	Codec   *string
 	Rate    *int
 	Dim     *int
 	Dynamic *bool
@@ -31,11 +32,13 @@ type EngineFlags struct {
 	Credits *int
 }
 
-// AddEngineFlags registers -mode/-algo/-rate/-mpcdim/-dynamic/-workers on fs.
+// AddEngineFlags registers -mode/-codec/-rate/-mpcdim/-dynamic/-workers
+// on fs. (The compression codec flag used to be called -algo; it was
+// renamed so -algo could name the collective algorithm pin.)
 func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	return &EngineFlags{
 		Mode:    fs.String("mode", "opt", "compression integration: off | naive | opt"),
-		Algo:    fs.String("algo", "none", "compression algorithm: none | mpc | zfp"),
+		Codec:   fs.String("codec", "none", "compression codec: none | mpc | zfp"),
 		Rate:    fs.Int("rate", 16, "ZFP fixed rate in bits/value (4, 8, 16, ...)"),
 		Dim:     fs.Int("mpcdim", 1, "MPC dimensionality"),
 		Dynamic: fs.Bool("dynamic", false, "enable cost-model-driven per-message selection"),
@@ -70,7 +73,7 @@ func (e *EngineFlags) Config() (core.Config, error) {
 	default:
 		return cfg, fmt.Errorf("unknown -mode %q", *e.Mode)
 	}
-	switch strings.ToLower(*e.Algo) {
+	switch strings.ToLower(*e.Codec) {
 	case "none", "":
 		cfg.Algorithm = core.AlgoNone
 	case "mpc":
@@ -78,9 +81,35 @@ func (e *EngineFlags) Config() (core.Config, error) {
 	case "zfp":
 		cfg.Algorithm = core.AlgoZFP
 	default:
-		return cfg, fmt.Errorf("unknown -algo %q", *e.Algo)
+		return cfg, fmt.Errorf("unknown -codec %q", *e.Codec)
 	}
 	return cfg, nil
+}
+
+// ErrBadAlgo is the sentinel ParseAlgo failures wrap.
+var ErrBadAlgo = errors.New("unknown collective algorithm")
+
+// ParseAlgo parses a collective algorithm name (the -algo pin on
+// ombrun) into its mpi enum value. Names are the AllreduceAlgo String
+// forms: auto, ring, ring-blocking, rd, rab, two-level, reduce-bcast.
+func ParseAlgo(s string) (mpi.AllreduceAlgo, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "":
+		return mpi.AllreduceAuto, nil
+	case "reduce-bcast":
+		return mpi.AllreduceReduceBcast, nil
+	case "ring":
+		return mpi.AllreduceRing, nil
+	case "ring-blocking":
+		return mpi.AllreduceRingBlocking, nil
+	case "rd":
+		return mpi.AllreduceRecursiveDoubling, nil
+	case "rab":
+		return mpi.AllreduceRabenseifner, nil
+	case "two-level":
+		return mpi.AllreduceTwoLevel, nil
+	}
+	return 0, fmt.Errorf("%w %q (want auto, ring, ring-blocking, rd, rab, two-level or reduce-bcast)", ErrBadAlgo, s)
 }
 
 // ClusterByName resolves a cluster flag value.

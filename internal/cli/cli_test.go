@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"reflect"
 	"strings"
@@ -31,7 +32,7 @@ func TestEngineFlagsDefaults(t *testing.T) {
 func TestEngineFlagsParsing(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	ef := AddEngineFlags(fs)
-	if err := fs.Parse([]string{"-mode", "naive", "-algo", "zfp", "-rate", "8", "-dynamic"}); err != nil {
+	if err := fs.Parse([]string{"-mode", "naive", "-codec", "zfp", "-rate", "8", "-dynamic"}); err != nil {
 		t.Fatal(err)
 	}
 	cfg, err := ef.Config()
@@ -46,7 +47,7 @@ func TestEngineFlagsParsing(t *testing.T) {
 func TestEngineFlagsRejectsUnknown(t *testing.T) {
 	for _, args := range [][]string{
 		{"-mode", "bogus"},
-		{"-algo", "lz4"},
+		{"-codec", "lz4"},
 	} {
 		fs := flag.NewFlagSet("x", flag.ContinueOnError)
 		ef := AddEngineFlags(fs)
@@ -55,6 +56,43 @@ func TestEngineFlagsRejectsUnknown(t *testing.T) {
 		}
 		if _, err := ef.Config(); err == nil {
 			t.Fatalf("args %v should be rejected", args)
+		}
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	good := map[string]mpi.AllreduceAlgo{
+		"auto":          mpi.AllreduceAuto,
+		"":              mpi.AllreduceAuto,
+		"reduce-bcast":  mpi.AllreduceReduceBcast,
+		"ring":          mpi.AllreduceRing,
+		"ring-blocking": mpi.AllreduceRingBlocking,
+		"rd":            mpi.AllreduceRecursiveDoubling,
+		"RAB":           mpi.AllreduceRabenseifner,
+		" two-level ":   mpi.AllreduceTwoLevel,
+	}
+	for in, want := range good {
+		got, err := ParseAlgo(in)
+		if err != nil {
+			t.Errorf("ParseAlgo(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseAlgo(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"bogus", "ringz", "recursive-doubling", "rab2", "mpc"} {
+		if _, err := ParseAlgo(in); !errors.Is(err, ErrBadAlgo) {
+			t.Errorf("ParseAlgo(%q) err = %v, want ErrBadAlgo", in, err)
+		}
+	}
+	// Round trip: every accepted name is the enum's own String form.
+	for _, a := range []mpi.AllreduceAlgo{
+		mpi.AllreduceAuto, mpi.AllreduceReduceBcast, mpi.AllreduceRing,
+		mpi.AllreduceRingBlocking, mpi.AllreduceRecursiveDoubling,
+		mpi.AllreduceRabenseifner, mpi.AllreduceTwoLevel,
+	} {
+		got, err := ParseAlgo(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgo(%q) = %v, %v; want %v", a.String(), got, err, a)
 		}
 	}
 }

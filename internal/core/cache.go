@@ -44,14 +44,18 @@ import (
 // layout's signature and poff the packed byte offset of the chunk within
 // the layout's packed stream — so repeated halo sends of an unchanged
 // strided face hit the same entry, while contiguous entries (sig 0)
-// never collide with typed ones.
+// never collide with typed ones. sched is the engine's current schedule
+// tag (SetScheduleTag): collective algorithm dispatch keys cached
+// payloads per schedule, so back-to-back algorithm comparisons over the
+// same buffer never subsidize each other's warm iterations.
 type cacheKey struct {
-	id   uint64
-	off  int
-	n    int
-	bw   uint64
-	sig  uint64
-	poff int
+	id    uint64
+	off   int
+	n     int
+	bw    uint64
+	sig   uint64
+	poff  int
+	sched uint32
 }
 
 // cacheEntry is one CompressedRef: the wire payload and header produced
@@ -200,7 +204,7 @@ func (e *Engine) CompressForLinkCached(clk *simtime.Clock, buf *gpusim.Buffer, b
 	if e == nil || !tracked || !e.cacheEnabled() {
 		return e.CompressForLink(clk, buf, bwGBps)
 	}
-	key := cacheKey{id: id, off: off, n: buf.Len(), bw: e.cacheBWKey(bwGBps)}
+	key := cacheKey{id: id, off: off, n: buf.Len(), bw: e.cacheBWKey(bwGBps), sched: e.ScheduleTag()}
 	e.mu.Lock()
 	if payload, hdr, ok := e.cacheLookupLocked(key, epoch); ok {
 		e.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpicomp/internal/codecpool"
@@ -42,6 +43,12 @@ type Engine struct {
 	mu  sync.Mutex
 	cfg Config
 	dev *gpusim.GPUDevice
+
+	// schedTag namespaces compress-once cache keys per collective
+	// algorithm schedule (SetScheduleTag). Atomic because the transport's
+	// progress path may compress on this engine while the owning rank
+	// switches schedules between collectives.
+	schedTag atomic.Uint32
 
 	// pool stages compressed payloads; offPool provides MPC's d_off
 	// synchronization arrays (Section IV-B optimizations 1 and 2).
@@ -200,6 +207,26 @@ func NewEngine(clk *simtime.Clock, dev *gpusim.GPUDevice, cfg Config) *Engine {
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetScheduleTag namespaces subsequent compress-once cache keys under an
+// algorithm-schedule tag. Collective dispatch brackets each algorithm
+// with a distinct tag (0 outside any bracket) so comparing schedules over
+// the same unchanged buffer measures each one's own cache behavior
+// rather than reusing a rival schedule's warm entries.
+func (e *Engine) SetScheduleTag(tag uint32) {
+	if e == nil {
+		return
+	}
+	e.schedTag.Store(tag)
+}
+
+// ScheduleTag returns the current algorithm-schedule cache namespace.
+func (e *Engine) ScheduleTag() uint32 {
+	if e == nil {
+		return 0
+	}
+	return e.schedTag.Load()
+}
 
 // Device returns the engine's GPU.
 func (e *Engine) Device() *gpusim.GPUDevice { return e.dev }

@@ -306,7 +306,7 @@ func (e *Engine) CompressTypedChunkCached(clk *simtime.Clock, buf *gpusim.Buffer
 	if e == nil || !tracked || !e.cacheEnabled() {
 		return e.compressTypedChunkForLink(clk, buf, t, off, n, bwGBps)
 	}
-	key := cacheKey{id: id, off: allocOff, n: n, bw: e.cacheBWKey(bwGBps), sig: t.Signature(), poff: off}
+	key := cacheKey{id: id, off: allocOff, n: n, bw: e.cacheBWKey(bwGBps), sig: t.Signature(), poff: off, sched: e.ScheduleTag()}
 	e.mu.Lock()
 	if payload, hdr, ok := e.cacheLookupLocked(key, epoch); ok {
 		e.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"mpicomp/internal/core"
 	"mpicomp/internal/gpusim"
+	"mpicomp/internal/simtime"
 )
 
 // Collective tags live in their own namespace, built by collTag (heal.go)
@@ -455,11 +456,40 @@ func (r *Rank) reduceSum(root int, sendBuf, recvBuf *gpusim.Buffer) error {
 }
 
 // AllreduceSum computes the element-wise float32 sum into every rank's
-// recvBuf (reduce to rank 0 + broadcast — the paper leaves compressed
-// Allreduce as future work; this gives it the compressed p2p edges).
-// Under an active shrink the reduce roots at the lowest surviving rank.
+// recvBuf. The schedule is the world's pinned algorithm
+// (Options.Allreduce) when one is set; with AllreduceAuto it routes
+// through the wired tuner (Options.Tuner) and, absent one, runs the
+// historical reduce+broadcast (reduce to the first rank + broadcast —
+// the paper leaves compressed Allreduce as future work; this gives it
+// the compressed p2p edges). Under an active shrink the reduce roots at
+// the lowest surviving rank. Tuner-dispatched calls also report their
+// measured virtual-clock latency back, and feed the first-touch
+// compressibility probe when the tuner asks for one.
 func (r *Rank) AllreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
-	return r.healRun(func() error { return r.allreduceSum(sendBuf, recvBuf) })
+	algo := r.world.allreduce
+	var (
+		t     CollTuner
+		p     TunePoint
+		start simtime.Time
+	)
+	if algo == AllreduceAuto {
+		if t = r.world.tuner; t == nil {
+			algo = AllreduceReduceBcast
+		} else {
+			w := r.world
+			p = TunePoint{Bytes: sendBuf.Len(), Ranks: w.size, Nodes: w.nodes, PPN: w.ppn, Op: r.nextOp}
+			if t.NeedProbe(p) {
+				t.ObserveProbeSample(p, probeSample(sendBuf))
+			}
+			algo = t.PickAllreduce(p)
+			start = r.Clock.Now()
+		}
+	}
+	err := r.healRun(func() error { return r.runAllreduce(algo, sendBuf, recvBuf) })
+	if err == nil && t != nil {
+		t.ObserveAllreduce(p, algo, r.Clock.Now().Sub(start))
+	}
+	return err
 }
 
 func (r *Rank) allreduceSum(sendBuf, recvBuf *gpusim.Buffer) error {
@@ -831,20 +861,7 @@ func (r *Rank) bcastHierarchical(root int, buf *gpusim.Buffer) error {
 	// node in view order leads it (view order within a node is ascending
 	// rank order, so this is the lowest live rank); leaderless nodes drop
 	// out. liveNodes fixes the inter-node tree's node order.
-	nodeIdx := make([]int, w.nodes)
-	leaderOf := make([]int, w.nodes)
-	for i := range nodeIdx {
-		nodeIdx[i] = -1
-	}
-	var liveNodes []int
-	for vr := 0; vr < v.size; vr++ {
-		id := v.real(vr)
-		if n := w.nodeOf(id); nodeIdx[n] < 0 {
-			nodeIdx[n] = len(liveNodes)
-			leaderOf[n] = id
-			liveNodes = append(liveNodes, n)
-		}
-	}
+	nodeIdx, leaderOf, liveNodes := w.electLeaders(v)
 	rootNode := w.nodeOf(root)
 	myNode := r.Node()
 	leader := leaderOf[myNode]

@@ -147,6 +147,14 @@ type Options struct {
 	// semantics (see HealthPolicy). The zero value selects the defaults;
 	// it only matters when Faults draws crash/silence fates.
 	Health HealthPolicy
+	// Allreduce pins the AllreduceSum schedule for the whole world.
+	// AllreduceAuto (the zero value) routes through Tuner when wired and
+	// the historical reduce+broadcast otherwise.
+	Allreduce AllreduceAlgo
+	// Tuner, when non-nil, picks the AllreduceSum schedule per call
+	// while Allreduce is AllreduceAuto (see CollTuner; internal/tune
+	// implements it).
+	Tuner CollTuner
 }
 
 // World is one simulated MPI job.
@@ -160,6 +168,8 @@ type World struct {
 	tracer     *trace.Collector
 	inj        *faults.Injector
 	retry      RetryPolicy
+	allreduce  AllreduceAlgo
+	tuner      CollTuner
 
 	// Failure handling (see health.go). doomed/live are fixed at
 	// initialization — fate assignment is deterministic per seed — so
@@ -230,6 +240,8 @@ func NewWorld(opt Options) (*World, error) {
 		tracer:     opt.Tracer,
 		retry:      opt.Retry,
 		health:     opt.Health.withDefaults(),
+		allreduce:  opt.Allreduce,
+		tuner:      opt.Tuner,
 	}
 	if opt.Faults != nil {
 		w.inj = faults.New(*opt.Faults) // nil when the config is disabled
@@ -308,6 +320,10 @@ func (w *World) PPN() int { return w.ppn }
 
 // Cluster returns the hardware model.
 func (w *World) Cluster() hw.Cluster { return w.cluster }
+
+// TopoClass classifies the world's node grouping for algorithm
+// selection (see netsim.ClassifyTopo).
+func (w *World) TopoClass() netsim.TopoClass { return w.fabric.TopoClass(w.ppn) }
 
 // Fabric exposes the interconnect (for inspection in tests).
 func (w *World) Fabric() *netsim.Fabric { return w.fabric }

@@ -94,6 +94,39 @@ func (f *Fabric) LinkFor(srcNode, dstNode int) hw.Link {
 	return f.cluster.InterNode
 }
 
+// TopoClass classifies a world's node grouping for collective algorithm
+// selection: a tuner keys its tables on this (plus size and rank count)
+// because the winning schedule differs between a flat rank space and one
+// where intra-node edges are an order of magnitude faster.
+type TopoClass string
+
+const (
+	// TopoSingleNode: every edge rides the intra-node link.
+	TopoSingleNode TopoClass = "single-node"
+	// TopoFlat: one rank per node — every edge rides the network, so
+	// two-level schedules have nothing to exploit.
+	TopoFlat TopoClass = "flat"
+	// TopoHierarchical: multiple nodes with multiple ranks each — the
+	// intra/inter bandwidth gap makes leader-based schedules viable.
+	TopoHierarchical TopoClass = "hierarchical"
+)
+
+// ClassifyTopo maps a (nodes, ranks-per-node) shape to its TopoClass.
+func ClassifyTopo(nodes, ppn int) TopoClass {
+	switch {
+	case nodes <= 1:
+		return TopoSingleNode
+	case ppn <= 1:
+		return TopoFlat
+	default:
+		return TopoHierarchical
+	}
+}
+
+// TopoClass classifies this fabric's shape given the ranks-per-node the
+// runtime places on it.
+func (f *Fabric) TopoClass(ppn int) TopoClass { return ClassifyTopo(f.nodes, ppn) }
+
 func (f *Fabric) checkNode(n int) {
 	if n < 0 || n >= f.nodes {
 		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", n, f.nodes))

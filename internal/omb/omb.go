@@ -476,6 +476,78 @@ func RingAllreduceBlockingLatency(w *mpi.World, bytes, warmup, iters int, gen Da
 	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
 }
 
+// allreduceVariantLatency measures one allreduce entry point under the
+// shared osu_allreduce shape.
+func allreduceVariantLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen,
+	call func(*mpi.Rank, *gpusim.Buffer, *gpusim.Buffer) error) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) (func() error, error) {
+		send := deviceBuffer(r, vals)
+		recv := emptyDeviceBuffer(r, bytes)
+		return func() error { return call(r, send, recv) }, nil
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
+// RecursiveDoublingAllreduceLatency measures the chunked recursive
+// doubling schedule under the osu_allreduce shape.
+func RecursiveDoublingAllreduceLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	return allreduceVariantLatency(w, bytes, warmup, iters, gen,
+		(*mpi.Rank).RecursiveDoublingAllreduceSum)
+}
+
+// RecursiveDoublingAllreduceBlockingLatency measures the whole-block
+// recursive doubling oracle.
+func RecursiveDoublingAllreduceBlockingLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	return allreduceVariantLatency(w, bytes, warmup, iters, gen,
+		(*mpi.Rank).RecursiveDoublingAllreduceSumBlocking)
+}
+
+// RabenseifnerAllreduceLatency measures the chunked reduce-scatter +
+// allgather schedule under the osu_allreduce shape.
+func RabenseifnerAllreduceLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	return allreduceVariantLatency(w, bytes, warmup, iters, gen,
+		(*mpi.Rank).RabenseifnerAllreduceSum)
+}
+
+// RabenseifnerAllreduceBlockingLatency measures the whole-block
+// Rabenseifner oracle.
+func RabenseifnerAllreduceBlockingLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	return allreduceVariantLatency(w, bytes, warmup, iters, gen,
+		(*mpi.Rank).RabenseifnerAllreduceSumBlocking)
+}
+
+// TwoLevelAllreduceLatency measures the topology-aware leader schedule
+// under the osu_allreduce shape.
+func TwoLevelAllreduceLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	return allreduceVariantLatency(w, bytes, warmup, iters, gen,
+		(*mpi.Rank).AllreduceSumHierarchical)
+}
+
+// AllgatherHierarchicalLatency measures the leader-relayed allgather
+// under the osu_allgather shape.
+func AllgatherHierarchicalLatency(w *mpi.World, bytes, warmup, iters int, gen DataGen) (CollResult, error) {
+	if gen == nil {
+		gen = DummyData
+	}
+	vals := gen(bytes / 4)
+	lat, err := collectiveLatency(w, warmup, iters, func(r *mpi.Rank) (func() error, error) {
+		send := deviceBuffer(r, vals)
+		recv := emptyDeviceBuffer(r, bytes*r.Size())
+		return func() error { return r.AllgatherHierarchical(send, recv) }, nil
+	})
+	if err != nil {
+		return CollResult{}, err
+	}
+	return CollResult{Bytes: bytes, Latency: lat, Ratio: avgRatioAll(w)}, nil
+}
+
 // BiBandwidth runs osu_bibw: both ranks stream `window` messages at each
 // other simultaneously, measuring aggregate bidirectional bandwidth.
 func BiBandwidth(w *mpi.World, sizes []int, warmup, iters, window int) ([]P2PResult, error) {

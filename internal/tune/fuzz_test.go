@@ -1,0 +1,48 @@
+package tune
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTableJSON drives ParseTable with arbitrary bytes: malformed
+// input must be rejected with an error (never a panic), and any input
+// that parses must re-encode to a canonical fixpoint — Marshal of the
+// parsed table parses again and marshals byte-identically.
+func FuzzTableJSON(f *testing.F) {
+	f.Add([]byte(`{"version":1,"seed":0,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"seed":42,"entries":[{"size_class":20,"ranks":8,"topo":"flat","ratio_milli":1430,"chunk_bytes":131072,"codec_hint":"mpc","scores":[{"algo":"rd","ema_nanos":1048576,"samples":3},{"algo":"ring","ema_nanos":2097152,"samples":1}]}]}`))
+	f.Add([]byte(`{"version":1,"seed":0,"entries":[{"size_class":12,"ranks":6,"topo":"hierarchical","ratio_milli":1000,"chunk_bytes":65536,"codec_hint":"none","scores":[{"algo":"two-level","ema_nanos":4096,"samples":9}]}]}`))
+	f.Add([]byte(`{"version":2,"seed":0,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"seed":0,"entries":[{"size_class":-3,"ranks":0,"topo":"mesh","ratio_milli":-1,"chunk_bytes":-1,"codec_hint":"lz4","scores":null}]}`))
+	f.Add([]byte(`not a table`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("{\"version\":1,\"seed\":0,\"entries\":[]}\n{\"version\":1}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ParseTable(data)
+		if err != nil {
+			if tab != nil {
+				t.Fatal("ParseTable returned a table alongside an error")
+			}
+			return
+		}
+		out1, err := tab.Marshal()
+		if err != nil {
+			t.Fatalf("parsed table failed to marshal: %v", err)
+		}
+		tab2, err := ParseTable(out1)
+		if err != nil {
+			t.Fatalf("canonical output failed to re-parse: %v\n%s", err, out1)
+		}
+		out2, err := tab2.Marshal()
+		if err != nil {
+			t.Fatalf("re-parsed table failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("marshal not a fixpoint:\n%s\nvs\n%s", out1, out2)
+		}
+	})
+}
